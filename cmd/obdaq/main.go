@@ -1,0 +1,146 @@
+// Command obdaq answers SPARQL queries over an NPD benchmark instance
+// through the OBDA engine, printing results and the per-phase measures of
+// the paper's Table 1.
+//
+//	obdaq -q q6                          # run benchmark query q6
+//	obdaq 'SELECT ?w WHERE { ?w a npdv:Wellbore } LIMIT 5'
+//	obdaq -q q1 -scale 5 -sql            # also print the unfolded SQL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npdbench/internal/core"
+	"npdbench/internal/mixer"
+	"npdbench/internal/npd"
+	"npdbench/internal/sqldb"
+)
+
+func main() {
+	var (
+		queryID     = flag.String("q", "", "benchmark query id (q1..q21)")
+		scale       = flag.Float64("scale", 1, "NPDk scale factor")
+		seedScale   = flag.Float64("seedscale", 1, "seed instance size multiplier")
+		seed        = flag.Int64("seed", 42, "random seed")
+		profile     = flag.String("profile", "hashjoin", "database profile: hashjoin | sortmerge")
+		existential = flag.Bool("existential", true, "enable tree-witness reasoning")
+		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
+		explain     = flag.Bool("explain", false, "print the SQL planner decisions (EXPLAIN ANALYZE)")
+		maxRows     = flag.Int("rows", 20, "result rows to print (0 = all)")
+		useStore    = flag.Bool("storebaseline", false, "answer over the materialized triple store instead")
+	)
+	flag.Parse()
+
+	src := ""
+	switch {
+	case *queryID != "":
+		q := npd.QueryByID(*queryID)
+		if q == nil {
+			fatal(fmt.Errorf("unknown query %q", *queryID))
+		}
+		fmt.Printf("# %s: %s\n", q.ID, q.Description)
+		src = q.SPARQL
+	case flag.NArg() == 1:
+		src = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obdaq [-q qN | 'SPARQL...'] [flags]")
+		os.Exit(2)
+	}
+
+	db, genTime, err := mixer.BuildInstance(*scale, *seedScale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	switch *profile {
+	case "hashjoin":
+		db.Profile = sqldb.ProfileHashJoin
+	case "sortmerge":
+		db.Profile = sqldb.ProfileSortMerge
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	fmt.Printf("instance NPD%g: %d rows (built in %v)\n", *scale, db.TotalRows(), genTime.Round(1e6))
+
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	var ans *core.Answer
+	if *useStore {
+		store, err := core.NewStoreEngine(spec, core.StoreOptions{Reasoning: *existential})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("materialized %d triples in %v\n", store.LoadStats().Triples, store.LoadStats().LoadTime.Round(1e6))
+		ans, err = store.Query(src)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		eng, err := core.NewEngine(spec, core.Options{TMappings: true, Existential: *existential})
+		if err != nil {
+			fatal(err)
+		}
+		ls := eng.LoadStats()
+		fmt.Printf("starting phase: %v (%d mapping assertions, %d after T-mapping saturation)\n",
+			ls.LoadTime.Round(1e6), ls.MappingAssertions, ls.SaturatedAssertions)
+		ans, err = eng.Query(src)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	st := ans.Stats
+	fmt.Printf("\nphases: rewrite=%v unfold=%v exec=%v translate=%v total=%v\n",
+		st.RewriteTime.Round(1e3), st.UnfoldTime.Round(1e3),
+		st.ExecTime.Round(1e3), st.TranslateTime.Round(1e3), st.TotalTime.Round(1e3))
+	fmt.Printf("rewriting: %d tree witnesses, %d CQs; unfolding: %d arms (%d pruned, %d self-joins eliminated)\n",
+		st.TreeWitnesses, st.CQCount, st.UnionArms, st.PrunedArms, st.SelfJoinsEliminated)
+	fmt.Printf("weight of R+U: %.3f\n", st.WeightRU())
+	if *showSQL && st.UnfoldedSQL != "" {
+		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)
+	}
+	if *explain && st.UnfoldedSQL != "" {
+		stmt, err := sqldb.Parse(st.UnfoldedSQL)
+		if err == nil {
+			notes, err := db.ExplainSelect(stmt)
+			if err == nil {
+				fmt.Println("\nplanner decisions:")
+				max := 40
+				for i, n := range notes {
+					if i >= max {
+						fmt.Printf("  ... (%d more)\n", len(notes)-max)
+						break
+					}
+					fmt.Println("  " + n)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\n%d solutions\n", ans.Len())
+	rows := ans.Rows
+	if *maxRows > 0 && len(rows) > *maxRows {
+		rows = rows[:*maxRows]
+	}
+	for _, row := range rows {
+		for i, t := range row {
+			if i > 0 {
+				fmt.Print("\t")
+			}
+			if t.IsZero() {
+				fmt.Print("_")
+			} else {
+				fmt.Print(t)
+			}
+		}
+		fmt.Println()
+	}
+	if *maxRows > 0 && ans.Len() > *maxRows {
+		fmt.Printf("... (%d more)\n", ans.Len()-*maxRows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obdaq:", err)
+	os.Exit(1)
+}

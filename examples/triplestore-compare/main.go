@@ -1,0 +1,76 @@
+// triplestore-compare: the paper's system comparison in miniature. The
+// same OBDA specification is answered two ways — virtually (OBDA engine,
+// SPARQL→SQL) and materialized (triple store + query rewriting, the
+// Stardog role) — and the answers are cross-checked while the costs of the
+// two architectures are reported: the store pays materialization up front,
+// the OBDA engine pays query translation per query.
+//
+//	go run ./examples/triplestore-compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"npdbench/internal/core"
+	"npdbench/internal/mixer"
+	"npdbench/internal/npd"
+)
+
+func main() {
+	db, _, err := mixer.BuildInstance(1, 0.5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+
+	obda, err := core.NewEngine(spec, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := core.NewStoreEngine(spec, core.StoreOptions{Reasoning: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OBDA starting phase:   %8v (mapping saturation, no data touched)\n",
+		obda.LoadStats().LoadTime.Round(1e6))
+	fmt.Printf("store loading phase:   %8v (materialized %d triples)\n\n",
+		store.LoadStats().LoadTime.Round(1e6), store.LoadStats().Triples)
+
+	ids := []string{"q1", "q3", "q5", "q6", "q7", "q13", "q16"}
+	fmt.Printf("%-5s %10s %10s %8s  agreement\n", "query", "obda", "store", "rows")
+	for _, id := range ids {
+		q := npd.QueryByID(id)
+		a1, err := obda.Query(q.SPARQL)
+		if err != nil {
+			log.Fatalf("obda %s: %v", id, err)
+		}
+		a2, err := store.Query(q.SPARQL)
+		if err != nil {
+			log.Fatalf("store %s: %v", id, err)
+		}
+		agree := "OK"
+		if canonical(a1) != canonical(a2) {
+			agree = "MISMATCH"
+		}
+		fmt.Printf("%-5s %10v %10v %8d  %s\n", id,
+			a1.Stats.TotalTime.Round(1e5), a2.Stats.TotalTime.Round(1e5), a1.Len(), agree)
+	}
+	fmt.Println("\nNote q6: its answers depend on existential reasoning; both engines")
+	fmt.Println("agree because both implement tree-witness rewriting.")
+}
+
+func canonical(a *core.Answer) string {
+	lines := make([]string, len(a.Rows))
+	for i, row := range a.Rows {
+		parts := make([]string, len(row))
+		for j, t := range row {
+			parts[j] = t.String()
+		}
+		lines[i] = strings.Join(parts, "\t")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,3 @@
+module npdbench
+
+go 1.22

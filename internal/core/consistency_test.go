@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/r2rml"
+)
+
+func TestConsistencyOfCleanInstance(t *testing.T) {
+	spec := exampleSpec(t)
+	spec.Onto.AddDisjoint(
+		owl.NamedConcept(exNS+"Employee"),
+		owl.NamedConcept(exNS+"ProductSize"))
+	e, err := NewEngine(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CheckConsistency(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Fatalf("clean instance reported inconsistent: %v", rep.Violations)
+	}
+	if rep.ChecksRun == 0 {
+		t.Fatal("no disjointness axioms checked")
+	}
+}
+
+func TestConsistencyDetectsViolation(t *testing.T) {
+	spec := exampleSpec(t)
+	// Employee and Branch disjoint — then map branches with the employee
+	// IRI template so the same individuals fall in both classes.
+	spec.Onto.AddDisjoint(
+		owl.NamedConcept(exNS+"Employee"),
+		owl.NamedConcept(exNS+"Branch"))
+	spec.Mapping.Add(&r2rml.TriplesMap{
+		Name:    "broken",
+		SQL:     "SELECT id FROM TEmployee",
+		Subject: r2rml.IRIMap(exNS + "emp/{id}"),
+		Classes: []string{exNS + "Branch"},
+	})
+	e, err := NewEngine(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CheckConsistency(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent {
+		t.Fatal("violation not detected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "class" && v.Witness.Value != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no class violation witness: %v", rep.Violations)
+	}
+}
+
+func TestConsistencyViaHierarchy(t *testing.T) {
+	// The violation is indirect: disjoint(Person, Branch) and the broken
+	// mapping puts employee IRIs (⊑ Person) into Branch.
+	spec := exampleSpec(t)
+	spec.Onto.AddDisjoint(
+		owl.NamedConcept(exNS+"Person"),
+		owl.NamedConcept(exNS+"Branch"))
+	spec.Mapping.Add(&r2rml.TriplesMap{
+		Name:    "broken",
+		SQL:     "SELECT id FROM TEmployee",
+		Subject: r2rml.IRIMap(exNS + "emp/{id}"),
+		Classes: []string{exNS + "Branch"},
+	})
+	e, err := NewEngine(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CheckConsistency(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent {
+		t.Fatal("hierarchy-mediated violation not detected (Employee ⊑ Person)")
+	}
+}

@@ -1,0 +1,451 @@
+// Package core is the OBDA engine of this reproduction — the system under
+// test in the NPD benchmark. It implements the four-phase query-answering
+// workflow the paper describes (Sect. 3):
+//
+//  1. starting phase — load ontology + mappings, classify the TBox, and
+//     (by default) compile the hierarchy inferences into the mapping as
+//     T-mappings;
+//  2. query rewriting — tree-witness rewriting for existential axioms
+//     (toggleable), plus classic hierarchy UCQ expansion when T-mappings
+//     are disabled;
+//  3. query translation (unfolding) — UCQ × mappings → one SQL statement
+//     with semantic query optimizations;
+//  4. query execution + result translation — run the SQL on the embedded
+//     relational engine and reconstruct RDF terms.
+//
+// Every phase reports the Table 1 measures (times and simplicity metrics).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/r2rml"
+	"npdbench/internal/rdf"
+	"npdbench/internal/rewrite"
+	"npdbench/internal/sparql"
+	"npdbench/internal/sqldb"
+	"npdbench/internal/unfold"
+)
+
+// Spec bundles the three OBDA components: ontology, mappings, data source.
+type Spec struct {
+	Onto     *owl.Ontology
+	Mapping  *r2rml.Mapping
+	DB       *sqldb.Database
+	Prefixes rdf.PrefixMap
+}
+
+// Options configures reasoning behaviour.
+type Options struct {
+	// TMappings compiles the hierarchy into the mapping at load time
+	// (Ontop's approach; the default mode in the paper's experiments).
+	TMappings bool
+	// Existential enables tree-witness rewriting. The paper runs the
+	// benchmark both with and without it.
+	Existential bool
+	// MaxCQs bounds the rewriting size (0 = default).
+	MaxCQs int
+}
+
+// DefaultOptions returns the configuration the paper uses for the main
+// experiments: T-mappings on, existential reasoning on.
+func DefaultOptions() Options {
+	return Options{TMappings: true, Existential: true}
+}
+
+// LoadStats reports the starting-phase measures.
+type LoadStats struct {
+	LoadTime            time.Duration
+	MappingAssertions   int // before saturation
+	SaturatedAssertions int // after T-mapping saturation
+	Classes             int
+	ObjectProperties    int
+	DataProperties      int
+}
+
+// Engine answers SPARQL queries over a virtual RDF graph.
+type Engine struct {
+	spec     Spec
+	opts     Options
+	mapping  *r2rml.Mapping // saturated when TMappings is on
+	rewriter *rewrite.Rewriter
+	load     LoadStats
+}
+
+// NewEngine performs the starting phase and returns a ready engine.
+func NewEngine(spec Spec, opts Options) (*Engine, error) {
+	if spec.Onto == nil || spec.Mapping == nil || spec.DB == nil {
+		return nil, fmt.Errorf("core: spec needs ontology, mapping, and database")
+	}
+	start := time.Now()
+	e := &Engine{spec: spec, opts: opts}
+	e.load.MappingAssertions = spec.Mapping.AssertionCount()
+	stats := spec.Onto.Stats()
+	e.load.Classes = stats.Classes
+	e.load.ObjectProperties = stats.ObjectProps
+	e.load.DataProperties = stats.DataProps
+	// Classification is forced here so that query time excludes it.
+	_ = spec.Onto.SubConceptsOf(owl.NamedConcept(""))
+	if opts.TMappings {
+		e.mapping = rewrite.Saturate(spec.Mapping, spec.Onto)
+	} else {
+		e.mapping = spec.Mapping
+	}
+	e.load.SaturatedAssertions = e.mapping.AssertionCount()
+	e.rewriter = &rewrite.Rewriter{
+		Onto:            spec.Onto,
+		ExpandHierarchy: !opts.TMappings,
+		Existential:     opts.Existential,
+		MaxCQs:          opts.MaxCQs,
+	}
+	e.load.LoadTime = time.Since(start)
+	return e, nil
+}
+
+// LoadStats returns the starting-phase statistics.
+func (e *Engine) LoadStats() LoadStats { return e.load }
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// DB exposes the underlying database (benchmark harness access).
+func (e *Engine) DB() *sqldb.Database { return e.spec.DB }
+
+// PhaseStats carries the per-query measures of the paper's Table 1.
+type PhaseStats struct {
+	RewriteTime   time.Duration
+	UnfoldTime    time.Duration
+	ExecTime      time.Duration
+	TranslateTime time.Duration
+	TotalTime     time.Duration
+
+	// Simplicity R-Query measures.
+	TreeWitnesses int
+	CQCount       int
+	// Simplicity U-Query measures.
+	UnionArms           int
+	PrunedArms          int
+	SelfJoinsEliminated int
+	SQL                 sqldb.SQLMetrics
+	// UnfoldedSQL is the translated query text (diagnostics; empty when
+	// all arms were pruned).
+	UnfoldedSQL string
+}
+
+// WeightRU is the paper's "Weight of R+U": rewriting+unfolding cost over
+// total cost.
+func (p PhaseStats) WeightRU() float64 {
+	if p.TotalTime <= 0 {
+		return 0
+	}
+	return float64(p.RewriteTime+p.UnfoldTime) / float64(p.TotalTime)
+}
+
+// Answer is a query result with its phase statistics.
+type Answer struct {
+	*sparql.ResultSet
+	Stats PhaseStats
+}
+
+// ParseQuery parses SPARQL with the spec's prefix bindings.
+func (e *Engine) ParseQuery(src string) (*sparql.Query, error) {
+	return sparql.Parse(src, e.spec.Prefixes)
+}
+
+// Query parses and answers a SPARQL query.
+func (e *Engine) Query(src string) (*Answer, error) {
+	q, err := e.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Answer(q)
+}
+
+// Answer runs the full query-answering pipeline.
+func (e *Engine) Answer(q *sparql.Query) (*Answer, error) {
+	start := time.Now()
+	st := &PhaseStats{}
+	if q.HasAggregates() {
+		rs, ok, err := e.tryAggregatePushdown(q, st)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			st.TotalTime = time.Since(start)
+			return &Answer{ResultSet: rs, Stats: *st}, nil
+		}
+		// fall through: in-memory aggregation over translated bindings
+		*st = PhaseStats{}
+	}
+	bindings, err := e.evalPattern(q.Pattern, st)
+	if err != nil {
+		return nil, err
+	}
+	tStart := time.Now()
+	rs, err := sparql.Finalize(q, bindings)
+	if err != nil {
+		return nil, err
+	}
+	st.TranslateTime += time.Since(tStart)
+	st.TotalTime = time.Since(start)
+	return &Answer{ResultSet: rs, Stats: *st}, nil
+}
+
+// evalPattern evaluates the SPARQL algebra; BGP leaves go through the
+// rewrite → unfold → execute pipeline, non-leaf operators combine binding
+// sets (the way OBDA engines stage OPTIONAL/UNION around SQL fragments).
+func (e *Engine) evalPattern(p sparql.GraphPattern, st *PhaseStats) ([]sparql.Binding, error) {
+	switch x := p.(type) {
+	case *sparql.BGP:
+		return e.answerBGP(x, nil, st)
+	case *sparql.Filter:
+		// Push simple comparisons into the leaf when it is a BGP.
+		if bgp, ok := x.Inner.(*sparql.BGP); ok {
+			push := pushableFilters(x.Cond)
+			bindings, err := e.answerBGP(bgp, push, st)
+			if err != nil {
+				return nil, err
+			}
+			return filterBindings(bindings, x.Cond), nil
+		}
+		inner, err := e.evalPattern(x.Inner, st)
+		if err != nil {
+			return nil, err
+		}
+		return filterBindings(inner, x.Cond), nil
+	case *sparql.Group:
+		cur := []sparql.Binding{{}}
+		for _, part := range x.Parts {
+			next, err := e.evalPattern(part, st)
+			if err != nil {
+				return nil, err
+			}
+			cur = sparql.JoinBindings(cur, next)
+		}
+		return cur, nil
+	case *sparql.Optional:
+		left, err := e.evalPattern(x.Left, st)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalPattern(x.Right, st)
+		if err != nil {
+			return nil, err
+		}
+		return sparql.LeftJoinBindings(left, right), nil
+	case *sparql.Union:
+		left, err := e.evalPattern(x.Left, st)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalPattern(x.Right, st)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
+	return nil, fmt.Errorf("core: unsupported pattern %T", p)
+}
+
+func filterBindings(bs []sparql.Binding, cond sparql.Expr) []sparql.Binding {
+	var out []sparql.Binding
+	for _, b := range bs {
+		if sparql.FilterKeeps(cond, b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pushableFilters extracts var-op-constant comparisons from a filter
+// conjunction; these are pushed into the unfolded SQL (and re-checked on
+// the translated bindings, which keeps pushing safe).
+func pushableFilters(cond sparql.Expr) []unfold.PushFilter {
+	var out []unfold.PushFilter
+	var walk func(sparql.Expr)
+	walk = func(ex sparql.Expr) {
+		b, ok := ex.(*sparql.BinExpr)
+		if !ok {
+			return
+		}
+		if b.Op == "&&" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		switch b.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			if v, okv := b.L.(*sparql.VarExpr); okv {
+				if t, okt := b.R.(*sparql.TermExpr); okt && t.Term.IsLiteral() {
+					out = append(out, unfold.PushFilter{Var: v.Name, Op: b.Op, Val: t.Term})
+				}
+			}
+			if v, okv := b.R.(*sparql.VarExpr); okv {
+				if t, okt := b.L.(*sparql.TermExpr); okt && t.Term.IsLiteral() {
+					out = append(out, unfold.PushFilter{Var: v.Name, Op: flipOp(b.Op), Val: t.Term})
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// answerBGP runs the rewrite/unfold/execute pipeline for one BGP.
+func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseStats) ([]sparql.Binding, error) {
+	if len(bgp.Triples) == 0 {
+		return []sparql.Binding{{}}, nil
+	}
+	// Blank-node variables (_bn…) introduced by the parser are local to
+	// the BGP: they are existential, never projected, and are the
+	// tree-witness fold candidates. Everything else is an answer variable
+	// of the leaf and is protected from folding.
+	var answerVars []string
+	for _, v := range sparql.PatternVars(bgp) {
+		if !strings.HasPrefix(v, "_bn") {
+			answerVars = append(answerVars, v)
+		}
+	}
+	cq, err := rewrite.FromBGP(bgp, e.spec.Onto, answerVars)
+	if err != nil {
+		return nil, err
+	}
+	protected := append([]string{}, answerVars...)
+	for _, f := range push {
+		protected = append(protected, f.Var)
+	}
+
+	rwStart := time.Now()
+	rres, err := e.rewriter.Rewrite(cq, protected)
+	if err != nil {
+		return nil, err
+	}
+	st.RewriteTime += time.Since(rwStart)
+	st.TreeWitnesses += rres.TreeWitnesses
+	st.CQCount += rres.CQCount
+
+	unStart := time.Now()
+	un, err := unfold.Unfold(rres.UCQ, e.mapping, push)
+	if err != nil {
+		return nil, err
+	}
+	st.UnfoldTime += time.Since(unStart)
+	st.UnionArms += un.Arms
+	st.PrunedArms += un.PrunedArms
+	st.SelfJoinsEliminated += un.SelfJoinsEliminated
+	if un.Stmt == nil {
+		return nil, nil // provably empty
+	}
+	m := un.Metrics()
+	st.SQL.Joins += m.Joins
+	st.SQL.LeftJoins += m.LeftJoins
+	st.SQL.Unions += m.Unions
+	st.SQL.InnerQueries += m.InnerQueries
+	if st.UnfoldedSQL == "" {
+		st.UnfoldedSQL = un.Stmt.String()
+	}
+
+	exStart := time.Now()
+	res, err := e.spec.DB.ExecSelect(un.Stmt)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing unfolded SQL: %w", err)
+	}
+	st.ExecTime += time.Since(exStart)
+
+	trStart := time.Now()
+	bindings := translateRows(un.Vars, res)
+	st.TranslateTime += time.Since(trStart)
+	// Distinct at the BGP level: SQL UNION ALL plus multiple mapping
+	// assertions can produce duplicate RDF solutions that a virtual graph
+	// (an RDF *set*) must not expose twice.
+	bindings = dedupeBindings(bindings, un.Vars)
+	return bindings, nil
+}
+
+// translateRows is phase 4's result translation: SQL rows (lexical, tag,
+// datatype column triples) become RDF term bindings.
+func translateRows(vars []string, res *sqldb.Result) []sparql.Binding {
+	out := make([]sparql.Binding, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := make(sparql.Binding, len(vars))
+		for i, v := range vars {
+			lex := row[3*i]
+			if lex.IsNull() {
+				continue
+			}
+			tag, _ := row[3*i+1].AsInt()
+			dt := row[3*i+2].S
+			b[v] = termFromValue(lex, int(tag), dt)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func termFromValue(lex sqldb.Value, tag int, dt string) rdf.Term {
+	switch tag {
+	case unfold.TagIRI:
+		return rdf.NewIRI(lex.String())
+	case unfold.TagLiteral:
+		return rdf.NewLiteral(lex.String())
+	default:
+		if dt == "" {
+			dt = derivedDatatype(lex)
+		}
+		if dt == rdf.XSDString {
+			return rdf.NewLiteral(lex.String())
+		}
+		return rdf.NewTypedLiteral(lex.String(), dt)
+	}
+}
+
+func derivedDatatype(v sqldb.Value) string {
+	switch v.Kind {
+	case sqldb.KindInt:
+		return rdf.XSDInteger
+	case sqldb.KindFloat:
+		return rdf.XSDDouble
+	case sqldb.KindBool:
+		return rdf.XSDBoolean
+	case sqldb.KindDate:
+		return rdf.XSDDate
+	}
+	return rdf.XSDString
+}
+
+func dedupeBindings(bs []sparql.Binding, vars []string) []sparql.Binding {
+	seen := make(map[string]bool, len(bs))
+	out := bs[:0]
+	for _, b := range bs {
+		var sb strings.Builder
+		for _, v := range vars {
+			t := b[v]
+			s := t.String()
+			fmt.Fprintf(&sb, "%d:%s", len(s), s)
+		}
+		k := sb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package mixer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// textTable is a minimal fixed-width table renderer for the benchmark
+// reports.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) add(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Summary renders the full report: one tractable-queries table plus the
+// per-scale query breakdowns.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	sb.WriteString(TractableTable(r, fmt.Sprintf("Tractable queries (%s profile)", r.Config.Profile)))
+	sb.WriteByte('\n')
+	for _, sm := range r.Scales {
+		sb.WriteString(QueryBreakdown(sm))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

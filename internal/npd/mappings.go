@@ -1,0 +1,522 @@
+package npd
+
+import (
+	"fmt"
+	"strings"
+
+	"npdbench/internal/r2rml"
+)
+
+// Subject IRI templates per entity, following the published data namespace.
+func wellboreIRI() string { return Data + "wellbore/{wlbNpdidWellbore}" }
+
+var subjectTemplates = map[string]string{
+	"company":   Data + "company/{cmpNpdidCompany}",
+	"licence":   Data + "licence/{prlNpdidLicence}",
+	"field":     Data + "field/{fldNpdidField}",
+	"discovery": Data + "discovery/{dscNpdidDiscovery}",
+	"facility":  Data + "facility/{fclNpdidFacility}",
+	"wellbore":  Data + "wellbore/{wlbNpdidWellbore}",
+	"stratum":   Data + "stratum/{lsuNpdidLithoStrat}",
+	"survey":    Data + "survey/{seaNpdidSurvey}",
+	"block":     Data + "block/{blkName}",
+	"quadrant":  Data + "quadrant/{qdrName}",
+	"baa":       Data + "baa/{baaNpdidBsnsArrArea}",
+	"tuf":       Data + "tuf/{tufNpdidTuf}",
+	"pipeline":  Data + "pipeline/{pipNpdidPipeline}",
+	"prospect":  Data + "prospect/{prsNpdidProspect}",
+	"petreg":    Data + "petreg/{ptlNpdidLicence}",
+	"apagross":  Data + "apa-gross/{apaNpdidApaGross}",
+	"apanet":    Data + "apa-net/{apaNpdidApaNet}",
+	"seaarea":   Data + "seaarea/{seaAreaName}",
+}
+
+// NewMapping builds the benchmark's R2RML mapping set. Deliberately (per
+// requirement M2 of the paper) the mappings are NOT optimized for OBDA:
+// most data properties get their own mapping assertion over the same wide
+// table (so self-join elimination has work to do), several classes have
+// redundant assertions from overlapping tables, and a few sources carry
+// unnecessary joins.
+func NewMapping() *r2rml.Mapping {
+	b := &mappingBuilder{mp: r2rml.NewMapping(), seq: 0}
+	b.mp.Prefixes["npdv"] = NPDV
+	b.mp.Prefixes["npdd"] = Data
+
+	// ---- wellbores: three overlapping tables ----
+	for _, wt := range []struct {
+		table string
+		class string
+	}{
+		{"wellbore_exploration_all", "ExplorationWellbore"},
+		{"wellbore_development_all", "DevelopmentWellbore"},
+		{"wellbore_shallow_all", "ShallowWellbore"},
+	} {
+		b.class(wt.table, wellboreIRI(), wt.class)
+		// redundant assertion of the superclass (M2)
+		b.class(wt.table, wellboreIRI(), "Wellbore")
+		b.dataPropsSplit(wt.table, wellboreIRI())
+		b.name(wt.table, wellboreIRI(), "wlbWellboreName")
+	}
+	// conditional wellbore subclasses
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "WildcatWellbore", "wlbPurpose = 'WILDCAT'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "AppraisalWellbore", "wlbPurpose = 'APPRAISAL'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "ProductionWellbore", "wlbPurpose = 'PRODUCTION'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "InjectionWellbore", "wlbPurpose = 'INJECTION'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "ObservationWellbore", "wlbPurpose = 'OBSERVATION'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "DryWellbore", "wlbContent = 'DRY'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "OilDiscoveryWellbore", "wlbContent = 'OIL'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "GasDiscoveryWellbore", "wlbContent = 'GAS'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "OilShowsWellbore", "wlbContent = 'OIL SHOWS'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "GasShowsWellbore", "wlbContent = 'GAS SHOWS'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "SuspendedWellbore", "wlbStatus = 'SUSPENDED'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "PluggedAndAbandonedWellbore", "wlbStatus = 'P&A'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "MultilateralWellbore", "wlbMultilateral = TRUE")
+	// redundant: wellbore kind also from the overview table (M2)
+	b.condClassCol("wellbore_npdid_overview", wellboreIRI(), "ExplorationWellbore", "wlbKind = 'EXPLORATION'")
+	b.condClassCol("wellbore_npdid_overview", wellboreIRI(), "DevelopmentWellbore", "wlbKind = 'DEVELOPMENT'")
+
+	// wellbore object properties
+	b.objFK("wellbore_exploration_all", "drillingOperatorCompany", wellboreIRI(), subjectTemplates["company"])
+	b.objFK("wellbore_development_all", "drillingOperatorCompany", wellboreIRI(), subjectTemplates["company"])
+	b.objFK("wellbore_shallow_all", "drillingOperatorCompany", wellboreIRI(), subjectTemplates["company"])
+	b.objFK("wellbore_exploration_all", "drilledInLicence", wellboreIRI(), subjectTemplates["licence"])
+	b.objFK("wellbore_development_all", "drilledInLicence", wellboreIRI(), subjectTemplates["licence"])
+	b.objFK("wellbore_exploration_all", "wellboreForDiscovery", wellboreIRI(), subjectTemplates["discovery"])
+	b.objFK("wellbore_development_all", "wellboreForField", wellboreIRI(), subjectTemplates["field"])
+	b.objFK("wellbore_exploration_all", "drillingFacility", wellboreIRI(), subjectTemplates["facility"])
+	b.objFK("wellbore_development_all", "drillingFacility", wellboreIRI(), subjectTemplates["facility"])
+
+	// ---- wellbore satellites ----
+	coreIRI := Data + "wellbore/{wlbNpdidWellbore}/core/{wlbCoreNumber}"
+	b.class("wellbore_core", coreIRI, "WellboreCore")
+	b.dataProps("wellbore_core", coreIRI)
+	b.obj("wellbore_core", "coreForWellbore", coreIRI, wellboreIRI())
+	b.obj("strat_litho_wellbore_core", "coreStratum", coreIRI, subjectTemplates["stratum"])
+
+	photoIRI := Data + "wellbore/{wlbNpdidWellbore}/core/{wlbCoreNumber}/photo/{wlbCorePhotoTitle}"
+	b.class("wellbore_core_photo", photoIRI, "WellboreCorePhoto")
+	b.obj("wellbore_core_photo", "photoForCore", photoIRI, coreIRI)
+	b.dataProps("wellbore_core_photo", photoIRI)
+
+	dstIRI := Data + "wellbore/{wlbNpdidWellbore}/dst/{wlbDstTestNumber}"
+	b.class("wellbore_dst", dstIRI, "WellboreDst")
+	b.dataProps("wellbore_dst", dstIRI)
+	b.obj("wellbore_dst", "dstForWellbore", dstIRI, wellboreIRI())
+
+	docIRI := Data + "wellbore/{wlbNpdidWellbore}/document/{wlbDocumentName}"
+	b.class("wellbore_document", docIRI, "WellboreDocument")
+	b.condClass("wellbore_document", docIRI, "CompletionReport", "wlbDocumentType = 'COMPLETION REPORT'")
+	b.condClass("wellbore_document", docIRI, "CompletionLog", "wlbDocumentType = 'COMPLETION LOG'")
+	b.dataProps("wellbore_document", docIRI)
+	b.obj("wellbore_document", "documentForWellbore", docIRI, wellboreIRI())
+
+	mudIRI := Data + "wellbore/{wlbNpdidWellbore}/mud/{wlbMD}"
+	b.class("wellbore_mud", mudIRI, "WellboreMudSample")
+	b.dataProps("wellbore_mud", mudIRI)
+	b.obj("wellbore_mud", "mudTestForWellbore", mudIRI, wellboreIRI())
+
+	casingIRI := Data + "wellbore/{wlbNpdidWellbore}/casing/{wlbCasingType}/{wlbCasingDepth}"
+	b.class("wellbore_casing_and_lot", casingIRI, "WellboreCasing")
+	b.dataProps("wellbore_casing_and_lot", casingIRI)
+	b.obj("wellbore_casing_and_lot", "casingForWellbore", casingIRI, wellboreIRI())
+
+	oilSampleIRI := Data + "wellbore/{wlbNpdidWellbore}/oil-sample/{wlbOilSampleTestNumber}"
+	b.class("wellbore_oil_sample", oilSampleIRI, "WellboreOilSample")
+	b.dataProps("wellbore_oil_sample", oilSampleIRI)
+	b.obj("wellbore_oil_sample", "oilSampleForWellbore", oilSampleIRI, wellboreIRI())
+
+	ftIRI := Data + "wellbore/{wlbNpdidWellbore}/formation-top/{lsuNpdidLithoStrat}/{wlbTopDepth}"
+	b.class("wellbore_formation_top", ftIRI, "FormationTop")
+	b.dataProps("wellbore_formation_top", ftIRI)
+	b.obj("wellbore_formation_top", "formationTopForWellbore", ftIRI, wellboreIRI())
+	b.obj("wellbore_formation_top", "stratumForFormationTop", ftIRI, subjectTemplates["stratum"])
+
+	histIRI := Data + "wellbore/{wlbNpdidWellbore}/history/{wlbHistorySeq}"
+	b.class("wellbore_history", histIRI, "WellboreHistoryEntry")
+	b.obj("wellbore_history", "historyForWellbore", histIRI, wellboreIRI())
+	b.dataProps("wellbore_history", histIRI)
+
+	// ---- stratigraphy ----
+	b.class("strat_litho_unit", subjectTemplates["stratum"], "LithostratigraphicUnit")
+	b.condClass("strat_litho_unit", subjectTemplates["stratum"], "LithoGroup", "lsuLevel = 'GROUP'")
+	b.condClass("strat_litho_unit", subjectTemplates["stratum"], "LithoFormation", "lsuLevel = 'FORMATION'")
+	b.condClass("strat_litho_unit", subjectTemplates["stratum"], "LithoMember", "lsuLevel = 'MEMBER'")
+	for _, era := range eras {
+		e := titleCase(era)
+		b.condClass("strat_litho_unit", subjectTemplates["stratum"], e+"Unit", fmt.Sprintf("lsuEra = '%s'", era))
+		for _, lvl := range []string{"GROUP", "FORMATION", "MEMBER"} {
+			b.condClass("strat_litho_unit", subjectTemplates["stratum"],
+				e+titleCase(lvl), fmt.Sprintf("lsuEra = '%s' AND lsuLevel = '%s'", era, lvl))
+		}
+	}
+	b.dataProps("strat_litho_unit", subjectTemplates["stratum"])
+	b.name("strat_litho_unit", subjectTemplates["stratum"], "lsuName")
+	b.objCols("strat_litho_unit", "parentStratum",
+		subjectTemplates["stratum"], Data+"stratum/{lsuParent}",
+		"SELECT lsuNpdidLithoStrat, lsuParent FROM strat_litho_unit WHERE lsuParent IS NOT NULL")
+
+	// ---- companies ----
+	b.class("company", subjectTemplates["company"], "Company")
+	b.dataProps("company", subjectTemplates["company"])
+	b.name("company", subjectTemplates["company"], "cmpLongName")
+	b.condClass("company", subjectTemplates["company"], "CurrentOperator", "cmpLicenceOperCurrent = TRUE")
+	b.condClass("company", subjectTemplates["company"], "FormerOperator", "cmpLicenceOperFormer = TRUE")
+	b.condClass("company", subjectTemplates["company"], "CurrentLicensee", "cmpLicenceLicenseeCurrent = TRUE")
+	b.condClass("company", subjectTemplates["company"], "FormerLicensee", "cmpLicenceLicenseeFormer = TRUE")
+
+	// ---- licences ----
+	b.class("licence", subjectTemplates["licence"], "ProductionLicence")
+	b.condClass("licence", subjectTemplates["licence"], "StratigraphicalLicence", "prlStratigraphical = 'YES'")
+	b.dataProps("licence", subjectTemplates["licence"])
+	b.name("licence", subjectTemplates["licence"], "prlName")
+	b.alias("licence", subjectTemplates["licence"], "dateLicenceGranted", "prlDateGranted")
+	b.objFK("licence_licensee_hst", "licenseeForLicence", subjectTemplates["company"], subjectTemplates["licence"])
+	b.objFK("licence_oper_hst", "operatorForLicence", subjectTemplates["company"], subjectTemplates["licence"])
+	b.objCols("licence_oper_hst", "currentOperatorForLicence",
+		subjectTemplates["company"], subjectTemplates["licence"],
+		"SELECT cmpNpdidCompany, prlNpdidLicence FROM licence_oper_hst WHERE prlOperDateValidTo IS NULL")
+	b.objFK("licence_area", "areaForLicence", subjectTemplates["licence"], subjectTemplates["block"])
+	taskIRI := Data + "licence/{prlNpdidLicence}/task/{prlTaskName}"
+	b.class("licence_task", taskIRI, "LicenceTask")
+	b.dataProps("licence_task", taskIRI)
+	b.obj("licence_task", "taskForLicence", taskIRI, subjectTemplates["licence"])
+	transferIRI := Data + "licence/{prlNpdidLicence}/transfer/{cmpNpdidCompany}/{prlTransferDate}"
+	b.class("licence_transfer_hst", transferIRI, "LicenceTransfer")
+	b.dataProps("licence_transfer_hst", transferIRI)
+	b.obj("licence_transfer_hst", "licenceeTransfer", transferIRI, subjectTemplates["licence"])
+	b.class("licence_petreg_licence", subjectTemplates["petreg"], "PetregLicence")
+	b.dataProps("licence_petreg_licence", subjectTemplates["petreg"])
+	b.objFK("licence_petreg_licence_licencee", "licenseeForPetregLicence", subjectTemplates["company"], subjectTemplates["petreg"])
+	b.objFK("licence_petreg_licence_oper", "operatorForPetregLicence", subjectTemplates["company"], subjectTemplates["petreg"])
+
+	// ---- blocks & quadrants ----
+	b.class("block", subjectTemplates["block"], "Block")
+	b.dataProps("block", subjectTemplates["block"])
+	b.objFK("block", "blockInQuadrant", subjectTemplates["block"], subjectTemplates["quadrant"])
+	b.class("quadrant", subjectTemplates["quadrant"], "Quadrant")
+
+	// ---- fields ----
+	b.class("field", subjectTemplates["field"], "Field")
+	b.condClass("field", subjectTemplates["field"], "ProducingField", "fldCurrentActivityStatus = 'Producing'")
+	b.condClass("field", subjectTemplates["field"], "ShutDownField", "fldCurrentActivityStatus = 'Shut down'")
+	b.condClass("field", subjectTemplates["field"], "OilField", "fldHcType = 'OIL'")
+	b.condClass("field", subjectTemplates["field"], "GasField", "fldHcType = 'GAS'")
+	b.condClass("field", subjectTemplates["field"], "OilGasField", "fldHcType = 'OIL/GAS'")
+	b.condClass("field", subjectTemplates["field"], "CondensateField", "fldHcType = 'CONDENSATE'")
+	b.dataProps("field", subjectTemplates["field"])
+	b.name("field", subjectTemplates["field"], "fldName")
+	b.objFK("field", "operatorForField", subjectTemplates["company"], subjectTemplates["field"])
+	b.objFK("field", "licenceForField", subjectTemplates["field"], subjectTemplates["licence"])
+	b.objFK("field_operator_hst", "operatorForField", subjectTemplates["company"], subjectTemplates["field"])
+	b.objCols("field_operator_hst", "currentFieldOperator",
+		subjectTemplates["company"], subjectTemplates["field"],
+		"SELECT cmpNpdidCompany, fldNpdidField FROM field_operator_hst WHERE fldOperatorTo IS NULL")
+	b.objFK("field_licensee_hst", "licenseeForField", subjectTemplates["company"], subjectTemplates["field"])
+	b.objFK("field_area", "areaForField", subjectTemplates["field"], subjectTemplates["block"])
+
+	prodIRI := Data + "field/{fldNpdidField}/production/{prfYear}/{prfMonth}"
+	b.class("field_production_monthly", prodIRI, "MonthlyProductionVolume")
+	b.dataProps("field_production_monthly", prodIRI)
+	b.obj("field_production_monthly", "productionForField", prodIRI, subjectTemplates["field"])
+	prodYIRI := Data + "field/{fldNpdidField}/production/{prfYear}"
+	b.class("field_production_yearly", prodYIRI, "YearlyProductionVolume")
+	b.dataProps("field_production_yearly", prodYIRI)
+	b.obj("field_production_yearly", "productionForField", prodYIRI, subjectTemplates["field"])
+	invIRI := Data + "field/{fldNpdidField}/investment/{prfYear}"
+	b.class("field_investment_yearly", invIRI, "Investment")
+	b.dataProps("field_investment_yearly", invIRI)
+	b.obj("field_investment_yearly", "investmentForField", invIRI, subjectTemplates["field"])
+	rsvIRI := Data + "field/{fldNpdidField}/reserves"
+	b.class("field_reserves", rsvIRI, "FieldReserve")
+	b.dataProps("field_reserves", rsvIRI)
+	b.obj("field_reserves", "reservesForField", rsvIRI, subjectTemplates["field"])
+
+	// ---- discoveries ----
+	b.class("discovery", subjectTemplates["discovery"], "Discovery")
+	b.condClass("discovery", subjectTemplates["discovery"], "OilDiscovery", "dscHcType = 'OIL'")
+	b.condClass("discovery", subjectTemplates["discovery"], "GasDiscovery", "dscHcType = 'GAS'")
+	b.condClass("discovery", subjectTemplates["discovery"], "IncludedInFieldDiscovery", "fldNpdidField IS NOT NULL")
+	b.dataProps("discovery", subjectTemplates["discovery"])
+	b.name("discovery", subjectTemplates["discovery"], "dscName")
+	b.objFK("discovery", "includedInField", subjectTemplates["discovery"], subjectTemplates["field"])
+	dscRsvIRI := Data + "discovery/{dscNpdidDiscovery}/reserves"
+	b.class("discovery_reserves", dscRsvIRI, "DiscoveryReserve")
+	b.dataProps("discovery_reserves", dscRsvIRI)
+	b.obj("discovery_reserves", "reservesForDiscovery", dscRsvIRI, subjectTemplates["discovery"])
+	b.objFK("discovery_area", "areaForDiscovery", subjectTemplates["discovery"], subjectTemplates["block"])
+
+	cmpRsvIRI := Data + "company/{cmpNpdidCompany}/reserves/{fldNpdidField}"
+	b.class("company_reserves", cmpRsvIRI, "CompanyReserve")
+	b.dataProps("company_reserves", cmpRsvIRI)
+	b.obj("company_reserves", "reservesForCompany", cmpRsvIRI, subjectTemplates["company"])
+	b.obj("company_reserves", "reservesInField", cmpRsvIRI, subjectTemplates["field"])
+
+	// ---- facilities ----
+	b.class("facility_fixed", subjectTemplates["facility"], "FixedFacility")
+	b.class("facility_fixed", subjectTemplates["facility"], "Facility") // redundant (M2)
+	for _, k := range fclKinds {
+		b.condClass("facility_fixed", subjectTemplates["facility"], facilityClass(k), fmt.Sprintf("fclKind = '%s'", k))
+	}
+	b.dataProps("facility_fixed", subjectTemplates["facility"])
+	b.name("facility_fixed", subjectTemplates["facility"], "fclName")
+	b.objFK("facility_fixed", "facilityForField", subjectTemplates["facility"], subjectTemplates["field"])
+	b.class("facility_moveable", subjectTemplates["facility"], "MoveableFacility")
+	b.dataProps("facility_moveable", subjectTemplates["facility"])
+	b.objFK("facility_moveable", "operatorForFacility", subjectTemplates["company"], subjectTemplates["facility"])
+
+	// ---- pipelines / TUF / BAA ----
+	b.class("pipeline", subjectTemplates["pipeline"], "Pipeline")
+	b.condClass("pipeline", subjectTemplates["pipeline"], "OilPipeline", "pipMedium = 'OIL'")
+	b.condClass("pipeline", subjectTemplates["pipeline"], "GasPipeline", "pipMedium = 'GAS'")
+	b.condClass("pipeline", subjectTemplates["pipeline"], "CondensatePipeline", "pipMedium = 'CONDENSATE'")
+	b.dataProps("pipeline", subjectTemplates["pipeline"])
+	b.objCols("pipeline", "pipelineFromFacility", subjectTemplates["pipeline"],
+		Data+"facility/{fclNpdidFacilityFrom}",
+		"SELECT pipNpdidPipeline, fclNpdidFacilityFrom FROM pipeline WHERE fclNpdidFacilityFrom IS NOT NULL")
+	b.objCols("pipeline", "pipelineToFacility", subjectTemplates["pipeline"],
+		Data+"facility/{fclNpdidFacilityTo}",
+		"SELECT pipNpdidPipeline, fclNpdidFacilityTo FROM pipeline WHERE fclNpdidFacilityTo IS NOT NULL")
+	b.class("tuf", subjectTemplates["tuf"], "TUF")
+	b.condClass("tuf", subjectTemplates["tuf"], "TransportationTUF", "tufKind = 'TRANSPORTATION'")
+	b.condClass("tuf", subjectTemplates["tuf"], "UtilizationTUF", "tufKind = 'UTILIZATION'")
+	b.dataProps("tuf", subjectTemplates["tuf"])
+	b.objFK("tuf_owner_hst", "ownerForTUF", subjectTemplates["company"], subjectTemplates["tuf"])
+	b.objFK("tuf_operator_hst", "operatorForTUF", subjectTemplates["company"], subjectTemplates["tuf"])
+	b.objFK("tuf_petreg_licence", "licenceForTUF", subjectTemplates["tuf"], subjectTemplates["petreg"])
+	b.class("baa", subjectTemplates["baa"], "BusinessArrangementArea")
+	b.condClass("baa", subjectTemplates["baa"], "UnitizedField", "baaKind = 'UNITIZED FIELD'")
+	b.dataProps("baa", subjectTemplates["baa"])
+	b.objFK("baa_licensee_hst", "licenseeForBAA", subjectTemplates["company"], subjectTemplates["baa"])
+	b.objFK("baa_operator_hst", "operatorForBAA", subjectTemplates["company"], subjectTemplates["baa"])
+	b.objFK("baa_area", "areaForBAA", subjectTemplates["baa"], subjectTemplates["block"])
+
+	// ---- surveys / prospects / APA ----
+	b.class("survey", subjectTemplates["survey"], "Survey")
+	b.condClass("survey", subjectTemplates["survey"], "OrdinarySeismicSurvey", "seaSurveyTypeMain = 'Ordinary seismic survey'")
+	b.condClass("survey", subjectTemplates["survey"], "SiteSurvey", "seaSurveyTypeMain = 'Site survey'")
+	b.condClass("survey", subjectTemplates["survey"], "ElectromagneticSurvey", "seaSurveyTypeMain = 'Electromagnetic'")
+	b.dataProps("survey", subjectTemplates["survey"])
+	b.name("survey", subjectTemplates["survey"], "seaName")
+	b.objFK("survey", "surveyingCompany", subjectTemplates["survey"], subjectTemplates["company"])
+	acqIRI := Data + "survey/{seaNpdidSurvey}/acquisition/{seacAcquisitionNumber}"
+	b.class("seis_acquisition", acqIRI, "SeismicAcquisition")
+	b.dataProps("seis_acquisition", acqIRI)
+	b.obj("seis_acquisition", "acquisitionForSurvey", acqIRI, subjectTemplates["survey"])
+	b.class("prospect", subjectTemplates["prospect"], "Prospect")
+	b.dataProps("prospect", subjectTemplates["prospect"])
+	b.objFK("prospect", "prospectInLicence", subjectTemplates["prospect"], subjectTemplates["licence"])
+	b.class("apa_area_gross", subjectTemplates["apagross"], "APAAreaGross")
+	b.dataProps("apa_area_gross", subjectTemplates["apagross"])
+	b.class("apa_area_net", subjectTemplates["apanet"], "APAAreaNet")
+	b.objFK("apa_area_net", "netAreaOf", subjectTemplates["apanet"], subjectTemplates["apagross"])
+	b.class("sea_area", subjectTemplates["seaarea"], "SeaArea")
+	b.dataProps("sea_area", subjectTemplates["seaarea"])
+
+	// ---- area cohorts (conditional classes over the main-area vocab) ----
+	for _, area := range mainAreas {
+		a := areaClass(area)
+		b.condClass("wellbore_exploration_all", wellboreIRI(), a+"Wellbore", fmt.Sprintf("wlbMainArea = '%s'", area))
+		b.condClass("wellbore_development_all", wellboreIRI(), a+"Wellbore", fmt.Sprintf("wlbMainArea = '%s'", area))
+		b.condClass("field", subjectTemplates["field"], a+"Field", fmt.Sprintf("fldMainArea = '%s'", area))
+		b.condClass("discovery", subjectTemplates["discovery"], a+"Discovery", fmt.Sprintf("dscMainArea = '%s'", area))
+		b.condClass("licence", subjectTemplates["licence"], a+"Licence", fmt.Sprintf("prlMainArea = '%s'", area))
+		b.condClass("block", subjectTemplates["block"], a+"Block", fmt.Sprintf("blkMainArea = '%s'", area))
+		b.condClass("survey", subjectTemplates["survey"], a+"Survey", fmt.Sprintf("seaGeographicalArea = '%s'", area))
+		b.condClass("prospect", subjectTemplates["prospect"], a+"Prospect", fmt.Sprintf("prsMainArea = '%s'", area))
+	}
+
+	// ---- moveable facility kinds ----
+	for _, k := range fclKinds {
+		b.condClass("facility_moveable", subjectTemplates["facility"], "Moveable"+facilityClass(k), fmt.Sprintf("fclKind = '%s'", k))
+	}
+
+	// ---- licence lifecycle ----
+	b.condClass("licence", subjectTemplates["licence"], "ActiveLicence", "prlDateValidTo IS NULL OR prlDateValidTo > '2013-12-31'")
+	b.condClass("licence", subjectTemplates["licence"], "ExpiredLicence", "prlDateValidTo <= '2013-12-31'")
+	for _, ph := range phases {
+		b.condClass("licence", subjectTemplates["licence"], titleCase(ph)+"PhaseLicence", fmt.Sprintf("prlPhaseCurrent = '%s'", titleCase(ph)))
+	}
+
+	// ---- company nationality cohorts ----
+	for _, nc := range nationCodes {
+		b.condClass("company", subjectTemplates["company"], "Company"+nc, fmt.Sprintf("cmpNationCode = '%s'", nc))
+	}
+
+	// ---- sample/test refinements ----
+	b.condClass("wellbore_mud", mudIRI, "OilBasedMudSample", "wlbMudType = 'OIL BASED'")
+	b.condClass("wellbore_mud", mudIRI, "WaterBasedMudSample", "wlbMudType = 'WATER BASED'")
+	b.condClass("wellbore_mud", mudIRI, "SyntheticMudSample", "wlbMudType = 'SYNTHETIC'")
+	for _, ct := range casingTypes {
+		b.condClass("wellbore_casing_and_lot", casingIRI, titleCase(strings.ToLower(ct))+"Casing", fmt.Sprintf("wlbCasingType = '%s'", ct))
+	}
+	b.condClass("wellbore_document", docIRI, "CorePhotoDocument", "wlbDocumentType = 'CORE PHOTO'")
+	b.condClass("wellbore_document", docIRI, "PressReleaseDocument", "wlbDocumentType = 'PRESS RELEASE'")
+	b.condClass("pipeline", subjectTemplates["pipeline"], "WaterPipeline", "pipMedium = 'WATER'")
+	b.condClass("pipeline", subjectTemplates["pipeline"], "OilGasPipeline", "pipMedium = 'OIL/GAS'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "WaterWellbore", "wlbContent = 'WATER'")
+	b.condClass("wellbore_exploration_all", wellboreIRI(), "DrillingWellbore", "wlbStatus = 'DRILLING'")
+	b.condClass("wellbore_development_all", wellboreIRI(), "CompletedWellbore", "wlbStatus = 'COMPLETED'")
+
+	// ---- a deliberately suboptimal mapping with an unnecessary join (M2)
+	b.objCols("wellbore_exploration_all", "drillingOperatorCompany",
+		wellboreIRI(), subjectTemplates["company"],
+		"SELECT w.wlbNpdidWellbore AS wlbNpdidWellbore, c.cmpNpdidCompany AS cmpNpdidCompany "+
+			"FROM wellbore_exploration_all w JOIN company c ON w.cmpNpdidCompany = c.cmpNpdidCompany")
+
+	return b.mp
+}
+
+type mappingBuilder struct {
+	mp  *r2rml.Mapping
+	seq int
+}
+
+func (b *mappingBuilder) next(kind string) string {
+	b.seq++
+	return fmt.Sprintf("npd-%s-%03d", kind, b.seq)
+}
+
+// class asserts a class over every row of a base table.
+func (b *mappingBuilder) class(table, subject, class string) {
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("cls"),
+		Table:   table,
+		Subject: r2rml.IRIMap(subject),
+		Classes: []string{V(class)},
+	})
+}
+
+// condClass asserts a class over the rows matching cond.
+func (b *mappingBuilder) condClass(table, subject, class, cond string) {
+	tmpl := r2rml.MustParseTemplate(subject)
+	cols := strings.Join(tmpl.Columns, ", ")
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("cnd"),
+		SQL:     fmt.Sprintf("SELECT %s FROM %s WHERE %s", cols, table, cond),
+		Subject: r2rml.IRIMap(subject),
+		Classes: []string{V(class)},
+	})
+}
+
+// condClassCol is condClass with the condition column included in the
+// projection (overlapping tables).
+func (b *mappingBuilder) condClassCol(table, subject, class, cond string) {
+	b.condClass(table, subject, class, cond)
+}
+
+// name adds the canonical npdv:name assertion.
+func (b *mappingBuilder) name(table, subject, col string) {
+	tmpl := r2rml.MustParseTemplate(subject)
+	cols := strings.Join(append(append([]string{}, tmpl.Columns...), col), ", ")
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("nam"),
+		SQL:     fmt.Sprintf("SELECT %s FROM %s", cols, table),
+		Subject: r2rml.IRIMap(subject),
+		POs:     []r2rml.PredicateObject{{Predicate: V("name"), Object: r2rml.ColumnMap(col)}},
+	})
+}
+
+// alias maps an aliased vocabulary property to a column.
+func (b *mappingBuilder) alias(table, subject, prop, col string) {
+	tmpl := r2rml.MustParseTemplate(subject)
+	cols := strings.Join(append(append([]string{}, tmpl.Columns...), col), ", ")
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("als"),
+		SQL:     fmt.Sprintf("SELECT %s FROM %s", cols, table),
+		Subject: r2rml.IRIMap(subject),
+		POs:     []r2rml.PredicateObject{{Predicate: V(prop), Object: r2rml.ColumnMap(col)}},
+	})
+}
+
+// obj adds an object property whose subject and object templates draw from
+// the same base table.
+func (b *mappingBuilder) obj(table, prop, subjTmpl, objTmpl string) {
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("obj"),
+		Table:   table,
+		Subject: r2rml.IRIMap(subjTmpl),
+		POs: []r2rml.PredicateObject{{
+			Predicate: V(prop),
+			Object:    r2rml.TermMap{Kind: r2rml.IRITemplate, Template: r2rml.MustParseTemplate(objTmpl)},
+		}},
+	})
+}
+
+// objFK is obj over a base table (FK columns may be NULL; R2RML semantics
+// suppress those triples).
+func (b *mappingBuilder) objFK(table, prop, subjTmpl, objTmpl string) {
+	b.obj(table, prop, subjTmpl, objTmpl)
+}
+
+// objCols adds an object property with an explicit SQL source.
+func (b *mappingBuilder) objCols(table, prop, subjTmpl, objTmpl, sql string) {
+	b.mp.Add(&r2rml.TriplesMap{
+		Name:    b.next("obq"),
+		SQL:     sql,
+		Subject: r2rml.IRIMap(subjTmpl),
+		POs: []r2rml.PredicateObject{{
+			Predicate: V(prop),
+			Object:    r2rml.TermMap{Kind: r2rml.IRITemplate, Template: r2rml.MustParseTemplate(objTmpl)},
+		}},
+	})
+	_ = table
+}
+
+// dataProps adds one PO per plain attribute of the table in a single map.
+func (b *mappingBuilder) dataProps(table, subject string) {
+	m := &r2rml.TriplesMap{
+		Name:    b.next("dat"),
+		Table:   table,
+		Subject: r2rml.IRIMap(subject),
+	}
+	for _, col := range tableColumns(table) {
+		m.POs = append(m.POs, r2rml.PredicateObject{
+			Predicate: V(col), Object: r2rml.ColumnMap(col),
+		})
+	}
+	if len(m.POs) > 0 {
+		b.mp.Add(m)
+	}
+}
+
+// dataPropsSplit adds one triples map per attribute — the deliberately
+// unoptimized variant (requirement M2): the unfolder's self-join
+// elimination has to merge these back.
+func (b *mappingBuilder) dataPropsSplit(table, subject string) {
+	tmpl := r2rml.MustParseTemplate(subject)
+	for _, col := range tableColumns(table) {
+		cols := strings.Join(append(append([]string{}, tmpl.Columns...), col), ", ")
+		b.mp.Add(&r2rml.TriplesMap{
+			Name:    b.next("dsp"),
+			SQL:     fmt.Sprintf("SELECT %s FROM %s", cols, table),
+			Subject: r2rml.IRIMap(subject),
+			POs: []r2rml.PredicateObject{{
+				Predicate: V(col), Object: r2rml.ColumnMap(col),
+			}},
+		})
+	}
+}
+
+// tableColumns lists the plain data columns of a schema table (no npdid
+// surrogates, no geometry).
+func tableColumns(table string) []string {
+	for _, ts := range schemaSpecs {
+		if !strings.EqualFold(ts.name, table) {
+			continue
+		}
+		var out []string
+		for _, item := range ts.items {
+			if strings.HasPrefix(item, "pk=") || strings.HasPrefix(item, "fk=") {
+				continue
+			}
+			col, typ, _ := strings.Cut(item, ":")
+			lower := strings.ToLower(col)
+			if strings.Contains(lower, "npdid") || strings.HasPrefix(typ, "geo") {
+				continue
+			}
+			out = append(out, col)
+		}
+		return out
+	}
+	return nil
+}

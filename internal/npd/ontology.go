@@ -1,0 +1,548 @@
+package npd
+
+import (
+	"strings"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/rdf"
+)
+
+// Vocabulary namespaces, matching the published NPD ontology layout.
+const (
+	NPDV = "http://sws.ifi.uio.no/vocab/npd-v2#"
+	Data = "http://sws.ifi.uio.no/data/npd-v2/"
+)
+
+// V expands a local name in the vocabulary namespace.
+func V(local string) string { return NPDV + local }
+
+// Prefixes returns the prefix bindings used by the benchmark queries and
+// mappings.
+func Prefixes() rdf.PrefixMap {
+	pm := rdf.StandardPrefixes()
+	pm["npdv"] = NPDV
+	pm["npdd"] = Data
+	return pm
+}
+
+// NewOntology builds the benchmark's OWL 2 QL ontology: deep class
+// hierarchies over the petroleum domain, object properties with
+// inverse/subproperty structure, one data property per FactPages attribute,
+// existential axioms that generate anonymous individuals (the tree-witness
+// sources), and disjointness assertions.
+func NewOntology() *owl.Ontology {
+	o := owl.New(NPDV)
+	sub := func(child, parent string) {
+		o.AddSubClass(owl.NamedConcept(V(child)), owl.NamedConcept(V(parent)))
+	}
+	chain := func(names ...string) {
+		for i := 0; i+1 < len(names); i++ {
+			sub(names[i], names[i+1])
+		}
+	}
+
+	// --- upper structure (depth builds from here) ---
+	chain("Point", "SpatialObject", "Thing")
+	chain("Area", "SpatialObject")
+	chain("TemporalEntity", "Thing")
+	chain("Agent", "Thing")
+	chain("Document", "InformationObject", "Thing")
+	chain("Activity", "TemporalEntity")
+	chain("PhysicalObject", "Thing")
+
+	// --- wellbores: the deepest hierarchy (paper: max depth 10) ---
+	chain("Wellbore", "Well", "DrillingOperation", "PetroleumActivity", "Activity")
+	for _, k := range []string{"ExplorationWellbore", "DevelopmentWellbore", "ShallowWellbore", "SidetrackWellbore"} {
+		sub(k, "Wellbore")
+	}
+	chain("WildcatWellbore", "ExplorationWellbore")
+	chain("AppraisalWellbore", "ExplorationWellbore")
+	chain("ProductionWellbore", "DevelopmentWellbore")
+	chain("InjectionWellbore", "DevelopmentWellbore")
+	chain("ObservationWellbore", "DevelopmentWellbore")
+	chain("OilProducingWellbore", "ProducingWellbore", "ProductionWellbore")
+	chain("GasProducingWellbore", "ProducingWellbore")
+	chain("OilGasProducingWellbore", "OilProducingWellbore")
+	chain("SuspendedWellbore", "NonActiveWellbore", "Wellbore")
+	chain("PluggedAndAbandonedWellbore", "NonActiveWellbore")
+	chain("JunkedWellbore", "NonActiveWellbore")
+	chain("WaterInjectionWellbore", "InjectionWellbore")
+	chain("GasInjectionWellbore", "InjectionWellbore")
+	chain("WaterGasInjectionWellbore", "WaterInjectionWellbore")
+	chain("CuttingsInjectionWellbore", "InjectionWellbore")
+	chain("DryWellbore", "ExplorationWellbore")
+	chain("DiscoveryWellbore", "ExplorationWellbore")
+	chain("OilDiscoveryWellbore", "DiscoveryWellbore")
+	chain("GasDiscoveryWellbore", "DiscoveryWellbore")
+	chain("ShowsWellbore", "ExplorationWellbore")
+	chain("OilShowsWellbore", "ShowsWellbore")
+	chain("GasShowsWellbore", "ShowsWellbore")
+	chain("MultilateralWellbore", "DevelopmentWellbore")
+	chain("ReentryWellbore", "Wellbore")
+	// deep specialization to reach depth 10 realistically:
+	chain("HpHtWildcatWellbore", "HpHtExplorationWellbore", "WildcatWellbore")
+	chain("DeepWaterHpHtWildcatWellbore", "HpHtWildcatWellbore")
+	chain("UltraDeepWaterHpHtWildcatWellbore", "DeepWaterHpHtWildcatWellbore")
+
+	// --- wellbore satellites ---
+	chain("WellboreCore", "WellboreSample", "Sample", "PhysicalObject")
+	chain("WellboreCorePhoto", "Photo", "Document")
+	chain("WellboreDst", "DrillStemTest", "Test", "Activity")
+	chain("WellboreDocument", "Document")
+	chain("CompletionReport", "WellboreDocument")
+	chain("CompletionLog", "WellboreDocument")
+	chain("WellboreMudSample", "WellboreSample")
+	chain("WellboreCasing", "WellboreEquipment", "Equipment", "PhysicalObject")
+	chain("WellboreLot", "WellboreEquipment")
+	chain("WellboreOilSample", "WellboreSample")
+	chain("WellboreCoordinate", "Point")
+	chain("WellboreHistoryEntry", "InformationObject")
+	chain("FormationTop", "StratigraphicObservation", "Observation", "InformationObject")
+
+	// --- stratigraphy: era × level lattice ---
+	chain("LithostratigraphicUnit", "GeologicalObject", "PhysicalObject")
+	for _, lvl := range []string{"Group", "Formation", "Member"} {
+		sub("Litho"+lvl, "LithostratigraphicUnit")
+	}
+	for _, era := range eras {
+		e := titleCase(era)
+		sub(e+"Unit", "LithostratigraphicUnit")
+		for _, lvl := range []string{"Group", "Formation", "Member"} {
+			cls := e + lvl
+			sub(cls, e+"Unit")
+			sub(cls, "Litho"+lvl)
+		}
+	}
+
+	// --- fields / discoveries ---
+	chain("Field", "PetroleumDeposit", "Thing")
+	chain("Discovery", "PetroleumDeposit")
+	for _, s2 := range []string{"ProducingField", "ShutDownField", "ApprovedField", "DecidedField"} {
+		sub(s2, "Field")
+	}
+	chain("OilField", "Field")
+	chain("GasField", "Field")
+	chain("OilGasField", "OilField")
+	sub("OilGasField", "GasField")
+	chain("CondensateField", "Field")
+	chain("OilDiscovery", "Discovery")
+	chain("GasDiscovery", "Discovery")
+	chain("IncludedInFieldDiscovery", "Discovery")
+
+	// --- companies / agents ---
+	chain("Company", "Organisation", "Agent")
+	chain("Operator", "LicenceParticipant", "Company")
+	chain("Licensee", "LicenceParticipant")
+	chain("CurrentOperator", "Operator")
+	chain("FormerOperator", "Operator")
+	chain("CurrentLicensee", "Licensee")
+	chain("FormerLicensee", "Licensee")
+	chain("SurveyingCompany", "Company")
+	chain("DrillingOperatorCompany", "Company")
+
+	// --- licences & areas ---
+	chain("ProductionLicence", "Licence", "LegalDocument", "Document")
+	chain("PetregLicence", "Licence")
+	chain("StratigraphicalLicence", "ProductionLicence")
+	chain("APALicence", "ProductionLicence")
+	chain("LicenceTask", "Task", "Activity")
+	chain("LicenceTransfer", "Transaction", "Activity")
+	chain("Block", "GridArea", "Area")
+	chain("Quadrant", "GridArea")
+	chain("ProductionLicenceArea", "LicensedArea", "Area")
+	chain("BusinessArrangementArea", "LicensedArea")
+	chain("UnitizedField", "BusinessArrangementArea")
+	chain("APAAreaGross", "APAArea", "Area")
+	chain("APAAreaNet", "APAArea")
+	chain("SeaArea", "Area")
+	chain("Prospect", "ExplorationTarget", "Thing")
+
+	// --- facilities / infrastructure ---
+	chain("Facility", "PhysicalObject")
+	chain("FixedFacility", "Facility")
+	chain("MoveableFacility", "Facility")
+	for _, k := range fclKinds {
+		sub(facilityClass(k), "FixedFacility")
+	}
+	chain("Jacket4LegsFacility", "JacketFacility")
+	sub("JacketFacility", "FixedFacility")
+	chain("TUF", "Facility")
+	chain("TransportationTUF", "TUF")
+	chain("UtilizationTUF", "TUF")
+	chain("Pipeline", "TransportInfrastructure", "PhysicalObject")
+	chain("OilPipeline", "Pipeline")
+	chain("GasPipeline", "Pipeline")
+	chain("CondensatePipeline", "Pipeline")
+
+	// --- surveys ---
+	chain("Survey", "DataAcquisitionActivity", "PetroleumActivity")
+	chain("SeismicSurvey", "Survey")
+	chain("OrdinarySeismicSurvey", "SeismicSurvey")
+	chain("SiteSurvey", "Survey")
+	chain("ElectromagneticSurvey", "Survey")
+	chain("GravimetricSurvey", "Survey")
+	chain("SeismicAcquisition", "DataAcquisitionActivity")
+
+	// --- production / economics ---
+	chain("ProductionVolume", "Measurement", "InformationObject")
+	chain("MonthlyProductionVolume", "ProductionVolume")
+	chain("YearlyProductionVolume", "ProductionVolume")
+	chain("Investment", "EconomicFigure", "InformationObject")
+	chain("Reserve", "EconomicFigure")
+	chain("FieldReserve", "Reserve")
+	chain("DiscoveryReserve", "Reserve")
+	chain("CompanyReserve", "Reserve")
+
+	// --- object properties ---
+	op := func(name, domain, rng string) string {
+		iri := V(name)
+		o.DeclareObjectProperty(iri)
+		if domain != "" {
+			o.AddDomain(iri, false, V(domain))
+		}
+		if rng != "" {
+			o.AddRange(iri, V(rng))
+		}
+		return iri
+	}
+	subOP := func(child, parent string) {
+		o.AddSubObjectProperty(owl.PropRef{Prop: V(child)}, owl.PropRef{Prop: V(parent)})
+	}
+	op("involvedIn", "Agent", "")
+	op("operatorForLicence", "Company", "ProductionLicence")
+	op("licenseeForLicence", "Company", "ProductionLicence")
+	subOP("operatorForLicence", "involvedIn")
+	subOP("licenseeForLicence", "involvedIn")
+	op("currentOperatorForLicence", "", "")
+	subOP("currentOperatorForLicence", "operatorForLicence")
+	op("formerOperatorForLicence", "", "")
+	subOP("formerOperatorForLicence", "operatorForLicence")
+
+	op("drillingOperatorCompany", "Wellbore", "Company")
+	op("wellOperator", "Wellbore", "Company")
+	subOP("drillingOperatorCompany", "wellOperator")
+	op("drilledInLicence", "Wellbore", "ProductionLicence")
+	op("wellboreForDiscovery", "ExplorationWellbore", "Discovery")
+	op("wellboreForField", "DevelopmentWellbore", "Field")
+	op("drillingFacility", "Wellbore", "Facility")
+	op("coreForWellbore", "WellboreCore", "Wellbore")
+	op("dstForWellbore", "WellboreDst", "Wellbore")
+	op("documentForWellbore", "WellboreDocument", "Wellbore")
+	op("mudTestForWellbore", "WellboreMudSample", "Wellbore")
+	op("casingForWellbore", "WellboreCasing", "Wellbore")
+	op("oilSampleForWellbore", "WellboreOilSample", "Wellbore")
+	op("coordinateForWellbore", "WellboreCoordinate", "Wellbore")
+	op("historyForWellbore", "WellboreHistoryEntry", "Wellbore")
+	op("formationTopForWellbore", "FormationTop", "Wellbore")
+	op("photoForCore", "WellboreCorePhoto", "WellboreCore")
+	op("stratumForFormationTop", "FormationTop", "LithostratigraphicUnit")
+	op("coreStratum", "WellboreCore", "LithostratigraphicUnit")
+	op("parentStratum", "LithostratigraphicUnit", "LithostratigraphicUnit")
+	generic := func(name string) { op(name, "", "") }
+	op("belongsToWell", "Wellbore", "Well")
+
+	op("ownerForField", "Field", "")
+	op("operatorForField", "Company", "Field")
+	subOP("operatorForField", "involvedIn")
+	op("licenseeForField", "Company", "Field")
+	subOP("licenseeForField", "involvedIn")
+	op("currentFieldOperator", "", "")
+	subOP("currentFieldOperator", "operatorForField")
+	op("includedInField", "Discovery", "Field")
+	op("discoveryWellbore", "Discovery", "ExplorationWellbore")
+	op("licenceForField", "Field", "ProductionLicence")
+	op("productionForField", "ProductionVolume", "Field")
+	op("investmentForField", "Investment", "Field")
+	op("reservesForField", "FieldReserve", "Field")
+	op("reservesForDiscovery", "DiscoveryReserve", "Discovery")
+	op("reservesForCompany", "CompanyReserve", "Company")
+	op("reservesInField", "CompanyReserve", "Field")
+	op("statusForField", "", "Field")
+	op("descriptionForField", "", "Field")
+	op("descriptionForDiscovery", "", "Discovery")
+
+	op("licenceeTransfer", "LicenceTransfer", "ProductionLicence")
+	op("taskForLicence", "LicenceTask", "ProductionLicence")
+	op("phaseForLicence", "", "ProductionLicence")
+	op("areaForLicence", "ProductionLicence", "Block")
+	op("blockInQuadrant", "Block", "Quadrant")
+	op("messageForLicence", "", "PetregLicence")
+	op("licenseeForPetregLicence", "Company", "PetregLicence")
+	subOP("licenseeForPetregLicence", "involvedIn")
+	op("operatorForPetregLicence", "Company", "PetregLicence")
+	subOP("operatorForPetregLicence", "involvedIn")
+
+	op("facilityForField", "Facility", "Field")
+	op("operatorForFacility", "Company", "MoveableFacility")
+	op("pipelineFromFacility", "Pipeline", "Facility")
+	op("pipelineToFacility", "Pipeline", "Facility")
+	op("ownerForTUF", "Company", "TUF")
+	op("operatorForTUF", "Company", "TUF")
+	subOP("ownerForTUF", "involvedIn")
+	subOP("operatorForTUF", "involvedIn")
+	op("licenceForTUF", "TUF", "PetregLicence")
+
+	op("surveyingCompany", "Survey", "Company")
+	op("acquisitionForSurvey", "SeismicAcquisition", "Survey")
+	op("progressForSurvey", "", "Survey")
+	op("coordinateForSurvey", "", "Survey")
+	op("prospectInLicence", "Prospect", "ProductionLicence")
+	op("areaForDiscovery", "Discovery", "Block")
+	op("areaForField", "Field", "Block")
+	op("areaForBAA", "BusinessArrangementArea", "Block")
+	op("licenseeForBAA", "Company", "BusinessArrangementArea")
+	op("operatorForBAA", "Company", "BusinessArrangementArea")
+	subOP("licenseeForBAA", "involvedIn")
+	subOP("operatorForBAA", "involvedIn")
+	op("transferForBAA", "", "BusinessArrangementArea")
+	op("netAreaOf", "APAAreaNet", "APAAreaGross")
+	op("nameHistoryFor", "", "Company")
+	generic("memberOf")
+	o.AddInverse(V("coreForWellbore"), V("wellboreOfCore"))
+	o.AddInverse(V("includedInField"), V("fieldOfDiscovery"))
+	o.AddInverse(V("blockInQuadrant"), V("quadrantHasBlock"))
+
+	// --- existential axioms (tree-witness generators) ---
+	ex := func(sub, prop, filler string) {
+		o.AddExistential(owl.NamedConcept(V(sub)), V(prop), false, V(filler))
+	}
+	ex("WellboreCore", "coreForWellbore", "Wellbore")
+	ex("WellboreDst", "dstForWellbore", "Wellbore")
+	ex("WellboreDocument", "documentForWellbore", "Wellbore")
+	ex("FormationTop", "formationTopForWellbore", "Wellbore")
+	ex("FormationTop", "stratumForFormationTop", "LithostratigraphicUnit")
+	ex("Wellbore", "drillingOperatorCompany", "Company")
+	ex("Wellbore", "belongsToWell", "Well")
+	ex("DevelopmentWellbore", "wellboreForField", "Field")
+	ex("Discovery", "discoveryWellbore", "ExplorationWellbore")
+	ex("Field", "licenceForField", "ProductionLicence")
+	ex("ProductionLicence", "areaForLicence", "Block")
+	ex("Block", "blockInQuadrant", "Quadrant")
+	ex("Survey", "surveyingCompany", "Company")
+	ex("Pipeline", "pipelineFromFacility", "Facility")
+	ex("MonthlyProductionVolume", "productionForField", "Field")
+	ex("FieldReserve", "reservesForField", "Field")
+	ex("CompanyReserve", "reservesForCompany", "Company")
+	ex("Prospect", "prospectInLicence", "ProductionLicence")
+	ex("APAAreaNet", "netAreaOf", "APAAreaGross")
+	ex("WellboreCorePhoto", "photoForCore", "WellboreCore")
+
+	// --- area cohorts: every located entity specializes by main area ---
+	for _, area := range mainAreas {
+		a := areaClass(area) // "NorthSea", "NorwegianSea", "BarentsSea"
+		sub(a+"Wellbore", "Wellbore")
+		sub(a+"Field", "Field")
+		sub(a+"Discovery", "Discovery")
+		sub(a+"Licence", "ProductionLicence")
+		sub(a+"Block", "Block")
+		sub(a+"Survey", "Survey")
+		sub(a+"Prospect", "Prospect")
+	}
+
+	// --- moveable facility kinds mirror the fixed ones ---
+	for _, k := range fclKinds {
+		sub("Moveable"+facilityClass(k), "MoveableFacility")
+	}
+
+	// --- licence lifecycle ---
+	for _, ph := range phases {
+		sub(titleCase(ph)+"PhaseLicence", "ProductionLicence")
+	}
+	sub("ActiveLicence", "ProductionLicence")
+	sub("ExpiredLicence", "ProductionLicence")
+
+	// --- company nationality cohorts ---
+	for _, nc := range nationCodes {
+		sub("Company"+nc, "Company")
+	}
+
+	// --- wellbore content/status completions ---
+	chain("WaterWellbore", "ExplorationWellbore")
+	chain("JunkedExplorationWellbore", "JunkedWellbore")
+	chain("ProducingOilWellbore", "ProducingWellbore")
+	for _, s2 := range []string{"DrillingWellbore", "CompletedWellbore"} {
+		sub(s2, "Wellbore")
+	}
+
+	// --- stratigraphy sub-epochs: Early/Late refinements per era ---
+	for _, era := range eras {
+		e := titleCase(era)
+		for _, ep := range []string{"Early", "Late"} {
+			sub(ep+e+"Formation", e+"Formation")
+			sub(ep+e+"Member", e+"Member")
+		}
+	}
+
+	// --- samples / tests refinements ---
+	chain("OilBasedMudSample", "WellboreMudSample")
+	chain("WaterBasedMudSample", "WellboreMudSample")
+	chain("SyntheticMudSample", "WellboreMudSample")
+	for _, c := range casingTypes {
+		sub(titleCase(strings.ToLower(c))+"Casing", "WellboreCasing")
+	}
+	chain("CorePhotoDocument", "WellboreDocument")
+	chain("PressReleaseDocument", "WellboreDocument")
+
+	// --- production refinements ---
+	chain("OilProductionVolume", "ProductionVolume")
+	chain("GasProductionVolume", "ProductionVolume")
+	chain("CondensateProductionVolume", "ProductionVolume")
+	chain("NGLProductionVolume", "ProductionVolume")
+	chain("WaterPipeline", "Pipeline")
+	chain("OilGasPipeline", "Pipeline")
+
+	// --- inverse object properties for the core relations ---
+	inv := func(p, q string) {
+		o.DeclareObjectProperty(V(q))
+		o.AddInverse(V(p), V(q))
+	}
+	inv("drillingOperatorCompany", "companyDrilledWellbore")
+	inv("drilledInLicence", "licenceHasWellbore")
+	inv("wellboreForField", "fieldHasWellbore")
+	inv("wellboreForDiscovery", "discoveryHasWellbore")
+	inv("dstForWellbore", "wellboreHasDst")
+	inv("documentForWellbore", "wellboreHasDocument")
+	inv("formationTopForWellbore", "wellboreHasFormationTop")
+	inv("facilityForField", "fieldHasFacility")
+	inv("productionForField", "fieldHasProduction")
+	inv("investmentForField", "fieldHasInvestment")
+	inv("reservesForField", "fieldHasReserves")
+	inv("areaForLicence", "blockInLicence")
+	inv("licenseeForLicence", "licenceHasLicensee")
+	inv("operatorForLicence", "licenceHasOperator")
+	inv("surveyingCompany", "companyConductedSurvey")
+	inv("acquisitionForSurvey", "surveyHasAcquisition")
+	inv("taskForLicence", "licenceHasTask")
+	inv("prospectInLicence", "licenceHasProspect")
+	inv("pipelineFromFacility", "facilityPipelineOrigin")
+	inv("pipelineToFacility", "facilityPipelineDestination")
+
+	// --- additional relations rounding out the property vocabulary ---
+	op("supplyBaseForField", "", "Field")
+	op("stratumOfCore", "", "")
+	subOP("coreStratum", "stratumOfCore")
+	op("participantInBAA", "Company", "BusinessArrangementArea")
+	subOP("licenseeForBAA", "participantInBAA")
+	subOP("operatorForBAA", "participantInBAA")
+	op("participantInTUF", "Company", "TUF")
+	subOP("ownerForTUF", "participantInTUF")
+	subOP("operatorForTUF", "participantInTUF")
+	op("responsibleCompany", "", "Company")
+	subOP("drillingOperatorCompany", "responsibleCompany")
+	op("locatedInArea", "SpatialObject", "Area")
+	subOP("areaForField", "locatedInArea")
+	subOP("areaForDiscovery", "locatedInArea")
+	subOP("areaForBAA", "locatedInArea")
+
+	// --- disjointness (consistency-relevant axioms, requirement O2) ---
+	dis := func(a, b string) {
+		o.AddDisjoint(owl.NamedConcept(V(a)), owl.NamedConcept(V(b)))
+	}
+	dis("Point", "Area")
+	dis("Agent", "SpatialObject")
+	dis("Wellbore", "Field")
+	dis("Field", "Discovery")
+	dis("ExplorationWellbore", "DevelopmentWellbore")
+	dis("ExplorationWellbore", "ShallowWellbore")
+	dis("DevelopmentWellbore", "ShallowWellbore")
+	dis("FixedFacility", "MoveableFacility")
+	dis("OilField", "CondensateField")
+	dis("Company", "Facility")
+	dis("LithoGroup", "LithoFormation")
+	dis("LithoFormation", "LithoMember")
+	o.AddDisjointProperties(owl.PropRef{Prop: V("pipelineFromFacility")}, owl.PropRef{Prop: V("pipelineToFacility")})
+
+	// --- data properties: one per FactPages attribute ---
+	addDataProps(o)
+	return o
+}
+
+// addDataProps declares a data property for every non-surrogate attribute
+// of the schema, grouped under a small hand-written hierarchy (all date
+// attributes under dateValue, all name attributes under name, production
+// measures under productionVolume), mirroring how the published ontology
+// lifts FactPages columns.
+func addDataProps(o *owl.Ontology) {
+	o.DeclareDataProperty(V("name"))
+	o.DeclareDataProperty(V("dateValue"))
+	o.DeclareDataProperty(V("yearValue"))
+	o.DeclareDataProperty(V("depthValue"))
+	o.DeclareDataProperty(V("productionVolume"))
+	o.DeclareDataProperty(V("interestValue"))
+	seen := map[string]bool{}
+	for _, ts := range schemaSpecs {
+		for _, item := range ts.items {
+			if strings.HasPrefix(item, "pk=") || strings.HasPrefix(item, "fk=") {
+				continue
+			}
+			col, _, _ := strings.Cut(item, ":")
+			lower := strings.ToLower(col)
+			if strings.Contains(lower, "npdid") || strings.Contains(lower, "geometry") {
+				continue
+			}
+			iri := V(col)
+			if seen[iri] {
+				continue
+			}
+			seen[iri] = true
+			o.DeclareDataProperty(iri)
+			switch {
+			case strings.Contains(lower, "name"):
+				o.AddSubDataProperty(iri, V("name"))
+			case strings.Contains(lower, "date"):
+				o.AddSubDataProperty(iri, V("dateValue"))
+			case strings.Contains(lower, "year"):
+				o.AddSubDataProperty(iri, V("yearValue"))
+			case strings.Contains(lower, "depth"):
+				o.AddSubDataProperty(iri, V("depthValue"))
+			case strings.Contains(lower, "prd"):
+				o.AddSubDataProperty(iri, V("productionVolume"))
+			case strings.Contains(lower, "interest") || strings.Contains(lower, "share"):
+				o.AddSubDataProperty(iri, V("interestValue"))
+			}
+		}
+	}
+	// Canonical benchmark aliases used by the query set.
+	alias := map[string]string{
+		"wellboreCompletionYear": "wlbCompletionYear",
+		"wellboreEntryYear":      "wlbEntryYear",
+		"coresTotalLength":       "wlbTotalCoreLength",
+		"dateLicenceGranted":     "prlDateGranted",
+		"dateUpdated":            "wlbDateUpdated",
+	}
+	for a, base := range alias {
+		o.DeclareDataProperty(V(a))
+		o.AddSubDataProperty(V(base), V(a))
+		o.AddSubDataProperty(V(a), V(base))
+	}
+}
+
+// areaClass converts a main-area vocabulary value to a class-name prefix
+// ("North sea" -> "NorthSea").
+func areaClass(area string) string {
+	parts := strings.Fields(area)
+	var sb strings.Builder
+	for _, p := range parts {
+		p = strings.ToLower(p)
+		sb.WriteString(strings.ToUpper(p[:1]) + p[1:])
+	}
+	return sb.String()
+}
+
+func titleCase(s string) string {
+	s = strings.ToLower(s)
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// facilityClass converts a FactPages facility kind to a class local name
+// ("JACKET 4 LEGS" -> "Jacket4LegsFacility").
+func facilityClass(kind string) string {
+	parts := strings.FieldsFunc(kind, func(r rune) bool { return r == ' ' || r == '-' || r == '/' })
+	var sb strings.Builder
+	for _, p := range parts {
+		p = strings.ToLower(p)
+		sb.WriteString(strings.ToUpper(p[:1]) + p[1:])
+	}
+	sb.WriteString("Facility")
+	return sb.String()
+}

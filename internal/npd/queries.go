@@ -1,0 +1,294 @@
+package npd
+
+// BenchQuery is one query of the benchmark workload.
+type BenchQuery struct {
+	ID          string
+	Description string
+	SPARQL      string
+	// Aggregate marks the queries added in the journal version (q15–q21),
+	// which stress semantic query optimisation around aggregation.
+	Aggregate bool
+}
+
+// Queries returns the 21-query workload of the paper's Table 7. Queries
+// q1–q14 are selection/join queries of increasing rewriting difficulty;
+// q15–q21 add aggregation (q15 derives from q1, q16 is the paper's verbatim
+// licence-count query, q17/q19 are fragments of the original aggregate
+// queries).
+func Queries() []BenchQuery {
+	return []BenchQuery{
+		{
+			ID:          "q1",
+			Description: "exploration wellbores completed after 2000, with their production licence",
+			SPARQL: `
+SELECT DISTINCT ?name ?year ?licence WHERE {
+  ?w a npdv:ExplorationWellbore ;
+     npdv:name ?name ;
+     npdv:wellboreCompletionYear ?year ;
+     npdv:drilledInLicence ?l .
+  ?l npdv:name ?licence .
+  FILTER(?year >= 2000)
+}`,
+		},
+		{
+			ID:          "q2",
+			Description: "deep oil wellbores (content OIL, total depth over 3000 m)",
+			SPARQL: `
+SELECT ?name ?depth WHERE {
+  ?w a npdv:OilDiscoveryWellbore ;
+     npdv:name ?name ;
+     npdv:wlbTotalDepth ?depth .
+  FILTER(?depth > 3000)
+}`,
+		},
+		{
+			ID:          "q3",
+			Description: "producing fields with their operator companies (hierarchy: ProducingField)",
+			SPARQL: `
+SELECT DISTINCT ?field ?company WHERE {
+  ?f a npdv:ProducingField ;
+     npdv:name ?field .
+  ?c npdv:operatorForField ?f ;
+     npdv:name ?company .
+}`,
+		},
+		{
+			ID:          "q4",
+			Description: "fields with large recoverable oil reserves",
+			SPARQL: `
+SELECT ?field ?oil WHERE {
+  ?r a npdv:FieldReserve ;
+     npdv:reservesForField ?f ;
+     npdv:fldRecoverableOil ?oil .
+  ?f npdv:name ?field .
+  FILTER(?oil > 20)
+}`,
+		},
+		{
+			ID:          "q5",
+			Description: "cores drilled through Jurassic units (deep stratigraphy hierarchy)",
+			SPARQL: `
+SELECT DISTINCT ?wellbore ?unit WHERE {
+  ?c a npdv:WellboreCore ;
+     npdv:coreForWellbore ?w ;
+     npdv:coreStratum ?s .
+  ?s a npdv:JurassicUnit ;
+     npdv:name ?unit .
+  ?w npdv:name ?wellbore .
+}`,
+		},
+		{
+			ID:          "q6",
+			Description: "paper's tree-witness query: recent wellbores with long cores (2 tree witnesses)",
+			SPARQL: `
+SELECT DISTINCT ?wellbore ?length ?year WHERE {
+  ?wc npdv:coreForWellbore ?w ;
+      npdv:coresTotalLength ?length .
+  ?w a npdv:Wellbore ;
+     npdv:name ?wellbore ;
+     npdv:wellboreCompletionYear ?year ;
+     npdv:drillingOperatorCompany [ a npdv:Company ] ;
+     npdv:belongsToWell [ a npdv:Well ] .
+  FILTER(?year >= 2008 && ?length > 50)
+}`,
+		},
+		{
+			ID:          "q7",
+			Description: "fixed facilities (11-subclass hierarchy) serving producing fields",
+			SPARQL: `
+SELECT DISTINCT ?facility ?field WHERE {
+  ?fa a npdv:FixedFacility ;
+      npdv:name ?facility ;
+      npdv:facilityForField ?f .
+  ?f a npdv:ProducingField ;
+     npdv:name ?field .
+}`,
+		},
+		{
+			ID:          "q8",
+			Description: "gas pipelines with their endpoint facilities",
+			SPARQL: `
+SELECT ?pipeline ?from ?to WHERE {
+  ?p a npdv:GasPipeline ;
+     npdv:pipName ?pipeline ;
+     npdv:pipelineFromFacility ?f1 ;
+     npdv:pipelineToFacility ?f2 .
+  ?f1 npdv:name ?from .
+  ?f2 npdv:name ?to .
+}`,
+		},
+		{
+			ID:          "q9",
+			Description: "licensees of recent licences, optionally also operators",
+			SPARQL: `
+SELECT DISTINCT ?company ?licence WHERE {
+  ?c npdv:licenseeForLicence ?l ;
+     npdv:name ?company .
+  ?l npdv:name ?licence ;
+     npdv:dateLicenceGranted ?granted .
+  FILTER(?granted > "1995-12-31"^^xsd:date)
+  OPTIONAL { ?c npdv:operatorForLicence ?l }
+}`,
+		},
+		{
+			ID:          "q10",
+			Description: "discoveries included in fields, with optional reserve figures",
+			SPARQL: `
+SELECT DISTINCT ?discovery ?field ?oil WHERE {
+  ?d a npdv:IncludedInFieldDiscovery ;
+     npdv:name ?discovery ;
+     npdv:includedInField ?f .
+  ?f npdv:name ?field .
+  OPTIONAL {
+    ?r npdv:reservesForDiscovery ?d ;
+       npdv:dscRecoverableOil ?oil .
+  }
+}`,
+		},
+		{
+			ID:          "q11",
+			Description: "seismic surveys with acquisition statistics",
+			SPARQL: `
+SELECT ?survey ?company ?km WHERE {
+  ?s a npdv:OrdinarySeismicSurvey ;
+     npdv:name ?survey ;
+     npdv:surveyingCompany ?c .
+  ?c npdv:name ?company .
+  ?a npdv:acquisitionForSurvey ?s ;
+     npdv:seacTotalKm ?km .
+}`,
+		},
+		{
+			ID:          "q12",
+			Description: "formation tops in Cretaceous formations below 2000 m",
+			SPARQL: `
+SELECT DISTINCT ?wellbore ?depth WHERE {
+  ?t a npdv:FormationTop ;
+     npdv:formationTopForWellbore ?w ;
+     npdv:stratumForFormationTop ?s ;
+     npdv:wlbTopDepth ?depth .
+  ?s a npdv:CretaceousFormation .
+  ?w npdv:name ?wellbore .
+  FILTER(?depth > 2000)
+}`,
+		},
+		{
+			ID:          "q13",
+			Description: "licensed blocks (tree witness: every block sits in some quadrant)",
+			SPARQL: `
+SELECT DISTINCT ?licence ?block WHERE {
+  ?l a npdv:ProductionLicence ;
+     npdv:name ?licence ;
+     npdv:areaForLicence ?b .
+  ?b npdv:blkName ?block ;
+     npdv:blockInQuadrant [ a npdv:Quadrant ] .
+}`,
+		},
+		{
+			ID:          "q14",
+			Description: "wellbores with optional cores and optional documents (2 OPTIONALs)",
+			SPARQL: `
+SELECT ?wellbore ?core ?doc WHERE {
+  ?w a npdv:ExplorationWellbore ;
+     npdv:name ?wellbore .
+  OPTIONAL { ?c npdv:coreForWellbore ?w ; npdv:wlbCoreNumber ?core }
+  OPTIONAL { ?d npdv:documentForWellbore ?w ; npdv:wlbDocumentName ?doc }
+}`,
+		},
+		{
+			ID:          "q15",
+			Description: "aggregate form of q1: exploration wellbores per completion year",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?year (COUNT(?w) AS ?n) WHERE {
+  ?w a npdv:ExplorationWellbore ;
+     npdv:wellboreCompletionYear ?year .
+  FILTER(?year >= 2000)
+} GROUP BY ?year ORDER BY ?year`,
+		},
+		{
+			ID:          "q16",
+			Description: "paper's verbatim aggregate: number of licences granted after 2000",
+			Aggregate:   true,
+			SPARQL: `
+SELECT (COUNT(?licence) AS ?licnumber) WHERE {
+  [] a npdv:ProductionLicence ;
+     npdv:name ?licence ;
+     npdv:dateLicenceGranted ?dateGranted .
+  FILTER(?dateGranted > "2000-12-31"^^xsd:date)
+}`,
+		},
+		{
+			ID:          "q17",
+			Description: "average core length per wellbore (fragment of an original aggregate query)",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?wellbore (AVG(?length) AS ?avgLen) WHERE {
+  ?c npdv:coreForWellbore ?w ;
+     npdv:coresTotalLength ?length .
+  ?w npdv:name ?wellbore .
+} GROUP BY ?wellbore HAVING(AVG(?length) > 100)`,
+		},
+		{
+			ID:          "q18",
+			Description: "top oil-producing fields of 2010 (SUM + ORDER BY + LIMIT)",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?field (SUM(?oil) AS ?total) WHERE {
+  ?p a npdv:MonthlyProductionVolume ;
+     npdv:productionForField ?f ;
+     npdv:prfYear ?y ;
+     npdv:prfPrdOilNetMillSm3 ?oil .
+  ?f npdv:name ?field .
+  FILTER(?y = 2010)
+} GROUP BY ?field ORDER BY DESC(?total) LIMIT 10`,
+		},
+		{
+			ID:          "q19",
+			Description: "wellbores drilled per operator company (fragment of an original aggregate query)",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?company (COUNT(?w) AS ?n) WHERE {
+  ?w a npdv:Wellbore ;
+     npdv:drillingOperatorCompany ?c .
+  ?c npdv:name ?company .
+} GROUP BY ?company ORDER BY DESC(?n)`,
+		},
+		{
+			ID:          "q20",
+			Description: "water-depth envelope per facility kind",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?kind (MIN(?d) AS ?minDepth) (MAX(?d) AS ?maxDepth) WHERE {
+  ?f a npdv:FixedFacility ;
+     npdv:fclKind ?kind ;
+     npdv:fclWaterDepth ?d .
+} GROUP BY ?kind`,
+		},
+		{
+			ID:          "q21",
+			Description: "total investments per field this millennium (SUM + HAVING + ORDER)",
+			Aggregate:   true,
+			SPARQL: `
+SELECT ?field (SUM(?nok) AS ?total) WHERE {
+  ?i a npdv:Investment ;
+     npdv:investmentForField ?f ;
+     npdv:prfYear ?y ;
+     npdv:prfInvestmentsMillNOK ?nok .
+  ?f npdv:name ?field .
+  FILTER(?y >= 2000)
+} GROUP BY ?field HAVING(SUM(?nok) > 5000) ORDER BY DESC(?total)`,
+		},
+	}
+}
+
+// QueryByID returns the query with the given id, or nil.
+func QueryByID(id string) *BenchQuery {
+	for _, q := range Queries() {
+		if q.ID == id {
+			out := q
+			return &out
+		}
+	}
+	return nil
+}

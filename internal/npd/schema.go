@@ -1,0 +1,611 @@
+// Package npd ships the assets of the NPD benchmark: the relational schema
+// modelled on the published NPD FactPages database (70 tables, ~94 foreign
+// keys, wide overlapping tables), a deterministic synthetic seed-data
+// generator standing in for the real FactPages dump, the OWL 2 QL ontology
+// with deep class/property hierarchies and existential axioms, the R2RML
+// mapping set, and the 21-query benchmark workload of the paper's Table 7.
+//
+// Substitution note (DESIGN.md): the real FactPages CSV dump is proprietary
+// licensed data with daily synchronization; the seed generator reproduces
+// its statistical shape (duplicate ratios, constant vocabularies, value
+// intervals, FK structure, geometry columns) so that VIG and the query
+// workload exercise identical code paths.
+package npd
+
+import (
+	"fmt"
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// tableSpec is the compact schema DSL: "name:type[!]" columns, "pk=a,b",
+// "fk=a,b->table.c,d".
+type tableSpec struct {
+	name  string
+	items []string
+}
+
+// parseSpec converts a tableSpec into a TableDef.
+func parseSpec(ts tableSpec) (*sqldb.TableDef, error) {
+	def := &sqldb.TableDef{Name: ts.name}
+	colIndex := func(name string) (int, error) {
+		for i, c := range def.Columns {
+			if strings.EqualFold(c.Name, name) {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("npd: table %s: unknown column %q in constraint", ts.name, name)
+	}
+	var constraints []string
+	for _, item := range ts.items {
+		if strings.HasPrefix(item, "pk=") || strings.HasPrefix(item, "fk=") {
+			constraints = append(constraints, item)
+			continue
+		}
+		name, typ, found := strings.Cut(item, ":")
+		if !found {
+			return nil, fmt.Errorf("npd: table %s: bad column spec %q", ts.name, item)
+		}
+		notNull := strings.HasSuffix(typ, "!")
+		typ = strings.TrimSuffix(typ, "!")
+		var ct sqldb.ColType
+		switch typ {
+		case "int":
+			ct = sqldb.TInt
+		case "float":
+			ct = sqldb.TFloat
+		case "text":
+			ct = sqldb.TText
+		case "bool":
+			ct = sqldb.TBool
+		case "date":
+			ct = sqldb.TDate
+		case "geo":
+			ct = sqldb.TGeometry
+		default:
+			return nil, fmt.Errorf("npd: table %s: unknown type %q", ts.name, typ)
+		}
+		def.Columns = append(def.Columns, sqldb.Column{Name: name, Type: ct, NotNull: notNull})
+	}
+	for _, c := range constraints {
+		switch {
+		case strings.HasPrefix(c, "pk="):
+			for _, n := range strings.Split(c[3:], ",") {
+				i, err := colIndex(n)
+				if err != nil {
+					return nil, err
+				}
+				def.PrimaryKey = append(def.PrimaryKey, i)
+			}
+		case strings.HasPrefix(c, "fk="):
+			lhs, rhs, found := strings.Cut(c[3:], "->")
+			if !found {
+				return nil, fmt.Errorf("npd: table %s: bad fk spec %q", ts.name, c)
+			}
+			refTable, refCols, found := strings.Cut(rhs, ".")
+			if !found {
+				return nil, fmt.Errorf("npd: table %s: bad fk target %q", ts.name, rhs)
+			}
+			refNames := strings.Split(refCols, ",")
+			fk := sqldb.ForeignKey{RefTable: refTable, RefColumns: make([]int, len(refNames))}
+			for _, n := range strings.Split(lhs, ",") {
+				i, err := colIndex(n)
+				if err != nil {
+					return nil, err
+				}
+				fk.Columns = append(fk.Columns, i)
+			}
+			def.ForeignKeys = append(def.ForeignKeys, fk)
+			// RefColumns are resolved by name in NewDatabase, once every
+			// table definition exists.
+			pendingFKs = append(pendingFKs, pendingFK{table: ts.name, idx: len(def.ForeignKeys) - 1, refCols: refNames})
+		}
+	}
+	return def, nil
+}
+
+type pendingFK struct {
+	table   string
+	idx     int
+	refCols []string
+}
+
+var pendingFKs []pendingFK
+
+// NewDatabase builds the empty NPD schema.
+func NewDatabase() (*sqldb.Database, error) {
+	pendingFKs = nil
+	db := sqldb.NewDatabase("npd")
+	defs := make(map[string]*sqldb.TableDef)
+	for _, ts := range schemaSpecs {
+		def, err := parseSpec(ts)
+		if err != nil {
+			return nil, err
+		}
+		defs[strings.ToLower(def.Name)] = def
+	}
+	// Resolve FK referenced column names now that all defs exist.
+	for _, fn := range pendingFKs {
+		def := defs[strings.ToLower(fn.table)]
+		fk := &def.ForeignKeys[fn.idx]
+		ref := defs[strings.ToLower(fk.RefTable)]
+		if ref == nil {
+			return nil, fmt.Errorf("npd: table %s: fk references unknown table %s", fn.table, fk.RefTable)
+		}
+		for i, n := range fn.refCols {
+			ci := ref.ColIndex(n)
+			if ci < 0 {
+				return nil, fmt.Errorf("npd: table %s: fk references unknown column %s.%s", fn.table, fk.RefTable, n)
+			}
+			fk.RefColumns[i] = ci
+		}
+	}
+	// Create in spec order (parents declared before children below).
+	for _, ts := range schemaSpecs {
+		if _, err := db.CreateTable(defs[strings.ToLower(ts.name)]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// schemaSpecs lists the 70 tables of the benchmark schema. Naming follows
+// the published FactPages conventions (npdid surrogate keys, prefixed
+// attribute names, wide overlapping wellbore tables).
+var schemaSpecs = []tableSpec{
+	// --- reference / vocabulary tables ---
+	{"main_area", []string{"mainArea:text!", "pk=mainArea"}},
+	{"hc_type", []string{"hcType:text!", "pk=hcType"}},
+	{"activity_status", []string{"status:text!", "pk=status"}},
+	{"wellbore_purpose", []string{"purpose:text!", "pk=purpose"}},
+	{"wellbore_content", []string{"content:text!", "pk=content"}},
+	{"facility_kind", []string{"kind:text!", "pk=kind"}},
+	{"facility_phase", []string{"phase:text!", "pk=phase"}},
+
+	// --- core entities ---
+	{"company", []string{
+		"cmpNpdidCompany:int!", "cmpLongName:text!", "cmpShortName:text",
+		"cmpOrgNumberBrReg:text", "cmpNationCode:text", "cmpSurveyPrefix:text",
+		"cmpLicenceOperCurrent:bool", "cmpLicenceOperFormer:bool",
+		"cmpLicenceLicenseeCurrent:bool", "cmpLicenceLicenseeFormer:bool",
+		"cmpDateUpdated:date",
+		"pk=cmpNpdidCompany"}},
+	{"quadrant", []string{
+		"qdrName:text!", "qdrMainArea:text", "pk=qdrName"}},
+	{"block", []string{
+		"blkName:text!", "qdrName:text!", "blkMainArea:text", "blkGeometry:geo",
+		"pk=blkName", "fk=qdrName->quadrant.qdrName"}},
+	{"licence", []string{
+		"prlNpdidLicence:int!", "prlName:text!", "prlMainArea:text",
+		"prlStatus:text", "prlStratigraphical:text",
+		"prlDateGranted:date", "prlDateValidTo:date",
+		"prlOriginalArea:float", "prlCurrentArea:float",
+		"prlPhaseCurrent:text", "prlAreaGeometry:geo", "prlDateUpdated:date",
+		"pk=prlNpdidLicence"}},
+	{"field", []string{
+		"fldNpdidField:int!", "fldName:text!", "cmpNpdidCompany:int",
+		"fldCurrentActivityStatus:text", "fldHcType:text", "fldMainArea:text",
+		"fldOwnerKind:text", "fldOwnerName:text", "fldMainSupplyBase:text",
+		"prlNpdidLicence:int", "fldAreaGeometry:geo", "fldDateUpdated:date",
+		"pk=fldNpdidField",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence"}},
+	{"discovery", []string{
+		"dscNpdidDiscovery:int!", "dscName:text!", "fldNpdidField:int",
+		"dscHcType:text", "dscCurrentActivityStatus:text",
+		"dscDiscoveryYear:int", "dscMainArea:text", "dscOwnerKind:text",
+		"dscOwnerName:text", "dscDateFromInclInField:date",
+		"dscAreaGeometry:geo", "dscDateUpdated:date",
+		"pk=dscNpdidDiscovery",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"facility_fixed", []string{
+		"fclNpdidFacility:int!", "fclName:text!", "fclKind:text",
+		"fclPhase:text", "fclBelongsToName:text", "fldNpdidField:int",
+		"fclStartupDate:date", "fclGeodeticDatum:text", "fclFunctions:text",
+		"fclWaterDepth:float", "fclSurface:bool", "fclPointGeometry:geo",
+		"fclDateUpdated:date",
+		"pk=fclNpdidFacility",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"facility_moveable", []string{
+		"fclNpdidFacility:int!", "fclName:text!", "fclKind:text",
+		"fclPhase:text", "cmpNpdidCompany:int", "fclAocStatus:text",
+		"fclNationCode:text", "fclDateUpdated:date",
+		"pk=fclNpdidFacility",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+
+	// --- wellbores: three wide overlapping tables, as in FactPages ---
+	{"wellbore_exploration_all", []string{
+		"wlbNpdidWellbore:int!", "wlbWellboreName:text!", "wlbWell:text",
+		"wlbDrillingOperator:text", "cmpNpdidCompany:int",
+		"wlbProductionLicence:text", "prlNpdidLicence:int",
+		"wlbPurpose:text", "wlbStatus:text", "wlbContent:text",
+		"wlbEntryDate:date", "wlbCompletionDate:date",
+		"wlbEntryYear:int", "wlbCompletionYear:int",
+		"wlbTotalDepth:float", "wlbWaterDepth:float",
+		"wlbKellyBushElevation:float", "wlbMainArea:text",
+		"wlbDrillingFacility:text", "fclNpdidFacility:int",
+		"wlbGeodeticDatum:text", "wlbNsDecDeg:float", "wlbEwDecDeg:float",
+		"dscNpdidDiscovery:int", "wlbAgeAtTd:text", "wlbFormationAtTd:text",
+		"wlbBottomHoleTemperature:float", "wlbSeismicLocation:text",
+		"wlbMaxInclation:float", "wlbPlotSymbol:int",
+		"wlbGeometry:geo", "wlbDateUpdated:date",
+		"pk=wlbNpdidWellbore",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=fclNpdidFacility->facility_fixed.fclNpdidFacility",
+		"fk=dscNpdidDiscovery->discovery.dscNpdidDiscovery"}},
+	{"wellbore_development_all", []string{
+		"wlbNpdidWellbore:int!", "wlbWellboreName:text!", "wlbWell:text",
+		"wlbDrillingOperator:text", "cmpNpdidCompany:int",
+		"wlbProductionLicence:text", "prlNpdidLicence:int",
+		"wlbPurpose:text", "wlbStatus:text", "wlbContent:text",
+		"wlbEntryDate:date", "wlbCompletionDate:date",
+		"wlbEntryYear:int", "wlbCompletionYear:int",
+		"wlbTotalDepth:float", "wlbWaterDepth:float",
+		"wlbKellyBushElevation:float", "wlbMainArea:text",
+		"wlbDrillingFacility:text", "fclNpdidFacility:int",
+		"fldNpdidField:int", "wlbGeodeticDatum:text",
+		"wlbNsDecDeg:float", "wlbEwDecDeg:float",
+		"wlbProductionFacility:text", "wlbMultilateral:bool",
+		"wlbContentPlanned:text", "wlbGeometry:geo", "wlbDateUpdated:date",
+		"pk=wlbNpdidWellbore",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=fclNpdidFacility->facility_fixed.fclNpdidFacility",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"wellbore_shallow_all", []string{
+		"wlbNpdidWellbore:int!", "wlbWellboreName:text!",
+		"wlbDrillingOperator:text", "cmpNpdidCompany:int",
+		"wlbPurpose:text", "wlbEntryDate:date", "wlbCompletionDate:date",
+		"wlbCompletionYear:int", "wlbTotalDepth:float", "wlbWaterDepth:float",
+		"wlbMainArea:text", "wlbGeodeticDatum:text",
+		"wlbNsDecDeg:float", "wlbEwDecDeg:float", "wlbDateUpdated:date",
+		"pk=wlbNpdidWellbore",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+
+	// --- wellbore satellites ---
+	{"wellbore_core", []string{
+		"wlbNpdidWellbore:int!", "wlbCoreNumber:int!",
+		"wlbCoreIntervalTop:float", "wlbCoreIntervalBottom:float",
+		"wlbTotalCoreLength:float", "wlbCoreSampleAvailable:bool",
+		"wlbCoreIntervalUom:text",
+		"pk=wlbNpdidWellbore,wlbCoreNumber",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_core_photo", []string{
+		"wlbNpdidWellbore:int!", "wlbCoreNumber:int!", "wlbCorePhotoTitle:text!",
+		"wlbCorePhotoUrl:text",
+		"pk=wlbNpdidWellbore,wlbCoreNumber,wlbCorePhotoTitle",
+		"fk=wlbNpdidWellbore,wlbCoreNumber->wellbore_core.wlbNpdidWellbore,wlbCoreNumber"}},
+	{"wellbore_dst", []string{
+		"wlbNpdidWellbore:int!", "wlbDstTestNumber:int!",
+		"wlbDstFromDepth:float", "wlbDstToDepth:float",
+		"wlbDstChokeSize:float", "wlbDstFinalFlowOil:float",
+		"wlbDstFinalFlowGas:float", "wlbDstBottomHolePressure:float",
+		"pk=wlbNpdidWellbore,wlbDstTestNumber",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_document", []string{
+		"wlbNpdidWellbore:int!", "wlbDocumentName:text!",
+		"wlbDocumentType:text", "wlbDocumentUrl:text",
+		"wlbDocumentDateUpdated:date",
+		"pk=wlbNpdidWellbore,wlbDocumentName",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_mud", []string{
+		"wlbNpdidWellbore:int!", "wlbMD:float!",
+		"wlbMudWeightAtMD:float", "wlbMudViscosityAtMD:float",
+		"wlbYieldPointAtMD:float", "wlbMudType:text",
+		"wlbMudDateMeasured:date",
+		"pk=wlbNpdidWellbore,wlbMD",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_casing_and_lot", []string{
+		"wlbNpdidWellbore:int!", "wlbCasingType:text!", "wlbCasingDepth:float!",
+		"wlbCasingDiameter:float", "wlbHoleDiameter:float",
+		"wlbLotMudDencity:float",
+		"pk=wlbNpdidWellbore,wlbCasingType,wlbCasingDepth",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_oil_sample", []string{
+		"wlbNpdidWellbore:int!", "wlbOilSampleTestNumber:int!",
+		"wlbOilSampleTopDepth:float", "wlbOilSampleBottomDepth:float",
+		"wlbOilSampleFluidType:text", "wlbOilSampleTestDate:date",
+		"pk=wlbNpdidWellbore,wlbOilSampleTestNumber",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_coordinates", []string{
+		"wlbNpdidWellbore:int!", "wlbCoordinateSystem:text!",
+		"wlbNsDeg:int", "wlbNsMin:int", "wlbNsSec:float",
+		"wlbEwDeg:int", "wlbEwMin:int", "wlbEwSec:float",
+		"pk=wlbNpdidWellbore,wlbCoordinateSystem",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+	{"wellbore_history", []string{
+		"wlbNpdidWellbore:int!", "wlbHistorySeq:int!", "wlbHistoryText:text",
+		"wlbHistoryDate:date",
+		"pk=wlbNpdidWellbore,wlbHistorySeq",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore"}},
+
+	// --- stratigraphy (self-referencing FK: a chase cycle for VIG) ---
+	{"strat_litho_unit", []string{
+		"lsuNpdidLithoStrat:int!", "lsuName:text!", "lsuLevel:text",
+		"lsuEra:text", "lsuParent:int",
+		"pk=lsuNpdidLithoStrat",
+		"fk=lsuParent->strat_litho_unit.lsuNpdidLithoStrat"}},
+	{"wellbore_formation_top", []string{
+		"wlbNpdidWellbore:int!", "lsuNpdidLithoStrat:int!",
+		"wlbTopDepth:float!", "wlbBottomDepth:float", "lsuName:text",
+		"pk=wlbNpdidWellbore,lsuNpdidLithoStrat,wlbTopDepth",
+		"fk=wlbNpdidWellbore->wellbore_exploration_all.wlbNpdidWellbore",
+		"fk=lsuNpdidLithoStrat->strat_litho_unit.lsuNpdidLithoStrat"}},
+	{"strat_litho_wellbore_core", []string{
+		"wlbNpdidWellbore:int!", "wlbCoreNumber:int!", "lsuNpdidLithoStrat:int!",
+		"lsuCoreLenght:float",
+		"pk=wlbNpdidWellbore,wlbCoreNumber,lsuNpdidLithoStrat",
+		"fk=wlbNpdidWellbore,wlbCoreNumber->wellbore_core.wlbNpdidWellbore,wlbCoreNumber",
+		"fk=lsuNpdidLithoStrat->strat_litho_unit.lsuNpdidLithoStrat"}},
+
+	// --- field satellites ---
+	{"field_production_monthly", []string{
+		"fldNpdidField:int!", "prfYear:int!", "prfMonth:int!",
+		"prfPrdOilNetMillSm3:float", "prfPrdGasNetBillSm3:float",
+		"prfPrdNGLNetMillSm3:float", "prfPrdCondensateNetMillSm3:float",
+		"prfPrdOeNetMillSm3:float", "prfPrdProducedWaterInFieldMillSm3:float",
+		"pk=fldNpdidField,prfYear,prfMonth",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_production_yearly", []string{
+		"fldNpdidField:int!", "prfYear:int!",
+		"prfPrdOilNetMillSm3:float", "prfPrdGasNetBillSm3:float",
+		"prfPrdNGLNetMillSm3:float", "prfPrdCondensateNetMillSm3:float",
+		"prfPrdOeNetMillSm3:float",
+		"pk=fldNpdidField,prfYear",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_investment_yearly", []string{
+		"fldNpdidField:int!", "prfYear:int!", "prfInvestmentsMillNOK:float",
+		"pk=fldNpdidField,prfYear",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_reserves", []string{
+		"fldNpdidField:int!", "fldRecoverableOil:float",
+		"fldRecoverableGas:float", "fldRecoverableNGL:float",
+		"fldRecoverableCondensate:float", "fldRemainingOil:float",
+		"fldRemainingGas:float", "fldDateOffResEstDisplay:date",
+		"pk=fldNpdidField",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_activity_status_hst", []string{
+		"fldNpdidField:int!", "fldStatusFromDate:date!", "fldStatusToDate:date",
+		"fldStatus:text",
+		"pk=fldNpdidField,fldStatusFromDate",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_owner_hst", []string{
+		"fldNpdidField:int!", "fldOwnerFrom:date!", "fldOwnerTo:date",
+		"fldOwnerName:text", "fldOwnerKind:text",
+		"pk=fldNpdidField,fldOwnerFrom",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+	{"field_operator_hst", []string{
+		"fldNpdidField:int!", "cmpNpdidCompany:int!", "fldOperatorFrom:date!",
+		"fldOperatorTo:date",
+		"pk=fldNpdidField,cmpNpdidCompany,fldOperatorFrom",
+		"fk=fldNpdidField->field.fldNpdidField",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"field_licensee_hst", []string{
+		"fldNpdidField:int!", "cmpNpdidCompany:int!", "fldLicenseeFrom:date!",
+		"fldLicenseeTo:date", "fldLicenseeInterest:float",
+		"pk=fldNpdidField,cmpNpdidCompany,fldLicenseeFrom",
+		"fk=fldNpdidField->field.fldNpdidField",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"field_description", []string{
+		"fldNpdidField:int!", "fldDescriptionHeading:text!",
+		"fldDescriptionText:text",
+		"pk=fldNpdidField,fldDescriptionHeading",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+
+	// --- discovery satellites ---
+	{"discovery_description", []string{
+		"dscNpdidDiscovery:int!", "dscDescriptionHeading:text!",
+		"dscDescriptionText:text",
+		"pk=dscNpdidDiscovery,dscDescriptionHeading",
+		"fk=dscNpdidDiscovery->discovery.dscNpdidDiscovery"}},
+	{"discovery_reserves", []string{
+		"dscNpdidDiscovery:int!", "dscRecoverableOil:float",
+		"dscRecoverableGas:float", "dscRecoverableNGL:float",
+		"dscRecoverableCondensate:float", "dscDateOffResEstDisplay:date",
+		"pk=dscNpdidDiscovery",
+		"fk=dscNpdidDiscovery->discovery.dscNpdidDiscovery"}},
+	{"discovery_area", []string{
+		"dscNpdidDiscovery:int!", "blkName:text!",
+		"pk=dscNpdidDiscovery,blkName",
+		"fk=dscNpdidDiscovery->discovery.dscNpdidDiscovery",
+		"fk=blkName->block.blkName"}},
+
+	// --- licence satellites ---
+	{"licence_licensee_hst", []string{
+		"prlNpdidLicence:int!", "cmpNpdidCompany:int!",
+		"prlLicenseeDateValidFrom:date!", "prlLicenseeDateValidTo:date",
+		"prlLicenseeInterest:float",
+		"pk=prlNpdidLicence,cmpNpdidCompany,prlLicenseeDateValidFrom",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"licence_oper_hst", []string{
+		"prlNpdidLicence:int!", "cmpNpdidCompany:int!",
+		"prlOperDateValidFrom:date!", "prlOperDateValidTo:date",
+		"pk=prlNpdidLicence,cmpNpdidCompany,prlOperDateValidFrom",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"licence_phase_hst", []string{
+		"prlNpdidLicence:int!", "prlPhaseFromDate:date!", "prlPhaseToDate:date",
+		"prlPhase:text",
+		"pk=prlNpdidLicence,prlPhaseFromDate",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence"}},
+	{"licence_area", []string{
+		"prlNpdidLicence:int!", "blkName:text!", "prlAreaPart:float",
+		"pk=prlNpdidLicence,blkName",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=blkName->block.blkName"}},
+	{"licence_task", []string{
+		"prlNpdidLicence:int!", "prlTaskName:text!", "prlTaskStatus:text",
+		"prlTaskDate:date",
+		"pk=prlNpdidLicence,prlTaskName",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence"}},
+	{"licence_transfer_hst", []string{
+		"prlNpdidLicence:int!", "cmpNpdidCompany:int!", "prlTransferDate:date!",
+		"prlTransferDirection:text", "prlTransferInterest:float",
+		"pk=prlNpdidLicence,cmpNpdidCompany,prlTransferDate",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"licence_petreg_licence", []string{
+		"ptlNpdidLicence:int!", "ptlName:text!", "ptlDateGranted:date",
+		"ptlMainArea:text",
+		"pk=ptlNpdidLicence"}},
+	{"licence_petreg_licence_licencee", []string{
+		"ptlNpdidLicence:int!", "cmpNpdidCompany:int!", "ptlLicenseeInterest:float",
+		"pk=ptlNpdidLicence,cmpNpdidCompany",
+		"fk=ptlNpdidLicence->licence_petreg_licence.ptlNpdidLicence",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"licence_petreg_licence_oper", []string{
+		"ptlNpdidLicence:int!", "cmpNpdidCompany:int!",
+		"pk=ptlNpdidLicence,cmpNpdidCompany",
+		"fk=ptlNpdidLicence->licence_petreg_licence.ptlNpdidLicence",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"licence_petreg_message", []string{
+		"ptlNpdidLicence:int!", "ptlMessageSeq:int!", "ptlMessageKind:text",
+		"ptlMessageDate:date",
+		"pk=ptlNpdidLicence,ptlMessageSeq",
+		"fk=ptlNpdidLicence->licence_petreg_licence.ptlNpdidLicence"}},
+
+	// --- company satellites ---
+	{"company_reserves", []string{
+		"cmpNpdidCompany:int!", "fldNpdidField:int!", "cmpShare:float",
+		"cmpRecoverableOil:float", "cmpRecoverableGas:float",
+		"cmpRecoverableNGL:float", "cmpRecoverableCondensate:float",
+		"pk=cmpNpdidCompany,fldNpdidField",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany",
+		"fk=fldNpdidField->field.fldNpdidField"}},
+
+	// --- surveys & seismic ---
+	{"survey", []string{
+		"seaNpdidSurvey:int!", "seaName:text!", "seaStatus:text",
+		"seaGeographicalArea:text", "seaSurveyTypeMain:text",
+		"seaSurveyTypePart:text", "cmpNpdidCompany:int",
+		"seaPlanFromDate:date", "seaDateStarting:date", "seaDateFinalized:date",
+		"seaAreaGeometry:geo",
+		"pk=seaNpdidSurvey",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"seis_acquisition", []string{
+		"seaNpdidSurvey:int!", "seacAcquisitionNumber:int!",
+		"seacBoatKnots:float", "seacTotalKm:float", "seacCdpKm:float",
+		"pk=seaNpdidSurvey,seacAcquisitionNumber",
+		"fk=seaNpdidSurvey->survey.seaNpdidSurvey"}},
+	{"seis_acquisition_progress", []string{
+		"seaNpdidSurvey:int!", "seapProgressDate:date!", "seapKmAcquired:float",
+		"pk=seaNpdidSurvey,seapProgressDate",
+		"fk=seaNpdidSurvey->survey.seaNpdidSurvey"}},
+	{"survey_coordinates", []string{
+		"seaNpdidSurvey:int!", "seaPointSeq:int!",
+		"seaNsDecDeg:float", "seaEwDecDeg:float",
+		"pk=seaNpdidSurvey,seaPointSeq",
+		"fk=seaNpdidSurvey->survey.seaNpdidSurvey"}},
+
+	// --- prospects / areas ---
+	{"prospect", []string{
+		"prsNpdidProspect:int!", "prsName:text!", "prsMainArea:text",
+		"prsHcType:text", "prlNpdidLicence:int", "prsGeometry:geo",
+		"pk=prsNpdidProspect",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence"}},
+	{"apa_area_gross", []string{
+		"apaNpdidApaGross:int!", "apaName:text!", "apaDateAnnounced:date",
+		"apaGeometry:geo",
+		"pk=apaNpdidApaGross"}},
+	{"apa_area_net", []string{
+		"apaNpdidApaNet:int!", "apaNpdidApaGross:int!", "apaBlockName:text",
+		"apaGeometry:geo",
+		"pk=apaNpdidApaNet",
+		"fk=apaNpdidApaGross->apa_area_gross.apaNpdidApaGross"}},
+	{"sea_area", []string{
+		"seaAreaName:text!", "seaAreaKind:text", "seaAreaGeometry:geo",
+		"pk=seaAreaName"}},
+
+	// --- business arrangement areas ---
+	{"baa", []string{
+		"baaNpdidBsnsArrArea:int!", "baaName:text!", "baaKind:text",
+		"baaStatus:text", "baaDateApproved:date", "baaAreaGeometry:geo",
+		"pk=baaNpdidBsnsArrArea"}},
+	{"baa_licensee_hst", []string{
+		"baaNpdidBsnsArrArea:int!", "cmpNpdidCompany:int!",
+		"baaLicenseeDateValidFrom:date!", "baaLicenseeDateValidTo:date",
+		"baaLicenseeInterest:float",
+		"pk=baaNpdidBsnsArrArea,cmpNpdidCompany,baaLicenseeDateValidFrom",
+		"fk=baaNpdidBsnsArrArea->baa.baaNpdidBsnsArrArea",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"baa_operator_hst", []string{
+		"baaNpdidBsnsArrArea:int!", "cmpNpdidCompany:int!",
+		"baaOperDateValidFrom:date!", "baaOperDateValidTo:date",
+		"pk=baaNpdidBsnsArrArea,cmpNpdidCompany,baaOperDateValidFrom",
+		"fk=baaNpdidBsnsArrArea->baa.baaNpdidBsnsArrArea",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"baa_transfer_hst", []string{
+		"baaNpdidBsnsArrArea:int!", "cmpNpdidCompany:int!", "baaTransferDate:date!",
+		"baaTransferDirection:text",
+		"pk=baaNpdidBsnsArrArea,cmpNpdidCompany,baaTransferDate",
+		"fk=baaNpdidBsnsArrArea->baa.baaNpdidBsnsArrArea",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"baa_area", []string{
+		"baaNpdidBsnsArrArea:int!", "blkName:text!",
+		"pk=baaNpdidBsnsArrArea,blkName",
+		"fk=baaNpdidBsnsArrArea->baa.baaNpdidBsnsArrArea",
+		"fk=blkName->block.blkName"}},
+
+	// --- transport & utilisation facilities ---
+	{"tuf", []string{
+		"tufNpdidTuf:int!", "tufName:text!", "tufKind:text", "tufStatus:text",
+		"tufDateApproved:date", "tufGeometry:geo",
+		"pk=tufNpdidTuf"}},
+	{"tuf_owner_hst", []string{
+		"tufNpdidTuf:int!", "cmpNpdidCompany:int!", "tufOwnerDateValidFrom:date!",
+		"tufOwnerDateValidTo:date", "tufOwnerShare:float",
+		"pk=tufNpdidTuf,cmpNpdidCompany,tufOwnerDateValidFrom",
+		"fk=tufNpdidTuf->tuf.tufNpdidTuf",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"tuf_operator_hst", []string{
+		"tufNpdidTuf:int!", "cmpNpdidCompany:int!", "tufOperDateValidFrom:date!",
+		"tufOperDateValidTo:date",
+		"pk=tufNpdidTuf,cmpNpdidCompany,tufOperDateValidFrom",
+		"fk=tufNpdidTuf->tuf.tufNpdidTuf",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"tuf_petreg_licence", []string{
+		"tufNpdidTuf:int!", "ptlNpdidLicence:int!",
+		"pk=tufNpdidTuf,ptlNpdidLicence",
+		"fk=tufNpdidTuf->tuf.tufNpdidTuf",
+		"fk=ptlNpdidLicence->licence_petreg_licence.ptlNpdidLicence"}},
+
+	// --- pipelines ---
+	{"pipeline", []string{
+		"pipNpdidPipeline:int!", "pipName:text!", "pipMedium:text",
+		"pipMainGrouping:text", "fclNpdidFacilityFrom:int",
+		"fclNpdidFacilityTo:int", "pipDimension:float", "pipWaterDepth:float",
+		"pipGeometry:geo",
+		"pk=pipNpdidPipeline",
+		"fk=fclNpdidFacilityFrom->facility_fixed.fclNpdidFacility",
+		"fk=fclNpdidFacilityTo->facility_fixed.fclNpdidFacility"}},
+
+	// --- yearly overview / statistics tables (overlapping columns) ---
+	{"production_licence_area_current", []string{
+		"prlNpdidLicence:int!", "prlAreaCurrent:float", "prlAreaGeometry:geo",
+		"pk=prlNpdidLicence",
+		"fk=prlNpdidLicence->licence.prlNpdidLicence"}},
+	{"wellbore_npdid_overview", []string{
+		"wlbNpdidWellbore:int!", "wlbWellboreName:text", "wlbKind:text",
+		"pk=wlbNpdidWellbore"}},
+	{"company_name_hst", []string{
+		"cmpNpdidCompany:int!", "cmpNameFromDate:date!", "cmpLongName:text",
+		"pk=cmpNpdidCompany,cmpNameFromDate",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+	{"field_area", []string{
+		"fldNpdidField:int!", "blkName:text!",
+		"pk=fldNpdidField,blkName",
+		"fk=fldNpdidField->field.fldNpdidField",
+		"fk=blkName->block.blkName"}},
+	{"discovery_operator_hst", []string{
+		"dscNpdidDiscovery:int!", "cmpNpdidCompany:int!", "dscOperatorFrom:date!",
+		"dscOperatorTo:date",
+		"pk=dscNpdidDiscovery,cmpNpdidCompany,dscOperatorFrom",
+		"fk=dscNpdidDiscovery->discovery.dscNpdidDiscovery",
+		"fk=cmpNpdidCompany->company.cmpNpdidCompany"}},
+}
+
+// TableCount returns the number of tables in the schema.
+func TableCount() int { return len(schemaSpecs) }

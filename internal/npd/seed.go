@@ -1,0 +1,502 @@
+package npd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// SeedConfig controls the synthetic FactPages seed instance.
+type SeedConfig struct {
+	// Scale multiplies the per-table base row counts (1.0 ≈ a small
+	// FactPages snapshot; the benchmark's NPD1 instance).
+	Scale float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultSeedConfig returns a small, test-friendly seed instance.
+func DefaultSeedConfig() SeedConfig { return SeedConfig{Scale: 1, Seed: 42} }
+
+// Constant vocabularies — the "intrinsically constant" concepts whose
+// virtual extensions must not grow with the data (paper Sect. 4 and 5.2).
+var (
+	mainAreas      = []string{"North sea", "Norwegian sea", "Barents sea"}
+	hcTypes        = []string{"OIL", "GAS", "OIL/GAS", "GAS/CONDENSATE", "CONDENSATE"}
+	activityStates = []string{"Producing", "Shut down", "Approved for production", "Decided for production", "Returned area"}
+	purposes       = []string{"WILDCAT", "APPRAISAL", "PRODUCTION", "INJECTION", "OBSERVATION"}
+	contents       = []string{"OIL", "GAS", "OIL SHOWS", "GAS SHOWS", "DRY", "WATER"}
+	statuses       = []string{"DRILLING", "SUSPENDED", "COMPLETED", "JUNKED", "P&A", "PRODUCING"}
+	fclKinds       = []string{"CONCRETE STRUCTURE", "CONDEEP 3 SHAFTS", "JACKET 4 LEGS", "SUBSEA STRUCTURE", "FPSO", "JACK-UP 3 LEGS", "SEMISUB STEEL", "TLP", "VESSEL", "LOADING SYSTEM", "ONSHORE FACILITY"}
+	fclPhases      = []string{"PLANNED", "INSTALLATION", "IN SERVICE", "DISPOSAL", "REMOVED", "ABANDONED IN PLACE"}
+	lsuLevels      = []string{"GROUP", "FORMATION", "MEMBER"}
+	eras           = []string{"TRIASSIC", "JURASSIC", "CRETACEOUS", "PALEOGENE", "NEOGENE", "PERMIAN", "CARBONIFEROUS", "DEVONIAN"}
+	mudTypes       = []string{"WATER BASED", "OIL BASED", "SYNTHETIC", "KCL/POLYMER"}
+	taskStatuses   = []string{"ACTIVE", "FULFILLED", "WAIVED"}
+	docTypes       = []string{"COMPLETION REPORT", "COMPLETION LOG", "CORE PHOTO", "PRESS RELEASE"}
+	surveyStates   = []string{"Planned", "Ongoing", "Finished", "Cancelled"}
+	surveyTypes    = []string{"Ordinary seismic survey", "Site survey", "Electromagnetic", "Gravimetric"}
+	mediums        = []string{"OIL", "GAS", "CONDENSATE", "WATER", "OIL/GAS"}
+	baaKinds       = []string{"UNITIZED FIELD", "TRANSPORTATION", "UTILIZATION"}
+	tufKinds       = []string{"TRANSPORTATION", "UTILIZATION"}
+	geoDatums      = []string{"ED50", "WGS84"}
+	nationCodes    = []string{"NO", "GB", "DK", "NL", "FR", "DE", "US", "IT", "SE"}
+	ownerKinds     = []string{"BUSINESS ARRANGEMENT AREA", "PRODUCTION LICENCE"}
+	coordSystems   = []string{"ED50 UTM31", "ED50 UTM32", "ED50 UTM33", "ED50 UTM34", "ED50 UTM35"}
+	casingTypes    = []string{"CONDUCTOR", "SURFACE", "INTERMEDIATE", "PRODUCTION", "LINER"}
+	headings       = []string{"Development", "Reservoir", "Recovery", "Transport", "Status"}
+	transferDirs   = []string{"FROM", "TO"}
+	petregKinds    = []string{"TRANSFER", "MORTGAGE", "CHANGE OF NAME"}
+	fluidTypes     = []string{"OIL", "GAS", "CONDENSATE", "WATER"}
+	seaAreaKinds   = []string{"OPENED", "CLOSED", "RESTRICTED"}
+	wlbKinds       = []string{"EXPLORATION", "DEVELOPMENT", "SHALLOW"}
+	phases         = []string{"INITIAL", "EXTENSION", "PRODUCTION"}
+)
+
+// base row counts at Scale 1, chosen to mirror the relative sizes of the
+// FactPages tables (many wellbores and monthly production rows, few
+// companies).
+var baseCounts = map[string]int{
+	"company": 60, "quadrant": 24, "block": 180, "licence": 180, "field": 80,
+	"discovery": 140, "facility_fixed": 90, "facility_moveable": 50,
+	"wellbore_exploration_all": 380, "wellbore_development_all": 560,
+	"wellbore_shallow_all": 120,
+	"wellbore_core":        420, "wellbore_core_photo": 300, "wellbore_dst": 180,
+	"wellbore_document": 500, "wellbore_mud": 600, "wellbore_casing_and_lot": 520,
+	"wellbore_oil_sample": 160, "wellbore_coordinates": 380, "wellbore_history": 420,
+	"strat_litho_unit": 120, "wellbore_formation_top": 700,
+	"strat_litho_wellbore_core": 260,
+	"field_production_monthly":  1600, "field_production_yearly": 420,
+	"field_investment_yearly": 380, "field_reserves": 78,
+	"field_activity_status_hst": 180, "field_owner_hst": 120,
+	"field_operator_hst": 140, "field_licensee_hst": 320, "field_description": 150,
+	"discovery_description": 180, "discovery_reserves": 120, "discovery_area": 170,
+	"licence_licensee_hst": 520, "licence_oper_hst": 260, "licence_phase_hst": 300,
+	"licence_area": 260, "licence_task": 200, "licence_transfer_hst": 240,
+	"licence_petreg_licence": 150, "licence_petreg_licence_licencee": 320,
+	"licence_petreg_licence_oper": 140, "licence_petreg_message": 180,
+	"company_reserves": 260,
+	"survey":           160, "seis_acquisition": 200, "seis_acquisition_progress": 320,
+	"survey_coordinates": 480,
+	"prospect":           120, "apa_area_gross": 40, "apa_area_net": 90, "sea_area": 30,
+	"baa": 60, "baa_licensee_hst": 160, "baa_operator_hst": 80,
+	"baa_transfer_hst": 70, "baa_area": 90,
+	"tuf": 40, "tuf_owner_hst": 110, "tuf_operator_hst": 50, "tuf_petreg_licence": 60,
+	"pipeline":                        70,
+	"production_licence_area_current": 150,
+	"wellbore_npdid_overview":         900, "company_name_hst": 80, "field_area": 140,
+	"discovery_operator_hst": 150,
+}
+
+// seeder holds generation state.
+type seeder struct {
+	db  *sqldb.Database
+	rng *rand.Rand
+	// npdid sequences per entity family
+	seq map[string]int64
+}
+
+// Seed populates the schema with a deterministic synthetic FactPages
+// snapshot.
+func Seed(db *sqldb.Database, cfg SeedConfig) error {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	s := &seeder{db: db, rng: rand.New(rand.NewSource(cfg.Seed)), seq: map[string]int64{}}
+	count := func(table string) int {
+		n := int(float64(baseCounts[table]) * cfg.Scale)
+		if baseCounts[table] > 0 && n < 2 {
+			n = 2
+		}
+		return n
+	}
+	// Vocabulary tables first.
+	if err := s.vocab("main_area", mainAreas); err != nil {
+		return err
+	}
+	if err := s.vocab("hc_type", hcTypes); err != nil {
+		return err
+	}
+	if err := s.vocab("activity_status", activityStates); err != nil {
+		return err
+	}
+	if err := s.vocab("wellbore_purpose", purposes); err != nil {
+		return err
+	}
+	if err := s.vocab("wellbore_content", contents); err != nil {
+		return err
+	}
+	if err := s.vocab("facility_kind", fclKinds); err != nil {
+		return err
+	}
+	if err := s.vocab("facility_phase", fclPhases); err != nil {
+		return err
+	}
+	// Entities in FK order; the convention engine fills each table.
+	order := []string{
+		"company", "quadrant", "block", "licence", "field", "discovery",
+		"facility_fixed", "facility_moveable",
+		"wellbore_exploration_all", "wellbore_development_all", "wellbore_shallow_all",
+		"strat_litho_unit",
+		"wellbore_core", "wellbore_core_photo", "wellbore_dst", "wellbore_document",
+		"wellbore_mud", "wellbore_casing_and_lot", "wellbore_oil_sample",
+		"wellbore_coordinates", "wellbore_history", "wellbore_formation_top",
+		"strat_litho_wellbore_core",
+		"field_production_monthly", "field_production_yearly",
+		"field_investment_yearly", "field_reserves", "field_activity_status_hst",
+		"field_owner_hst", "field_operator_hst", "field_licensee_hst",
+		"field_description",
+		"discovery_description", "discovery_reserves", "discovery_area",
+		"licence_licensee_hst", "licence_oper_hst", "licence_phase_hst",
+		"licence_area", "licence_task", "licence_transfer_hst",
+		"licence_petreg_licence", "licence_petreg_licence_licencee",
+		"licence_petreg_licence_oper", "licence_petreg_message",
+		"company_reserves",
+		"survey", "seis_acquisition", "seis_acquisition_progress",
+		"survey_coordinates",
+		"prospect", "apa_area_gross", "apa_area_net", "sea_area",
+		"baa", "baa_licensee_hst", "baa_operator_hst", "baa_transfer_hst",
+		"baa_area",
+		"tuf", "tuf_owner_hst", "tuf_operator_hst", "tuf_petreg_licence",
+		"pipeline", "production_licence_area_current", "wellbore_npdid_overview",
+		"company_name_hst", "field_area", "discovery_operator_hst",
+	}
+	for _, table := range order {
+		if err := s.fill(table, count(table)); err != nil {
+			return fmt.Errorf("npd: seeding %s: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// NewSeededDatabase builds the schema and seeds it.
+func NewSeededDatabase(cfg SeedConfig) (*sqldb.Database, error) {
+	db, err := NewDatabase()
+	if err != nil {
+		return nil, err
+	}
+	if err := Seed(db, cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (s *seeder) vocab(table string, values []string) error {
+	for _, v := range values {
+		t := s.db.Table(table)
+		row := make(sqldb.Row, len(t.Def.Columns))
+		row[0] = sqldb.NewString(v)
+		for i := 1; i < len(row); i++ {
+			row[i] = sqldb.NewString(values[s.rng.Intn(len(values))])
+		}
+		if err := s.db.Insert(table, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill inserts n convention-generated rows into the table.
+func (s *seeder) fill(table string, n int) error {
+	t := s.db.Table(table)
+	if t == nil {
+		return fmt.Errorf("unknown table %s", table)
+	}
+	def := t.Def
+	fkCols := map[int]*sqldb.ForeignKey{}
+	for i := range def.ForeignKeys {
+		for _, c := range def.ForeignKeys[i].Columns {
+			fkCols[c] = &def.ForeignKeys[i]
+		}
+	}
+	for k := 0; k < n; k++ {
+		ok := false
+		for attempt := 0; attempt < 48 && !ok; attempt++ {
+			row := make(sqldb.Row, len(def.Columns))
+			// FKs first (consistent composite tuples).
+			skip := false
+			for fi := range def.ForeignKeys {
+				fk := &def.ForeignKeys[fi]
+				parent := s.db.Table(fk.RefTable)
+				if parent == nil || parent.Len() == 0 {
+					// self-referencing strat units: NULL parent allowed
+					if s.nullableFK(def, fk) {
+						continue
+					}
+					skip = true
+					break
+				}
+				if strings.EqualFold(fk.RefTable, def.Name) {
+					// self-FK (stratigraphy): 60% NULL roots, else an
+					// earlier unit
+					if s.rng.Float64() < 0.6 {
+						continue
+					}
+				}
+				src := parent.Rows[s.rng.Intn(parent.Len())]
+				for i, c := range fk.Columns {
+					row[c] = src[fk.RefColumns[i]]
+				}
+				// optional FKs are occasionally NULL (realistic sparsity)
+				if s.nullableFK(def, fk) && s.rng.Float64() < 0.15 {
+					for _, c := range fk.Columns {
+						row[c] = sqldb.Null
+					}
+				}
+			}
+			if skip {
+				break
+			}
+			for i, col := range def.Columns {
+				if !row[i].IsNull() {
+					continue
+				}
+				if _, isFK := fkCols[i]; isFK && !row[i].IsNull() {
+					continue
+				}
+				if _, isFK := fkCols[i]; isFK {
+					continue // deliberately NULL FK
+				}
+				row[i] = s.columnValue(def.Name, col, k)
+			}
+			if err := s.db.InsertUnchecked(def.Name, row); err != nil {
+				if _, dup := err.(*sqldb.DuplicateKeyError); dup {
+					continue
+				}
+				return err
+			}
+			ok = true
+		}
+	}
+	return nil
+}
+
+func (s *seeder) nullableFK(def *sqldb.TableDef, fk *sqldb.ForeignKey) bool {
+	for _, c := range fk.Columns {
+		if def.Columns[c].NotNull {
+			return false
+		}
+		for _, pk := range def.PrimaryKey {
+			if pk == c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// columnValue generates one value using FactPages naming conventions.
+func (s *seeder) columnValue(table string, col sqldb.Column, rowIdx int) sqldb.Value {
+	name := strings.ToLower(col.Name)
+	pick := func(vals []string) sqldb.Value {
+		return sqldb.NewString(vals[s.rng.Intn(len(vals))])
+	}
+	switch col.Type {
+	case sqldb.TInt:
+		switch {
+		case strings.Contains(name, "npdid"):
+			key := npdidFamily(name)
+			s.seq[key]++
+			return sqldb.NewInt(s.seq[key])
+		case strings.Contains(name, "year"):
+			return sqldb.NewInt(int64(1966 + s.rng.Intn(48))) // 1966–2013
+		case strings.Contains(name, "month"):
+			return sqldb.NewInt(int64(1 + s.rng.Intn(12)))
+		case strings.Contains(name, "number") || strings.Contains(name, "seq"):
+			return sqldb.NewInt(int64(1 + s.rng.Intn(24)))
+		case strings.Contains(name, "deg"):
+			return sqldb.NewInt(int64(s.rng.Intn(75)))
+		case strings.Contains(name, "min"):
+			return sqldb.NewInt(int64(s.rng.Intn(60)))
+		case strings.Contains(name, "symbol"):
+			return sqldb.NewInt(int64(s.rng.Intn(30)))
+		}
+		return sqldb.NewInt(int64(s.rng.Intn(10000)))
+	case sqldb.TFloat:
+		switch {
+		case strings.Contains(name, "depth"):
+			return sqldb.NewFloat(100 + s.rng.Float64()*5400)
+		case strings.Contains(name, "length"):
+			return sqldb.NewFloat(s.rng.Float64() * 220)
+		case strings.Contains(name, "interest") || strings.Contains(name, "share"):
+			return sqldb.NewFloat(float64(s.rng.Intn(20)+1) * 5)
+		case strings.Contains(name, "decdeg") && strings.Contains(name, "ns"):
+			return sqldb.NewFloat(56 + s.rng.Float64()*18)
+		case strings.Contains(name, "decdeg") && strings.Contains(name, "ew"):
+			return sqldb.NewFloat(1 + s.rng.Float64()*30)
+		case strings.Contains(name, "prd") || strings.Contains(name, "recoverable") || strings.Contains(name, "remaining"):
+			return sqldb.NewFloat(s.rng.Float64() * 40)
+		case strings.Contains(name, "investment") || strings.Contains(name, "nok"):
+			return sqldb.NewFloat(s.rng.Float64() * 9000)
+		case strings.Contains(name, "area"):
+			return sqldb.NewFloat(10 + s.rng.Float64()*900)
+		case strings.Contains(name, "temperature"):
+			return sqldb.NewFloat(40 + s.rng.Float64()*140)
+		}
+		return sqldb.NewFloat(s.rng.Float64() * 1000)
+	case sqldb.TBool:
+		return sqldb.NewBool(s.rng.Intn(2) == 0)
+	case sqldb.TDate:
+		// 1966-01-01 .. 2013-12-31 as days since epoch
+		return sqldb.NewDate(int64(-1461 + s.rng.Intn(17532)))
+	case sqldb.TGeometry:
+		return sqldb.NewGeometry(s.shelfPolygon())
+	}
+	// text columns
+	switch {
+	case strings.Contains(name, "mainarea") || name == "maingrouping":
+		return pick(mainAreas)
+	case strings.Contains(name, "hctype"):
+		return pick(hcTypes)
+	case strings.Contains(name, "activitystatus"):
+		return pick(activityStates)
+	case strings.Contains(name, "purpose"):
+		return pick(purposes)
+	case strings.Contains(name, "contentplanned"), strings.HasSuffix(name, "content"):
+		return pick(contents)
+	case strings.Contains(name, "mudtype"):
+		return pick(mudTypes)
+	case strings.Contains(name, "taskstatus"):
+		return pick(taskStatuses)
+	case strings.Contains(name, "documenttype"):
+		return pick(docTypes)
+	case table == "survey" && name == "seastatus":
+		return pick(surveyStates)
+	case strings.Contains(name, "surveytype"):
+		return pick(surveyTypes)
+	case strings.Contains(name, "medium"):
+		return pick(mediums)
+	case table == "baa" && name == "baakind":
+		return pick(baaKinds)
+	case table == "tuf" && name == "tufkind":
+		return pick(tufKinds)
+	case strings.Contains(name, "kind") && strings.Contains(name, "owner"):
+		return pick(ownerKinds)
+	case table == "wellbore_npdid_overview" && name == "wlbkind":
+		return pick(wlbKinds)
+	case strings.HasSuffix(name, "kind"):
+		return pick(fclKinds)
+	case strings.Contains(name, "phase"):
+		if strings.HasPrefix(name, "fcl") {
+			return pick(fclPhases)
+		}
+		return pick(phases)
+	case strings.Contains(name, "status"):
+		return pick(statuses)
+	case strings.Contains(name, "datum"):
+		return pick(geoDatums)
+	case strings.Contains(name, "nationcode"):
+		return pick(nationCodes)
+	case strings.Contains(name, "lsulevel"):
+		return pick(lsuLevels)
+	case strings.Contains(name, "era") || strings.Contains(name, "ageattd"):
+		return pick(eras)
+	case strings.Contains(name, "coordinatesystem"):
+		return pick(coordSystems)
+	case strings.Contains(name, "casingtype"):
+		return pick(casingTypes)
+	case strings.Contains(name, "heading"):
+		return pick(headings)
+	case strings.Contains(name, "direction"):
+		return pick(transferDirs)
+	case strings.Contains(name, "messagekind"):
+		return pick(petregKinds)
+	case strings.Contains(name, "fluidtype"):
+		return pick(fluidTypes)
+	case strings.Contains(name, "seaareakind"):
+		return pick(seaAreaKinds)
+	case strings.Contains(name, "stratigraphical"):
+		return pick([]string{"YES", "NO"})
+	case strings.Contains(name, "url"):
+		return sqldb.NewString(fmt.Sprintf("http://factpages.npd.no/doc/%s/%d", table, rowIdx))
+	case strings.Contains(name, "wellborename") || name == "wlbwell":
+		q := 1 + s.rng.Intn(36)
+		b := 1 + s.rng.Intn(12)
+		w := 1 + s.rng.Intn(40)
+		if name == "wlbwell" {
+			return sqldb.NewString(fmt.Sprintf("%d/%d-%d", q, b, w))
+		}
+		return sqldb.NewString(fmt.Sprintf("%d/%d-%d %s", q, b, w, string(rune('A'+s.rng.Intn(4)))))
+	case strings.Contains(name, "name"):
+		return sqldb.NewString(nameFor(table, name, rowIdx, s.rng))
+	case strings.Contains(name, "text"):
+		return sqldb.NewString(fmt.Sprintf("Synthetic FactPages narrative %d for %s.", rowIdx, table))
+	case strings.Contains(name, "prefix"):
+		return sqldb.NewString(fmt.Sprintf("%c%c", 'A'+s.rng.Intn(26), 'A'+s.rng.Intn(26)))
+	case strings.Contains(name, "orgnumber"):
+		return sqldb.NewString(fmt.Sprintf("%09d", s.rng.Intn(1_000_000_000)))
+	case strings.Contains(name, "functions"):
+		return pick([]string{"DRILLING", "PRODUCTION", "QUARTER", "PROCESSING", "INJECTION", "STORAGE"})
+	case strings.Contains(name, "base"):
+		return pick([]string{"Tananger", "Dusavik", "Mongstad", "Kristiansund", "Sandnessjøen", "Hammerfest"})
+	case strings.Contains(name, "location"):
+		return sqldb.NewString(fmt.Sprintf("line %d", s.rng.Intn(4000)))
+	case strings.Contains(name, "formationattd"):
+		return sqldb.NewString(fmt.Sprintf("%s FM", strings.ToUpper(nameFor("strat", "name", s.rng.Intn(40), s.rng))))
+	case strings.Contains(name, "geographicalarea"):
+		return pick(mainAreas)
+	case strings.Contains(name, "operator") || strings.Contains(name, "facility") || strings.Contains(name, "belongsto"):
+		return sqldb.NewString(nameFor("company", "name", s.rng.Intn(60), s.rng))
+	case strings.Contains(name, "aocstatus"):
+		return pick([]string{"AOC VALID", "AOC EXPIRED"})
+	case strings.Contains(name, "part"):
+		return pick([]string{"NORTH", "SOUTH", "EAST", "WEST", "CENTRAL"})
+	}
+	return sqldb.NewString(fmt.Sprintf("%s_%d", name, rowIdx))
+}
+
+// npdidFamily groups npdid columns so that FKs and PKs of the same entity
+// share a sequence.
+func npdidFamily(colName string) string {
+	i := strings.Index(colName, "npdid")
+	return "npdid:" + colName[i:]
+}
+
+var norseSyllables = []string{"Tro", "Eko", "Sno", "Vis", "Hei", "Bal", "Gull", "Os", "Frig", "Sleip", "Var", "Mik", "Orm", "Dra", "Skar", "Alv", "Tyr", "Embl", "Gud", "Mun"}
+var norseSuffixes = []string{"ll", "fisk", "ne", "und", "dal", "berg", "vik", "heim", "øy", "nes", "en", "a", "ungen", "gard"}
+
+// nameFor produces stable, domain-flavoured entity names.
+func nameFor(table, col string, idx int, rng *rand.Rand) string {
+	base := norseSyllables[idx%len(norseSyllables)] + norseSuffixes[(idx/len(norseSyllables))%len(norseSuffixes)]
+	switch {
+	case strings.HasPrefix(table, "company") || table == "company":
+		corp := []string{"Petroleum AS", "Energy ASA", "Oil Company", "E&P Norge", "Exploration AS"}
+		return base + " " + corp[idx%len(corp)]
+	case strings.HasPrefix(table, "licence") || strings.HasPrefix(col, "prl"):
+		return fmt.Sprintf("PL%03d", 1+idx)
+	case strings.HasPrefix(table, "block"):
+		return fmt.Sprintf("%d/%d", 1+idx/12, 1+idx%12)
+	case strings.HasPrefix(table, "quadrant"):
+		return fmt.Sprintf("%d", 1+idx)
+	case strings.HasPrefix(table, "apa"):
+		return fmt.Sprintf("APA%d", 2003+idx%11)
+	case strings.HasPrefix(table, "survey"):
+		return fmt.Sprintf("ST%02d%03d", idx%14, idx)
+	}
+	return strings.ToUpper(base[:1]) + base[1:]
+}
+
+// shelfPolygon draws a small rectangle on the Norwegian continental shelf
+// (1–31°E, 56–74°N).
+func (s *seeder) shelfPolygon() *sqldb.Geometry {
+	x0 := 1 + s.rng.Float64()*28
+	y0 := 56 + s.rng.Float64()*16
+	w := 0.05 + s.rng.Float64()*0.8
+	h := 0.05 + s.rng.Float64()*0.8
+	return &sqldb.Geometry{Points: []sqldb.Point{
+		{X: x0, Y: y0}, {X: x0 + w, Y: y0}, {X: x0 + w, Y: y0 + h}, {X: x0, Y: y0 + h}, {X: x0, Y: y0},
+	}}
+}
+
+// SortedTableSizes renders table row counts (diagnostics).
+func SortedTableSizes(db *sqldb.Database) string {
+	var names []string
+	for _, t := range db.Tables() {
+		names = append(names, fmt.Sprintf("%-36s %6d", t.Def.Name, t.Len()))
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\n")
+}

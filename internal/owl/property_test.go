@@ -1,0 +1,95 @@
+package owl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property: Subsumes over random subclass DAGs coincides with naive
+// graph reachability.
+func TestSubsumptionMatchesReachability(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 6 + rng.Intn(14)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("%sC%d", ns, i)
+		}
+		// random DAG edges i -> j with i < j (child -> parent)
+		edges := make(map[int][]int)
+		o := New(ns)
+		for i := 0; i < n; i++ {
+			o.DeclareClass(names[i])
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					edges[i] = append(edges[i], j)
+					o.AddSubClass(NamedConcept(names[i]), NamedConcept(names[j]))
+				}
+			}
+		}
+		reach := func(from, to int) bool {
+			if from == to {
+				return true
+			}
+			seen := map[int]bool{}
+			stack := []int{from}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, nxt := range edges[cur] {
+					if nxt == to {
+						return true
+					}
+					if !seen[nxt] {
+						seen[nxt] = true
+						stack = append(stack, nxt)
+					}
+				}
+			}
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := reach(i, j)
+				got := o.Subsumes(NamedConcept(names[j]), NamedConcept(names[i]))
+				if got != want {
+					t.Fatalf("trial %d: Subsumes(%d ⊒ %d) = %v, reachability says %v",
+						trial, j, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: SubConceptsOf and SuperConceptsOf are converses.
+func TestSubSuperConverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o := New(ns)
+	n := 15
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%sK%d", ns, i)
+		o.DeclareClass(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				o.AddSubClass(NamedConcept(names[i]), NamedConcept(names[j]))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, sub := range o.SubConceptsOf(NamedConcept(names[i])) {
+			found := false
+			for _, sup := range o.SuperConceptsOf(sub) {
+				if sup == NamedConcept(names[i]) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v ∈ sub(%s) but %s ∉ super(%v)", sub, names[i], names[i], sub)
+			}
+		}
+	}
+}

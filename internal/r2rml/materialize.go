@@ -1,0 +1,96 @@
+package r2rml
+
+import (
+	"fmt"
+	"strings"
+
+	"npdbench/internal/rdf"
+	"npdbench/internal/sqldb"
+)
+
+// Materialize exposes the virtual RDF graph: it evaluates every triples
+// map's logical table over db and emits the generated triples through emit.
+// Duplicate triples may be emitted; RDF-set semantics are the consumer's
+// concern (a triplestore.Store deduplicates on Add).
+func (mp *Mapping) Materialize(db *sqldb.Database, emit func(rdf.Triple)) error {
+	for _, m := range mp.Maps {
+		if err := m.materialize(db, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeTriples collects the whole virtual graph into a slice
+// (convenience for tests and small instances; large instances should stream
+// through Materialize).
+func (mp *Mapping) MaterializeTriples(db *sqldb.Database) ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	err := mp.Materialize(db, func(t rdf.Triple) { out = append(out, t) })
+	return out, err
+}
+
+func (m *TriplesMap) materialize(db *sqldb.Database, emit func(rdf.Triple)) error {
+	stmt, err := m.LogicalSQL()
+	if err != nil {
+		return err
+	}
+	res, err := db.ExecSelect(stmt)
+	if err != nil {
+		return fmt.Errorf("r2rml: mapping %s: %w", m.Name, err)
+	}
+	colIndex := make(map[string]int, len(res.Columns))
+	for i, c := range res.Columns {
+		colIndex[strings.ToLower(c)] = i
+	}
+	rdfType := rdf.NewIRI(rdf.RDFType)
+	for _, row := range res.Rows {
+		get := func(col string) (sqldb.Value, bool) {
+			i, ok := colIndex[strings.ToLower(col)]
+			if !ok {
+				return sqldb.Null, false
+			}
+			return row[i], true
+		}
+		subj, ok := m.Subject.Generate(get)
+		if !ok {
+			continue
+		}
+		for _, class := range m.Classes {
+			emit(rdf.Triple{S: subj, P: rdfType, O: rdf.NewIRI(class)})
+		}
+		for _, po := range m.POs {
+			obj, ok := po.Object.Generate(get)
+			if !ok {
+				continue
+			}
+			emit(rdf.Triple{S: subj, P: rdf.NewIRI(po.Predicate), O: obj})
+		}
+	}
+	return nil
+}
+
+// VirtualCounts tallies, per ontology term, the number of distinct triples
+// the mapping exposes over db. It is the measurement primitive behind the
+// paper's VIG-validation experiment (Table 8: expected vs. actual growth of
+// classes and properties).
+func (mp *Mapping) VirtualCounts(db *sqldb.Database) (map[string]int, error) {
+	type key struct{ s, p, o rdf.Term }
+	seen := make(map[key]string, 1024)
+	counts := make(map[string]int)
+	err := mp.Materialize(db, func(t rdf.Triple) {
+		k := key{t.S, t.P, t.O}
+		if _, dup := seen[k]; dup {
+			return
+		}
+		var term string
+		if t.P.Value == rdf.RDFType {
+			term = t.O.Value
+		} else {
+			term = t.P.Value
+		}
+		seen[k] = term
+		counts[term]++
+	})
+	return counts, err
+}

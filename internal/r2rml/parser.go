@@ -1,0 +1,290 @@
+package r2rml
+
+import (
+	"fmt"
+	"strings"
+
+	"npdbench/internal/rdf"
+)
+
+// ParseMapping parses the compact OBDA mapping syntax (modelled on Ontop's
+// .obda format):
+//
+//	[PrefixDeclaration]
+//	npdv:  http://sws.ifi.uio.no/vocab/npd-v2#
+//	data:  http://sws.ifi.uio.no/data/npd-v2/
+//
+//	[MappingDeclaration]
+//	mappingId  wellbore-core
+//	target     data:wellbore/{id} a npdv:Wellbore ; npdv:name {name} .
+//	source     SELECT id, name FROM wellbore
+//
+//	mappingId  ...
+//
+// Targets use Turtle-like triples with {column} placeholders; `a` abbreviates
+// rdf:type; objects may be IRI templates, literal columns (optionally typed
+// with ^^), or constants.
+func ParseMapping(src string) (*Mapping, error) {
+	mp := NewMapping()
+	lines := strings.Split(src, "\n")
+	section := ""
+	var cur *TriplesMap
+	var curTarget string
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if curTarget == "" {
+			return fmt.Errorf("r2rml: mapping %s has no target", cur.Name)
+		}
+		if err := parseTarget(mp, cur, curTarget); err != nil {
+			return err
+		}
+		if cur.Table == "" && cur.SQL == "" {
+			return fmt.Errorf("r2rml: mapping %s has no source", cur.Name)
+		}
+		mp.Add(cur)
+		cur, curTarget = nil, ""
+		return nil
+	}
+	for lineNo, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			section = strings.Trim(line, "[]")
+			continue
+		}
+		switch section {
+		case "PrefixDeclaration":
+			fields := strings.Fields(line)
+			if len(fields) != 2 || !strings.HasSuffix(fields[0], ":") {
+				return nil, fmt.Errorf("r2rml: line %d: bad prefix declaration %q", lineNo+1, line)
+			}
+			mp.Prefixes[strings.TrimSuffix(fields[0], ":")] = fields[1]
+		case "MappingDeclaration":
+			key, rest, found := strings.Cut(line, " ")
+			if !found {
+				key, rest = line, ""
+			}
+			rest = strings.TrimSpace(rest)
+			switch key {
+			case "mappingId":
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				cur = &TriplesMap{Name: rest}
+			case "target":
+				if cur == nil {
+					return nil, fmt.Errorf("r2rml: line %d: target before mappingId", lineNo+1)
+				}
+				curTarget = rest
+			case "source":
+				if cur == nil {
+					return nil, fmt.Errorf("r2rml: line %d: source before mappingId", lineNo+1)
+				}
+				cur.SQL = rest
+			default:
+				// continuation of the previous source line
+				if cur != nil && cur.SQL != "" {
+					cur.SQL += " " + line
+					continue
+				}
+				return nil, fmt.Errorf("r2rml: line %d: unexpected %q", lineNo+1, line)
+			}
+		default:
+			return nil, fmt.Errorf("r2rml: line %d: content outside a section", lineNo+1)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+// MustParseMapping parses or panics (static benchmark assets).
+func MustParseMapping(src string) *Mapping {
+	mp, err := ParseMapping(src)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}
+
+// parseTarget fills the subject/classes/POs of m from the target text.
+func parseTarget(mp *Mapping, m *TriplesMap, target string) error {
+	toks, err := tokenizeTarget(target)
+	if err != nil {
+		return fmt.Errorf("r2rml: mapping %s: %w", m.Name, err)
+	}
+	if len(toks) == 0 {
+		return fmt.Errorf("r2rml: mapping %s: empty target", m.Name)
+	}
+	subj, err := parseTermToken(mp, toks[0], true)
+	if err != nil {
+		return fmt.Errorf("r2rml: mapping %s: subject: %w", m.Name, err)
+	}
+	m.Subject = subj
+	i := 1
+	for i < len(toks) {
+		if toks[i] == "." {
+			i++
+			continue
+		}
+		pred := toks[i]
+		i++
+		if i >= len(toks) {
+			return fmt.Errorf("r2rml: mapping %s: dangling predicate %q", m.Name, pred)
+		}
+		obj := toks[i]
+		i++
+		if pred == "a" {
+			iri, err := expandIRIToken(mp, obj)
+			if err != nil {
+				return fmt.Errorf("r2rml: mapping %s: class: %w", m.Name, err)
+			}
+			m.Classes = append(m.Classes, iri)
+		} else {
+			predIRI, err := expandIRIToken(mp, pred)
+			if err != nil {
+				return fmt.Errorf("r2rml: mapping %s: predicate: %w", m.Name, err)
+			}
+			objMap, err := parseTermToken(mp, obj, false)
+			if err != nil {
+				return fmt.Errorf("r2rml: mapping %s: object: %w", m.Name, err)
+			}
+			m.POs = append(m.POs, PredicateObject{Predicate: predIRI, Object: objMap})
+		}
+		if i < len(toks) && (toks[i] == ";" || toks[i] == ".") {
+			i++
+		}
+	}
+	return nil
+}
+
+func tokenizeTarget(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == ';' || c == '.':
+			// '.' inside an IRI/template is handled by the token scanners
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated literal in target")
+			}
+			end := j + 1
+			// optional ^^datatype
+			if end+1 < len(s) && s[end] == '^' && s[end+1] == '^' {
+				end += 2
+				for end < len(s) && s[end] != ' ' && s[end] != ';' {
+					end++
+				}
+			}
+			toks = append(toks, s[i:end])
+			i = end
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated IRI in target")
+			}
+			toks = append(toks, s[i:i+j+1])
+			i += j + 1
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != ';' {
+				j++
+			}
+			word := s[i:j]
+			// strip a trailing '.' when it terminates the whole target
+			if word != "." && strings.HasSuffix(word, ".") && j == len(s) {
+				word = word[:len(word)-1]
+				toks = append(toks, word, ".")
+			} else {
+				toks = append(toks, word)
+			}
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// expandIRIToken resolves an IRI token (prefixed or <...>), allowing
+// {placeholders} to pass through.
+func expandIRIToken(mp *Mapping, tok string) (string, error) {
+	if strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">") {
+		return tok[1 : len(tok)-1], nil
+	}
+	colon := strings.Index(tok, ":")
+	if colon < 0 {
+		return "", fmt.Errorf("%q is not an IRI", tok)
+	}
+	ns, ok := mp.Prefixes[tok[:colon]]
+	if !ok {
+		return "", fmt.Errorf("unknown prefix in %q", tok)
+	}
+	return ns + tok[colon+1:], nil
+}
+
+// parseTermToken interprets a target token as a term map. Subjects must be
+// IRI maps.
+func parseTermToken(mp *Mapping, tok string, subject bool) (TermMap, error) {
+	switch {
+	case strings.HasPrefix(tok, "\""):
+		// constant literal with optional datatype
+		body, dt, _ := strings.Cut(tok, "^^")
+		lex := strings.Trim(body, "\"")
+		if dt != "" {
+			iri, err := expandIRIToken(mp, dt)
+			if err != nil {
+				return TermMap{}, err
+			}
+			return ConstantMap(rdf.NewTypedLiteral(lex, iri)), nil
+		}
+		return ConstantMap(rdf.NewLiteral(lex)), nil
+	case strings.HasPrefix(tok, "{"):
+		// literal column, optionally typed
+		body, dt, _ := strings.Cut(tok, "^^")
+		col := strings.Trim(body, "{}")
+		if col == "" {
+			return TermMap{}, fmt.Errorf("empty column in %q", tok)
+		}
+		if subject {
+			return TermMap{}, fmt.Errorf("subject cannot be a literal (%q)", tok)
+		}
+		if dt != "" {
+			iri, err := expandIRIToken(mp, dt)
+			if err != nil {
+				return TermMap{}, err
+			}
+			return TypedColumnMap(col, iri), nil
+		}
+		return ColumnMap(col), nil
+	default:
+		iri, err := expandIRIToken(mp, tok)
+		if err != nil {
+			return TermMap{}, err
+		}
+		if !strings.Contains(iri, "{") {
+			if subject {
+				return TermMap{Kind: IRITemplate, Template: MustParseTemplate(iri)}, nil
+			}
+			return ConstantMap(rdf.NewIRI(iri)), nil
+		}
+		tmpl, err := ParseTemplate(iri)
+		if err != nil {
+			return TermMap{}, err
+		}
+		return TermMap{Kind: IRITemplate, Template: tmpl}, nil
+	}
+}

@@ -1,0 +1,231 @@
+// Package r2rml implements the mapping layer of the OBDA architecture:
+// R2RML-style triples maps with logical tables (base tables or SQL views),
+// IRI templates, and predicate–object maps; a compact textual mapping
+// syntax; and a materializer that exposes the virtual RDF graph of a
+// relational database.
+package r2rml
+
+import (
+	"fmt"
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// Template is an IRI or literal template with {column} placeholders, e.g.
+// "http://npd#wellbore/{id}". A template with no placeholders is a
+// constant.
+type Template struct {
+	// Parts alternates literal segments and placeholders: even indexes are
+	// literal text, odd indexes are column names.
+	parts []string
+	// Columns caches the placeholder names in order.
+	Columns []string
+}
+
+// ParseTemplate parses "{col}" placeholder syntax. Braces cannot be nested
+// or escaped (the R2RML subset the benchmark needs).
+func ParseTemplate(s string) (*Template, error) {
+	var t Template
+	var lit strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '{':
+			j := strings.IndexByte(s[i:], '}')
+			if j < 0 {
+				return nil, fmt.Errorf("r2rml: unterminated placeholder in %q", s)
+			}
+			col := s[i+1 : i+j]
+			if col == "" {
+				return nil, fmt.Errorf("r2rml: empty placeholder in %q", s)
+			}
+			t.parts = append(t.parts, lit.String(), col)
+			t.Columns = append(t.Columns, col)
+			lit.Reset()
+			i += j + 1
+		case '}':
+			return nil, fmt.Errorf("r2rml: unbalanced '}' in %q", s)
+		default:
+			lit.WriteByte(c)
+			i++
+		}
+	}
+	t.parts = append(t.parts, lit.String())
+	return &t, nil
+}
+
+// MustParseTemplate parses or panics (static mapping definitions).
+func MustParseTemplate(s string) *Template {
+	t, err := ParseTemplate(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// IsConstant reports whether the template has no placeholders.
+func (t *Template) IsConstant() bool { return len(t.Columns) == 0 }
+
+// Skeleton exposes the template structure: the literal segments (always
+// len(cols)+1, possibly empty strings) and the placeholder columns in
+// order. The unfolder uses it to compile template expansion into SQL
+// concatenation and to align join columns between identical skeletons.
+func (t *Template) Skeleton() (literals []string, cols []string) {
+	for i, p := range t.parts {
+		if i%2 == 0 {
+			literals = append(literals, p)
+		} else {
+			cols = append(cols, p)
+		}
+	}
+	return literals, cols
+}
+
+// String reconstructs the template source.
+func (t *Template) String() string {
+	var sb strings.Builder
+	for i, p := range t.parts {
+		if i%2 == 1 {
+			sb.WriteString("{" + p + "}")
+		} else {
+			sb.WriteString(p)
+		}
+	}
+	return sb.String()
+}
+
+// Expand instantiates the template with column values. It returns ok=false
+// when any referenced value is NULL or missing (R2RML: no term generated).
+func (t *Template) Expand(get func(col string) (sqldb.Value, bool)) (string, bool) {
+	var sb strings.Builder
+	for i, p := range t.parts {
+		if i%2 == 0 {
+			sb.WriteString(p)
+			continue
+		}
+		v, ok := get(p)
+		if !ok || v.IsNull() {
+			return "", false
+		}
+		sb.WriteString(iriSafe(v.String()))
+	}
+	return sb.String(), true
+}
+
+// iriSafe percent-encodes the characters R2RML requires to be escaped in
+// IRI template expansion.
+func iriSafe(s string) string {
+	if !strings.ContainsAny(s, " \"<>{}|\\^`%") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(" \"<>{}|\\^`%", c) >= 0 {
+			fmt.Fprintf(&sb, "%%%02X", c)
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func iriUnsafe(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '%' && i+2 < len(s) {
+			var b byte
+			if n, err := fmt.Sscanf(s[i+1:i+3], "%02X", &b); err == nil && n == 1 {
+				sb.WriteByte(b)
+				i += 3
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// Match attempts the inverse of Expand: given a concrete string, recover
+// the placeholder values. It returns ok=false when the string cannot have
+// been produced by this template. Matching is greedy-left with literal
+// separators; templates whose adjacent placeholders have no separator are
+// rejected as ambiguous.
+func (t *Template) Match(s string) (map[string]string, bool) {
+	vals := make(map[string]string)
+	rest := s
+	for i := 0; i < len(t.parts); i++ {
+		p := t.parts[i]
+		if i%2 == 0 {
+			if !strings.HasPrefix(rest, p) {
+				return nil, false
+			}
+			rest = rest[len(p):]
+			continue
+		}
+		// placeholder: capture up to the next literal part
+		if i+1 >= len(t.parts) {
+			vals[p] = iriUnsafe(rest)
+			rest = ""
+			continue
+		}
+		sep := t.parts[i+1]
+		if sep == "" {
+			// adjacent placeholders or trailing empty literal
+			if i+2 >= len(t.parts) {
+				vals[p] = iriUnsafe(rest)
+				rest = ""
+				continue
+			}
+			return nil, false
+		}
+		j := strings.Index(rest, sep)
+		if j < 0 {
+			return nil, false
+		}
+		vals[p] = iriUnsafe(rest[:j])
+		rest = rest[j:]
+	}
+	if rest != "" {
+		return nil, false
+	}
+	return vals, true
+}
+
+// CompatiblePrefix reports whether a string could possibly be produced by
+// the template (used by the unfolder to prune mapping branches cheaply
+// before full unification).
+func (t *Template) CompatiblePrefix(s string) bool {
+	if len(t.parts) == 0 {
+		return s == ""
+	}
+	return strings.HasPrefix(s, t.parts[0])
+}
+
+// SameStructure reports whether two templates can ever produce the same
+// string; the unfolder uses it to prune join branches between incompatible
+// templates (a key semantic-query-optimization step of the paper).
+// The check is conservative: templates with equal literal skeletons are
+// compatible, templates whose first literal segments differ are not.
+func (t *Template) SameStructure(u *Template) bool {
+	// Compare leading literal segments: if one is a prefix of the other up
+	// to the first placeholder, they may collide.
+	a, b := t.parts[0], u.parts[0]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if !strings.HasPrefix(b, a) {
+		return false
+	}
+	// If both are pure constants, require equality.
+	if t.IsConstant() && u.IsConstant() {
+		return t.parts[0] == u.parts[0]
+	}
+	return true
+}

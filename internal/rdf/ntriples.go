@@ -1,0 +1,169 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples serializes triples in N-Triples syntax, one statement per
+// line. The caller controls ordering (use SortTriples for canonical dumps).
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses N-Triples from r, invoking emit for every statement.
+// Comment lines (#...) and blank lines are skipped.
+func ReadNTriples(r io.Reader, emit func(Triple)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTLine(line)
+		if err != nil {
+			return fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		emit(t)
+	}
+	return sc.Err()
+}
+
+// ParseNTriples reads all statements into a slice.
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	err := ReadNTriples(r, func(t Triple) { out = append(out, t) })
+	return out, err
+}
+
+func parseNTLine(line string) (Triple, error) {
+	p := &ntParser{s: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if !pred.IsIRI() {
+		return Triple{}, fmt.Errorf("predicate must be an IRI, got %s", pred)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if !strings.HasPrefix(p.s[p.i:], ".") {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	return Triple{S: s, P: pred, O: o}, nil
+}
+
+type ntParser struct {
+	s string
+	i int
+}
+
+func (p *ntParser) skipWS() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipWS()
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.s[p.i] {
+	case '<':
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.s[p.i+1 : p.i+end]
+		p.i += end + 1
+		return NewIRI(iri), nil
+	case '_':
+		if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+			return Term{}, fmt.Errorf("bad blank node")
+		}
+		j := p.i + 2
+		for j < len(p.s) && p.s[j] != ' ' && p.s[j] != '\t' {
+			j++
+		}
+		label := p.s[p.i+2 : j]
+		p.i = j
+		return NewBlank(label), nil
+	case '"':
+		var sb strings.Builder
+		j := p.i + 1
+		for j < len(p.s) {
+			c := p.s[j]
+			if c == '\\' && j+1 < len(p.s) {
+				switch p.s[j+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					sb.WriteByte(p.s[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+			j++
+		}
+		if j >= len(p.s) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		p.i = j + 1
+		lex := sb.String()
+		// datatype or language tag?
+		if strings.HasPrefix(p.s[p.i:], "^^<") {
+			end := strings.IndexByte(p.s[p.i+3:], '>')
+			if end < 0 {
+				return Term{}, fmt.Errorf("unterminated datatype IRI")
+			}
+			dt := p.s[p.i+3 : p.i+3+end]
+			p.i += 3 + end + 1
+			return NewTypedLiteral(lex, dt), nil
+		}
+		if strings.HasPrefix(p.s[p.i:], "@") {
+			j := p.i + 1
+			for j < len(p.s) && p.s[j] != ' ' && p.s[j] != '\t' {
+				j++
+			}
+			lang := p.s[p.i+1 : j]
+			p.i = j
+			return NewLangLiteral(lex, lang), nil
+		}
+		return NewLiteral(lex), nil
+	}
+	return Term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+}

@@ -1,0 +1,410 @@
+// Package refbench reproduces the paper's Table 3: statistics of the five
+// prior benchmarks the NPD benchmark is compared against (Adolena, LUBM,
+// DBpedia, BSBM, FishMark). Each benchmark is rebuilt as a structurally
+// faithful miniature — the real vocabulary and hierarchy shape, the real
+// query shapes (joins, OPTIONALs, existential reasoning opportunities) —
+// so the statistics extractor regenerates the table's qualitative content:
+// which benchmarks have rich hierarchies, which queries join heavily, and
+// which admit tree witnesses.
+package refbench
+
+import (
+	"fmt"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/rdf"
+	"npdbench/internal/rewrite"
+	"npdbench/internal/sparql"
+)
+
+// Benchmark bundles a reference benchmark's ontology and query set.
+type Benchmark struct {
+	Name     string
+	NS       string
+	Onto     *owl.Ontology
+	QuerySrc []string
+	Prefixes rdf.PrefixMap
+}
+
+// Queries parses the benchmark's query set.
+func (b *Benchmark) Queries() ([]*sparql.Query, error) {
+	out := make([]*sparql.Query, 0, len(b.QuerySrc))
+	for i, src := range b.QuerySrc {
+		q, err := sparql.Parse(src, b.Prefixes)
+		if err != nil {
+			return nil, fmt.Errorf("refbench %s query %d: %w", b.Name, i+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// All returns the five reference benchmarks in the paper's row order.
+func All() []*Benchmark {
+	return []*Benchmark{Adolena(), LUBM(), DBpedia(), BSBM(), FishMark()}
+}
+
+func prefixesFor(ns string) rdf.PrefixMap {
+	pm := rdf.StandardPrefixes()
+	pm[""] = ns
+	return pm
+}
+
+// ---------------------------------------------------------------- Adolena
+
+// Adolena models the South African National Accessibility Portal ontology:
+// a rich class hierarchy of assistive devices, abilities and disabilities,
+// with a deliberately poor property structure (the paper: "queries over
+// this ontology will usually be devoid of tree-witnesses").
+func Adolena() *Benchmark {
+	ns := "http://www.ksg.meraka.org.za/adolena.owl#"
+	o := owl.New(ns)
+	sub := func(c, p string) {
+		o.AddSubClass(owl.NamedConcept(ns+c), owl.NamedConcept(ns+p))
+	}
+	sub("Device", "Thing")
+	sub("Ability", "Thing")
+	sub("Disability", "Thing")
+	sub("Person", "Thing")
+	deviceFamilies := map[string][]string{
+		"MobilityDevice":      {"Wheelchair", "Walker", "Crutch", "Cane", "Scooter", "StairLift", "TransferBoard", "StandingFrame"},
+		"HearingDevice":       {"HearingAid", "CochlearImplant", "FMSystem", "AlertingDevice", "Amplifier"},
+		"VisualDevice":        {"Magnifier", "ScreenReader", "BrailleDisplay", "TalkingWatch", "WhiteCane", "CCTVReader"},
+		"CommunicationDevice": {"SpeechSynthesizer", "CommunicationBoard", "TextTelephone", "VoiceAmplifier"},
+		"DailyLivingDevice":   {"AdaptedUtensil", "DressingAid", "ReachingAid", "GrabRail", "BathLift"},
+		"CognitiveDevice":     {"MemoryAid", "Scheduler", "TaskPrompter"},
+	}
+	for fam, members := range deviceFamilies {
+		sub(fam, "Device")
+		for _, m := range members {
+			sub(m, fam)
+			// two refinement levels to deepen the hierarchy
+			sub("Electric"+m, m)
+			sub("Manual"+m, m)
+			sub("Portable"+m, m)
+		}
+	}
+	abilities := []string{"Seeing", "Hearing", "Walking", "Speaking", "Learning", "Remembering", "Gripping", "Reaching"}
+	for _, a := range abilities {
+		sub(a+"Ability", "Ability")
+		sub("Limited"+a+"Ability", a+"Ability")
+		sub(a+"Disability", "Disability")
+	}
+	op := func(name, d, r string) {
+		o.DeclareObjectProperty(ns + name)
+		if d != "" {
+			o.AddDomain(ns+name, false, ns+d)
+		}
+		if r != "" {
+			o.AddRange(ns+name, ns+r)
+		}
+	}
+	op("assistsWith", "Device", "Ability")
+	op("compensatesFor", "Device", "Disability")
+	op("hasDisability", "Person", "Disability")
+	for _, dp := range []string{"deviceName", "supplier", "cost", "description"} {
+		o.DeclareDataProperty(ns + dp)
+	}
+	return &Benchmark{
+		Name: "adolena", NS: ns, Onto: o, Prefixes: prefixesFor(ns),
+		QuerySrc: []string{
+			`SELECT ?d WHERE { ?d a :MobilityDevice }`,
+			`SELECT ?d ?a WHERE { ?d a :Device . ?d :assistsWith ?a }`,
+			`SELECT ?d ?n WHERE { ?d a :HearingDevice ; :deviceName ?n ; :assistsWith ?a . ?a a :HearingAbility }`,
+			`SELECT ?p ?d WHERE { ?p a :Person ; :hasDisability ?x . ?d :compensatesFor ?x . ?d a :VisualDevice }`,
+		},
+	}
+}
+
+// ------------------------------------------------------------------ LUBM
+
+// LUBM rebuilds the Lehigh University Benchmark ontology (43 classes, 32
+// properties) and a representative subset of its 14 queries.
+func LUBM() *Benchmark {
+	ns := "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+	o := owl.New(ns)
+	sub := func(c, p string) {
+		o.AddSubClass(owl.NamedConcept(ns+c), owl.NamedConcept(ns+p))
+	}
+	chains := [][]string{
+		{"Employee", "Person"}, {"Faculty", "Employee"},
+		{"Professor", "Faculty"}, {"FullProfessor", "Professor"},
+		{"AssociateProfessor", "Professor"}, {"AssistantProfessor", "Professor"},
+		{"VisitingProfessor", "Professor"}, {"Lecturer", "Faculty"},
+		{"PostDoc", "Faculty"}, {"Chair", "Professor"}, {"Dean", "Professor"},
+		{"Director", "Person"}, {"Student", "Person"},
+		{"UndergraduateStudent", "Student"}, {"GraduateStudent", "Person"},
+		{"TeachingAssistant", "Person"}, {"ResearchAssistant", "Person"},
+		{"Organization", "Thing"}, {"University", "Organization"},
+		{"Department", "Organization"}, {"Institute", "Organization"},
+		{"College", "Organization"}, {"Program", "Organization"},
+		{"ResearchGroup", "Organization"}, {"Work", "Thing"},
+		{"Course", "Work"}, {"GraduateCourse", "Course"},
+		{"Research", "Work"}, {"Publication", "Thing"},
+		{"Article", "Publication"}, {"JournalArticle", "Article"},
+		{"ConferencePaper", "Article"}, {"TechnicalReport", "Article"},
+		{"Book", "Publication"}, {"Manual", "Publication"},
+		{"Software", "Publication"}, {"Specification", "Publication"},
+		{"UnofficialPublication", "Publication"}, {"Schedule", "Thing"},
+		{"AdministrativeStaff", "Employee"}, {"ClericalStaff", "AdministrativeStaff"},
+		{"SystemsStaff", "AdministrativeStaff"},
+	}
+	for _, c := range chains {
+		sub(c[0], c[1])
+	}
+	op := func(name, d, r string) {
+		o.DeclareObjectProperty(ns + name)
+		if d != "" {
+			o.AddDomain(ns+name, false, ns+d)
+		}
+		if r != "" {
+			o.AddRange(ns+name, ns+r)
+		}
+	}
+	op("worksFor", "Employee", "Organization")
+	op("memberOf", "Person", "Organization")
+	o.AddSubObjectProperty(owl.PropRef{Prop: ns + "worksFor"}, owl.PropRef{Prop: ns + "memberOf"})
+	op("headOf", "Person", "Organization")
+	o.AddSubObjectProperty(owl.PropRef{Prop: ns + "headOf"}, owl.PropRef{Prop: ns + "worksFor"})
+	op("subOrganizationOf", "Organization", "Organization")
+	op("undergraduateDegreeFrom", "Person", "University")
+	op("mastersDegreeFrom", "Person", "University")
+	op("doctoralDegreeFrom", "Person", "University")
+	op("degreeFrom", "Person", "University")
+	for _, d := range []string{"undergraduateDegreeFrom", "mastersDegreeFrom", "doctoralDegreeFrom"} {
+		o.AddSubObjectProperty(owl.PropRef{Prop: ns + d}, owl.PropRef{Prop: ns + "degreeFrom"})
+	}
+	op("advisor", "Person", "Professor")
+	op("takesCourse", "Student", "Course")
+	op("teacherOf", "Faculty", "Course")
+	op("teachingAssistantOf", "TeachingAssistant", "Course")
+	op("publicationAuthor", "Publication", "Person")
+	op("researchProject", "ResearchGroup", "Research")
+	op("orgPublication", "Organization", "Publication")
+	op("softwareDocumentation", "Software", "Publication")
+	op("hasAlumnus", "University", "Person")
+	o.AddInverse(ns+"hasAlumnus", ns+"degreeFrom")
+	// GraduateStudent takes some GraduateCourse (existential)
+	o.AddExistential(owl.NamedConcept(ns+"GraduateStudent"), ns+"takesCourse", false, ns+"GraduateCourse")
+	o.AddExistential(owl.NamedConcept(ns+"Faculty"), ns+"worksFor", false, ns+"Department")
+	for _, dp := range []string{"name", "emailAddress", "telephone", "age", "title", "officeNumber", "researchInterest"} {
+		o.DeclareDataProperty(ns + dp)
+	}
+	return &Benchmark{
+		Name: "lubm", NS: ns, Onto: o, Prefixes: prefixesFor(ns),
+		QuerySrc: []string{
+			// LUBM q1
+			`SELECT ?x WHERE { ?x a :GraduateStudent . ?x :takesCourse <http://www.Department0.University0.edu/GraduateCourse0> }`,
+			// LUBM q2
+			`SELECT ?x ?y ?z WHERE { ?x a :GraduateStudent . ?y a :University . ?z a :Department . ?x :memberOf ?z . ?z :subOrganizationOf ?y . ?x :undergraduateDegreeFrom ?y }`,
+			// LUBM q4
+			`SELECT ?x ?n ?e ?t WHERE { ?x a :Professor . ?x :worksFor <http://www.Department0.University0.edu> . ?x :name ?n . ?x :emailAddress ?e . ?x :telephone ?t }`,
+			// LUBM q8
+			`SELECT ?x ?y ?e WHERE { ?x a :Student . ?y a :Department . ?x :memberOf ?y . ?y :subOrganizationOf <http://www.University0.edu> . ?x :emailAddress ?e }`,
+			// LUBM q9
+			`SELECT ?x ?y ?z WHERE { ?x a :Student . ?y a :Faculty . ?z a :Course . ?x :advisor ?y . ?y :teacherOf ?z . ?x :takesCourse ?z }`,
+			// existential flavour: every graduate student takes some course
+			`SELECT ?x WHERE { ?x a :GraduateStudent . ?x :takesCourse [ a :GraduateCourse ] }`,
+		},
+	}
+}
+
+// --------------------------------------------------------------- DBpedia
+
+// DBpedia rebuilds the DBpedia benchmark shape: a large but shallow
+// ontology (the paper: "relatively large yet simple, not suitable for
+// reasoning w.r.t. existentials") and queries drawn from the public
+// endpoint's most frequent shapes.
+func DBpedia() *Benchmark {
+	ns := "http://dbpedia.org/ontology/"
+	o := owl.New(ns)
+	sub := func(c, p string) {
+		o.AddSubClass(owl.NamedConcept(ns+c), owl.NamedConcept(ns+p))
+	}
+	families := map[string][]string{
+		"Person":                 {"Artist", "Athlete", "Politician", "Scientist", "Writer", "Journalist", "Architect", "Astronaut", "Chef", "Cleric", "Criminal", "Economist", "Engineer", "Historian", "Judge", "Lawyer", "Model", "Monarch", "Philosopher", "Pilot"},
+		"Artist":                 {"Actor", "Comedian", "ComicsCreator", "Dancer", "MusicalArtist", "Painter", "Photographer", "Sculptor"},
+		"Athlete":                {"BaseballPlayer", "BasketballPlayer", "Boxer", "Cyclist", "GolfPlayer", "SoccerPlayer", "Swimmer", "TennisPlayer", "Wrestler", "Skier"},
+		"Place":                  {"PopulatedPlace", "NaturalPlace", "Building", "Infrastructure", "ProtectedArea"},
+		"PopulatedPlace":         {"Settlement", "Country", "Region", "Island", "Continent"},
+		"Settlement":             {"City", "Town", "Village"},
+		"NaturalPlace":           {"Mountain", "River", "Lake", "Volcano", "Valley", "Glacier", "Cave"},
+		"Organisation":           {"Company", "EducationalInstitution", "SportsTeam", "Band", "PoliticalParty", "Broadcaster", "Airline", "Publisher", "RecordLabel", "Non-ProfitOrganisation"},
+		"EducationalInstitution": {"University", "School", "College", "Library"},
+		"Work":                   {"Film", "MusicalWork", "WrittenWork", "TelevisionShow", "Software", "VideoGame", "Artwork", "Musical"},
+		"MusicalWork":            {"Album", "Song", "Single"},
+		"WrittenWork":            {"Novel", "Poem", "Play", "Magazine", "Newspaper", "AcademicJournal"},
+		"Species":                {"Animal", "Plant", "Fungus", "Bacteria"},
+		"Animal":                 {"Mammal", "Bird", "Fish", "Reptile", "Amphibian", "Insect"},
+		"Event":                  {"SportsEvent", "MilitaryConflict", "Election", "FilmFestival", "MusicFestival"},
+		"Device":                 {"Automobile", "Aircraft", "Ship", "Locomotive", "Weapon", "Camera"},
+	}
+	for parent, kids := range families {
+		sub(parent, "Thing")
+		for _, k := range kids {
+			sub(k, parent)
+		}
+	}
+	for _, p := range []string{"birthPlace", "deathPlace", "country", "location", "starring", "director", "author", "artist", "genre", "team", "league", "producer", "writer", "spouse", "child", "parent", "successor", "predecessor", "capital", "largestCity", "headquarter", "owner", "operator", "builder", "developer", "publisher", "recordLabel", "album", "hometown", "nationality", "almaMater", "occupation", "knownFor", "award", "influenced", "influencedBy", "relative", "partner", "employer", "club"} {
+		o.DeclareObjectProperty(ns + p)
+	}
+	for _, p := range []string{"name", "birthDate", "deathDate", "populationTotal", "areaTotal", "elevation", "runtime", "budget", "gross", "numberOfEmployees", "foundingYear", "abstract", "height", "weight", "length", "width", "releaseDate", "isbn", "salary"} {
+		o.DeclareDataProperty(ns + p)
+	}
+	return &Benchmark{
+		Name: "dbpedia", NS: ns, Onto: o, Prefixes: prefixesFor(ns),
+		QuerySrc: []string{
+			`SELECT ?p WHERE { ?p a :Person . ?p :birthPlace ?c . ?c a :City }`,
+			`SELECT ?f ?d WHERE { ?f a :Film . ?f :director ?d . OPTIONAL { ?f :runtime ?r } }`,
+			`SELECT ?s ?n WHERE { ?s a :SoccerPlayer ; :name ?n ; :team ?t . ?t :league ?l . OPTIONAL { ?s :birthDate ?b } }`,
+			`SELECT ?c ?p WHERE { ?c a :Country . ?c :capital ?cap . OPTIONAL { ?c :populationTotal ?p } }`,
+		},
+	}
+}
+
+// ------------------------------------------------------------------ BSBM
+
+// BSBM rebuilds the Berlin SPARQL Benchmark e-commerce vocabulary (the
+// paper: "no ontology to measure reasoning tasks, rather simple queries").
+func BSBM() *Benchmark {
+	ns := "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/"
+	o := owl.New(ns)
+	for _, c := range []string{"Product", "ProductType", "ProductFeature", "Producer", "Vendor", "Offer", "Review", "Person"} {
+		o.DeclareClass(ns + c)
+	}
+	for _, p := range []string{"productFeature", "producer", "vendor", "offerOf", "reviewFor", "reviewer", "type"} {
+		o.DeclareObjectProperty(ns + p)
+	}
+	for _, p := range []string{"label", "comment", "productPropertyNumeric1", "productPropertyNumeric2", "productPropertyTextual1", "price", "validFrom", "validTo", "deliveryDays", "rating1", "rating2", "reviewDate", "publishDate", "country"} {
+		o.DeclareDataProperty(ns + p)
+	}
+	return &Benchmark{
+		Name: "bsbm", NS: ns, Onto: o, Prefixes: prefixesFor(ns),
+		QuerySrc: []string{
+			// BSBM Q1-like
+			`SELECT ?p ?l WHERE { ?p a :Product ; :label ?l ; :productFeature ?f1 ; :productPropertyNumeric1 ?v . FILTER(?v > 100) }`,
+			// BSBM Q2-like (wide star)
+			`SELECT ?l ?c ?pr ?f WHERE { ?p a :Product ; :label ?l ; :comment ?c ; :producer ?prod . ?prod :label ?pr . ?p :productFeature ?f }`,
+			// BSBM Q7-like (offers + reviews with OPTIONALs)
+			`SELECT ?o ?price ?r WHERE { ?o :offerOf ?p ; :price ?price ; :vendor ?v . OPTIONAL { ?rev :reviewFor ?p ; :rating1 ?r } }`,
+			// BSBM Q8-like
+			`SELECT ?rev ?rd WHERE { ?rev :reviewFor ?p ; :reviewer ?person ; :reviewDate ?rd . ?person :country ?c . FILTER(?c = "US") }`,
+		},
+	}
+}
+
+// -------------------------------------------------------------- FishMark
+
+// FishMark rebuilds the FishBase benchmark shape: a small flat ontology
+// but heavily joined queries (the paper: "more complex than those from
+// BSBM").
+func FishMark() *Benchmark {
+	ns := "http://fishdelish.cs.man.ac.uk/rdf/vocab/"
+	o := owl.New(ns)
+	for _, c := range []string{"Species", "Genus", "Family", "Order", "Class", "Country", "Ecosystem", "CommonName", "Occurrence", "Morphology", "Picture", "Reference"} {
+		o.DeclareClass(ns + c)
+	}
+	o.AddSubClass(owl.NamedConcept(ns+"Species"), owl.NamedConcept(ns+"Taxon"))
+	o.AddSubClass(owl.NamedConcept(ns+"Genus"), owl.NamedConcept(ns+"Taxon"))
+	o.AddSubClass(owl.NamedConcept(ns+"Family"), owl.NamedConcept(ns+"Taxon"))
+	for _, p := range []string{"genus", "family", "order", "inCountry", "inEcosystem", "commonNameOf", "occurrenceOf", "morphologyOf", "pictureOf", "referenceFor"} {
+		o.DeclareObjectProperty(ns + p)
+	}
+	for _, p := range []string{"scientificName", "vernacularName", "language", "maxLength", "maxWeight", "maxAge", "depthRangeShallow", "depthRangeDeep", "vulnerability", "resilience", "pictureUrl", "author", "year"} {
+		o.DeclareDataProperty(ns + p)
+	}
+	return &Benchmark{
+		Name: "fishmark", NS: ns, Onto: o, Prefixes: prefixesFor(ns),
+		QuerySrc: []string{
+			// heavy join chain, FishMark style
+			`SELECT ?sn ?cn ?fam ?cty WHERE { ?s a :Species ; :scientificName ?sn ; :genus ?g . ?g :family ?f . ?f :scientificName ?fam . ?c :commonNameOf ?s ; :vernacularName ?cn ; :language ?lang . ?occ :occurrenceOf ?s ; :inCountry ?k . ?k :scientificName ?cty . FILTER(?lang = "English") }`,
+			`SELECT ?sn ?len ?dep WHERE { ?s a :Species ; :scientificName ?sn . ?m :morphologyOf ?s ; :maxLength ?len ; :depthRangeDeep ?dep . FILTER(?len > 100) }`,
+			`SELECT ?sn ?url ?auth WHERE { ?s a :Species ; :scientificName ?sn . ?p :pictureOf ?s ; :pictureUrl ?url . OPTIONAL { ?r :referenceFor ?s ; :author ?auth } }`,
+			`SELECT ?fam ?cnt WHERE { ?s a :Species ; :genus ?g . ?g :family ?f . ?f :scientificName ?fam . ?occ :occurrenceOf ?s ; :inEcosystem ?e . ?e :scientificName ?cnt . OPTIONAL { ?m :morphologyOf ?s ; :vulnerability ?v } OPTIONAL { ?c :commonNameOf ?s ; :vernacularName ?vn } }`,
+		},
+	}
+}
+
+// Table3Row is one row of the paper's Table 3.
+type Table3Row struct {
+	Name            string
+	Classes         int
+	ObjProps        int
+	DataProps       int
+	InclusionAxioms int
+	MaxJoins        int
+	MaxOptionals    int
+	MaxTreeWitness  int
+}
+
+// Table3 computes the statistics row for one benchmark: ontology totals
+// plus per-query maxima over joins, OPTIONALs and tree witnesses.
+func Table3(b *Benchmark) (Table3Row, error) {
+	st := b.Onto.Stats()
+	row := Table3Row{
+		Name:            b.Name,
+		Classes:         st.Classes,
+		ObjProps:        st.ObjectProps,
+		DataProps:       st.DataProps,
+		InclusionAxioms: st.InclusionAxioms,
+	}
+	queries, err := b.Queries()
+	if err != nil {
+		return row, err
+	}
+	rw := &rewrite.Rewriter{Onto: b.Onto, Existential: true}
+	for _, q := range queries {
+		qs := q.ComputeStats()
+		if qs.Joins > row.MaxJoins {
+			row.MaxJoins = qs.Joins
+		}
+		if qs.Optionals > row.MaxOptionals {
+			row.MaxOptionals = qs.Optionals
+		}
+		tw := countTreeWitnesses(rw, b.Onto, q)
+		if tw > row.MaxTreeWitness {
+			row.MaxTreeWitness = tw
+		}
+	}
+	return row, nil
+}
+
+// countTreeWitnesses sums tree witnesses over the query's BGP leaves.
+func countTreeWitnesses(rw *rewrite.Rewriter, onto *owl.Ontology, q *sparql.Query) int {
+	total := 0
+	var walk func(p sparql.GraphPattern)
+	walk = func(p sparql.GraphPattern) {
+		switch x := p.(type) {
+		case *sparql.BGP:
+			var answer []string
+			for _, v := range sparql.PatternVars(x) {
+				if len(v) < 3 || v[:3] != "_bn" {
+					answer = append(answer, v)
+				}
+			}
+			cq, err := rewrite.FromBGP(x, onto, answer)
+			if err != nil {
+				return
+			}
+			res, err := rw.Rewrite(cq, answer)
+			if err != nil {
+				return
+			}
+			total += res.TreeWitnesses
+		case *sparql.Group:
+			for _, part := range x.Parts {
+				walk(part)
+			}
+		case *sparql.Filter:
+			walk(x.Inner)
+		case *sparql.Optional:
+			walk(x.Left)
+			walk(x.Right)
+		case *sparql.Union:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(q.Pattern)
+	return total
+}

@@ -1,0 +1,66 @@
+package refbench
+
+import "testing"
+
+func TestAllBenchmarksParse(t *testing.T) {
+	for _, b := range All() {
+		queries, err := b.Queries()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(queries) < 4 {
+			t.Fatalf("%s: only %d queries", b.Name, len(queries))
+		}
+	}
+}
+
+func TestTable3RowsMatchPaperShape(t *testing.T) {
+	rows := map[string]Table3Row{}
+	for _, b := range All() {
+		row, err := Table3(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[b.Name] = row
+	}
+	// Adolena: rich class hierarchy, poor property structure, no tree
+	// witnesses (the paper's characterization).
+	if rows["adolena"].Classes < 100 {
+		t.Fatalf("adolena classes = %d, want a rich hierarchy", rows["adolena"].Classes)
+	}
+	if rows["adolena"].ObjProps > 10 {
+		t.Fatalf("adolena must have few properties, got %d", rows["adolena"].ObjProps)
+	}
+	if rows["adolena"].MaxTreeWitness != 0 {
+		t.Fatal("adolena queries must be devoid of tree witnesses")
+	}
+	// LUBM: ~43 classes; at least one query with existential reasoning.
+	if c := rows["lubm"].Classes; c < 40 || c > 50 {
+		t.Fatalf("lubm classes = %d, want ≈43", c)
+	}
+	if rows["lubm"].MaxTreeWitness == 0 {
+		t.Fatal("lubm's graduate-course query admits a tree witness")
+	}
+	// DBpedia: large but shallow; no existentials.
+	if rows["dbpedia"].Classes < 100 {
+		t.Fatalf("dbpedia classes = %d", rows["dbpedia"].Classes)
+	}
+	if rows["dbpedia"].MaxTreeWitness != 0 {
+		t.Fatal("dbpedia has no existential axioms")
+	}
+	// BSBM: tiny flat vocabulary, no inclusion axioms.
+	if rows["bsbm"].InclusionAxioms != 0 {
+		t.Fatalf("bsbm i-axioms = %d, want 0", rows["bsbm"].InclusionAxioms)
+	}
+	// FishMark: small ontology but the heaviest joins of the five.
+	maxJoins := 0
+	heaviest := ""
+	for name, r := range rows {
+		if r.MaxJoins > maxJoins {
+			maxJoins, heaviest = r.MaxJoins, name
+		}
+	}
+	if heaviest != "fishmark" {
+		t.Fatalf("heaviest joins in %s (%d), want fishmark", heaviest, maxJoins)
+	}
+}

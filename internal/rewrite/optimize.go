@@ -1,0 +1,152 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+
+	"npdbench/internal/r2rml"
+	"npdbench/internal/sqldb"
+)
+
+// OptimizeMapping removes redundant mapping assertions: an assertion for a
+// term is dropped when another assertion for the same term, with the same
+// subject (and object) templates, draws from the same base table without a
+// restricting WHERE clause — its rows are a superset. This is the
+// T-mapping optimization of Ontop the paper refers to ("the opportunity to
+// apply different optimization on the mappings at loading time"): without
+// it, a saturated NPD mapping asserts :ExplorationWellbore once per
+// conditional subclass of the same table, and every class atom in a query
+// multiplies into dozens of redundant union arms.
+//
+// The containment test is deliberately conservative: only single-table
+// sources are compared, and only the no-WHERE source subsumes.
+func OptimizeMapping(mp *r2rml.Mapping) *r2rml.Mapping {
+	type srcShape struct {
+		simple bool
+		table  string
+		where  string
+	}
+	shapeOf := func(m *r2rml.TriplesMap) srcShape {
+		if m.Table != "" {
+			return srcShape{simple: true, table: strings.ToLower(m.Table)}
+		}
+		stmt, err := m.LogicalSQL()
+		if err != nil || stmt.Union != nil || len(stmt.GroupBy) > 0 ||
+			stmt.Limit >= 0 || stmt.Distinct || len(stmt.From) != 1 {
+			return srcShape{}
+		}
+		bt, ok := stmt.From[0].(*sqldb.BaseTable)
+		if !ok {
+			return srcShape{}
+		}
+		where := ""
+		if stmt.Where != nil {
+			where = stmt.Where.String()
+		}
+		return srcShape{simple: true, table: strings.ToLower(bt.Name), where: where}
+	}
+
+	// assertion identifies one class or PO assertion inside the mapping.
+	type assertion struct {
+		mapIdx int
+		isPO   bool
+		idx    int // index into Classes or POs
+		shape  srcShape
+		subj   string
+		obj    string
+	}
+	byTerm := make(map[string][]assertion)
+	for mi, m := range mp.Maps {
+		sh := shapeOf(m)
+		for ci, c := range m.Classes {
+			byTerm[c] = append(byTerm[c], assertion{mapIdx: mi, idx: ci, shape: sh, subj: m.Subject.String()})
+		}
+		for pi, po := range m.POs {
+			byTerm[po.Predicate] = append(byTerm[po.Predicate], assertion{
+				mapIdx: mi, isPO: true, idx: pi, shape: sh,
+				subj: m.Subject.String(), obj: po.Object.String(),
+			})
+		}
+	}
+
+	dropClass := make(map[[2]int]bool) // (mapIdx, classIdx)
+	dropPO := make(map[[2]int]bool)
+	terms := make([]string, 0, len(byTerm))
+	for t := range byTerm {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		asserts := byTerm[term]
+		// group by (table, subj, obj); within a group a no-WHERE assertion
+		// subsumes everything else, and equal-WHERE duplicates collapse.
+		type gkey struct{ table, subj, obj string }
+		groups := make(map[gkey][]assertion)
+		for _, a := range asserts {
+			if !a.shape.simple {
+				continue
+			}
+			k := gkey{a.shape.table, a.subj, a.obj}
+			groups[k] = append(groups[k], a)
+		}
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			// find the first unrestricted assertion
+			superIdx := -1
+			for i, a := range g {
+				if a.shape.where == "" {
+					superIdx = i
+					break
+				}
+			}
+			seenWhere := map[string]bool{}
+			for i, a := range g {
+				redundant := false
+				if superIdx >= 0 && i != superIdx {
+					redundant = true
+				} else if superIdx < 0 {
+					// no superset: collapse equal-WHERE duplicates
+					if seenWhere[a.shape.where] {
+						redundant = true
+					}
+					seenWhere[a.shape.where] = true
+				}
+				if !redundant {
+					continue
+				}
+				if a.isPO {
+					dropPO[[2]int{a.mapIdx, a.idx}] = true
+				} else {
+					dropClass[[2]int{a.mapIdx, a.idx}] = true
+				}
+			}
+		}
+	}
+	if len(dropClass) == 0 && len(dropPO) == 0 {
+		return mp
+	}
+
+	out := r2rml.NewMapping()
+	for k, v := range mp.Prefixes {
+		out.Prefixes[k] = v
+	}
+	for mi, m := range mp.Maps {
+		nm := &r2rml.TriplesMap{Name: m.Name, Table: m.Table, SQL: m.SQL, Subject: m.Subject}
+		for ci, c := range m.Classes {
+			if !dropClass[[2]int{mi, ci}] {
+				nm.Classes = append(nm.Classes, c)
+			}
+		}
+		for pi, po := range m.POs {
+			if !dropPO[[2]int{mi, pi}] {
+				nm.POs = append(nm.POs, po)
+			}
+		}
+		if len(nm.Classes) > 0 || len(nm.POs) > 0 {
+			out.Add(nm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/r2rml"
+)
+
+// Saturate compiles the ontology's hierarchy inferences into the mapping
+// (Ontop's T-mappings, [Rodriguez-Muro & Calvanese 2012], cited by the
+// paper as the technique that makes the starting phase critical): for each
+// ontology term, mapping assertions are added deriving its instances from
+// every subsumed term's mappings. After saturation, hierarchy reasoning at
+// query time is unnecessary; only existential reasoning (tree witnesses)
+// remains.
+//
+// The returned mapping shares the logical sources of the input.
+func Saturate(mp *r2rml.Mapping, onto *owl.Ontology) *r2rml.Mapping {
+	out := r2rml.NewMapping()
+	for k, v := range mp.Prefixes {
+		out.Prefixes[k] = v
+	}
+	// Copy originals.
+	out.Maps = append(out.Maps, mp.Maps...)
+
+	seen := make(map[string]bool) // dedup key for derived assertions
+	keyOf := func(term, source, subj, obj string) string {
+		return term + "\x00" + source + "\x00" + subj + "\x00" + obj
+	}
+	for _, m := range mp.Maps {
+		for _, c := range m.Classes {
+			seen[keyOf(c, m.SourceDescription(), m.Subject.String(), "")] = true
+		}
+		for _, po := range m.POs {
+			seen[keyOf(po.Predicate, m.SourceDescription(), m.Subject.String(), po.Object.String())] = true
+		}
+	}
+	derived := 0
+	addClass := func(class string, src *r2rml.TriplesMap, subject r2rml.TermMap) {
+		k := keyOf(class, src.SourceDescription(), subject.String(), "")
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		derived++
+		out.Add(&r2rml.TriplesMap{
+			Name:    fmt.Sprintf("tmap-%s-%d", localName(class), derived),
+			Table:   src.Table,
+			SQL:     src.SQL,
+			Subject: subject,
+			Classes: []string{class},
+		})
+	}
+	addProp := func(prop string, src *r2rml.TriplesMap, subject r2rml.TermMap, object r2rml.TermMap) {
+		k := keyOf(prop, src.SourceDescription(), subject.String(), object.String())
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		derived++
+		out.Add(&r2rml.TriplesMap{
+			Name:    fmt.Sprintf("tmap-%s-%d", localName(prop), derived),
+			Table:   src.Table,
+			SQL:     src.SQL,
+			Subject: subject,
+			POs:     []r2rml.PredicateObject{{Predicate: prop, Object: object}},
+		})
+	}
+
+	// Classes: gather from all subsumed basic concepts.
+	for _, class := range onto.ClassNames() {
+		for _, sub := range onto.SubConceptsOf(owl.NamedConcept(class)) {
+			switch {
+			case sub.IsNamed():
+				if sub.Class == class {
+					continue
+				}
+				for _, m := range mp.Maps {
+					for _, c := range m.Classes {
+						if c == sub.Class {
+							addClass(class, m, m.Subject)
+						}
+					}
+				}
+			case sub.IsData:
+				for _, m := range mp.Maps {
+					for _, po := range m.POs {
+						if po.Predicate == sub.Prop {
+							addClass(class, m, m.Subject)
+						}
+					}
+				}
+			case sub.Inverse:
+				// ∃R⁻ ⊑ class: objects of R are instances.
+				for _, m := range mp.Maps {
+					for _, po := range m.POs {
+						if po.Predicate == sub.Prop && po.Object.Kind == r2rml.IRITemplate {
+							addClass(class, m, po.Object)
+						}
+					}
+				}
+			default:
+				// ∃R ⊑ class: subjects of R are instances.
+				for _, m := range mp.Maps {
+					for _, po := range m.POs {
+						if po.Predicate == sub.Prop {
+							addClass(class, m, m.Subject)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Object properties: gather from subsumed (possibly inverted) props.
+	for _, prop := range onto.ObjectPropertyNames() {
+		for _, sub := range onto.SubPropertiesOf(owl.PropRef{Prop: prop}) {
+			if sub.Prop == prop && !sub.Inverse {
+				continue
+			}
+			for _, m := range mp.Maps {
+				for _, po := range m.POs {
+					if po.Predicate != sub.Prop {
+						continue
+					}
+					if sub.Inverse {
+						// prop(x,y) derived from sub(y,x): swap; needs an
+						// IRI-valued object.
+						if po.Object.Kind != r2rml.IRITemplate {
+							continue
+						}
+						addProp(prop, m, po.Object, m.Subject)
+					} else {
+						addProp(prop, m, m.Subject, po.Object)
+					}
+				}
+			}
+		}
+	}
+
+	// Data properties.
+	for _, prop := range onto.DataPropertyNames() {
+		for _, sub := range onto.SubDataPropertiesOf(prop) {
+			if sub == prop {
+				continue
+			}
+			for _, m := range mp.Maps {
+				for _, po := range m.POs {
+					if po.Predicate == sub {
+						addProp(prop, m, m.Subject, po.Object)
+					}
+				}
+			}
+		}
+	}
+	return OptimizeMapping(out)
+}

@@ -1,0 +1,598 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"npdbench/internal/rdf"
+)
+
+// TripleSource is anything that can match triple patterns; nil positions
+// are wildcards.
+type TripleSource interface {
+	Match(s, p, o *rdf.Term) []rdf.Triple
+}
+
+// ResultSet holds the solutions of a SELECT query.
+type ResultSet struct {
+	Vars []string
+	Rows [][]rdf.Term // zero Term = unbound
+}
+
+// Len returns the number of solutions.
+func (rs *ResultSet) Len() int { return len(rs.Rows) }
+
+// String renders the result set as a TSV-ish table (diagnostics).
+func (rs *ResultSet) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rs.Vars, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range rs.Rows {
+		for i, t := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if t.IsZero() {
+				sb.WriteString("_")
+			} else {
+				sb.WriteString(t.String())
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Evaluate runs the query over the triple source.
+func Evaluate(q *Query, src TripleSource) (*ResultSet, error) {
+	bindings, err := evalPattern(q.Pattern, src)
+	if err != nil {
+		return nil, err
+	}
+	return Finalize(q, bindings)
+}
+
+// Finalize applies the solution modifiers of q (aggregation, computed
+// select items, ORDER BY, projection, DISTINCT, LIMIT/OFFSET) to a set of
+// solution bindings. OBDA engines call it after producing the bindings
+// from SQL; the triple-store path calls it from Evaluate.
+func Finalize(q *Query, bindings []Binding) (*ResultSet, error) {
+	var err error
+	if q.HasAggregates() {
+		bindings, err = aggregateBindings(q, bindings)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// evaluate computed select items
+		for _, it := range q.Items {
+			if it.Expr == nil {
+				continue
+			}
+			for _, b := range bindings {
+				if v, err := EvalExpr(it.Expr, b); err == nil {
+					b[it.Var] = v
+				}
+			}
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		sortBindings(bindings, q.OrderBy)
+	}
+	rs := &ResultSet{Vars: q.SelectVars()}
+	for _, b := range bindings {
+		row := make([]rdf.Term, len(rs.Vars))
+		for i, v := range rs.Vars {
+			row[i] = b[v]
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	if q.Distinct {
+		rs = distinctResults(rs)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rs.Rows) {
+			rs.Rows = nil
+		} else {
+			rs.Rows = rs.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rs.Rows) {
+		rs.Rows = rs.Rows[:q.Limit]
+	}
+	return rs, nil
+}
+
+func distinctResults(rs *ResultSet) *ResultSet {
+	seen := make(map[string]bool, len(rs.Rows))
+	out := &ResultSet{Vars: rs.Vars}
+	for _, row := range rs.Rows {
+		var kb strings.Builder
+		for _, t := range row {
+			s := t.String()
+			fmt.Fprintf(&kb, "%d:%s", len(s), s)
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func sortBindings(bs []Binding, keys []OrderKey) {
+	sort.SliceStable(bs, func(i, j int) bool {
+		for _, k := range keys {
+			vi, ei := EvalExpr(k.Expr, bs[i])
+			vj, ej := EvalExpr(k.Expr, bs[j])
+			if ei != nil && ej != nil {
+				continue
+			}
+			if ei != nil {
+				return !k.Desc // unbound sorts first ascending
+			}
+			if ej != nil {
+				return k.Desc
+			}
+			c, err := CompareTermsSPARQL(vi, vj)
+			if err != nil {
+				c = rdf.CompareTerms(vi, vj)
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// FilterKeeps reports whether the binding satisfies the filter condition
+// under SPARQL semantics (type errors eliminate the solution).
+func FilterKeeps(cond Expr, b Binding) bool {
+	v, err := EvalExpr(cond, b)
+	if err != nil {
+		return false
+	}
+	ok, err := ebv(v)
+	return err == nil && ok
+}
+
+// JoinBindings computes the SPARQL join of two solution sequences.
+func JoinBindings(left, right []Binding) []Binding {
+	return joinBindings(left, right)
+}
+
+// LeftJoinBindings computes the SPARQL left join (OPTIONAL) of two solution
+// sequences.
+func LeftJoinBindings(left, right []Binding) []Binding {
+	shared := sharedBoundVars(left, right)
+	if len(shared) == 0 || len(left)*len(right) < 1024 {
+		var out []Binding
+		for _, lb := range left {
+			matched := false
+			for _, rb := range right {
+				if merged, ok := mergeBindings(lb, rb); ok {
+					out = append(out, merged)
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, lb)
+			}
+		}
+		return out
+	}
+	ht := make(map[string][]Binding, len(right))
+	for _, rb := range right {
+		ht[bindingKey(rb, shared)] = append(ht[bindingKey(rb, shared)], rb)
+	}
+	var out []Binding
+	for _, lb := range left {
+		matched := false
+		for _, rb := range ht[bindingKey(lb, shared)] {
+			if merged, ok := mergeBindings(lb, rb); ok {
+				out = append(out, merged)
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, lb)
+		}
+	}
+	return out
+}
+
+// MergeBindings merges two compatible bindings; ok=false on conflict.
+func MergeBindings(a, b Binding) (Binding, bool) { return mergeBindings(a, b) }
+
+// EvalPattern evaluates a graph pattern over the source, returning the
+// solution bindings (no solution modifiers applied).
+func EvalPattern(p GraphPattern, src TripleSource) ([]Binding, error) {
+	return evalPattern(p, src)
+}
+
+func evalPattern(p GraphPattern, src TripleSource) ([]Binding, error) {
+	switch x := p.(type) {
+	case *BGP:
+		return evalBGP(x, src, []Binding{{}})
+	case *Group:
+		cur := []Binding{{}}
+		for _, part := range x.Parts {
+			next, err := evalPattern(part, src)
+			if err != nil {
+				return nil, err
+			}
+			cur = joinBindings(cur, next)
+		}
+		return cur, nil
+	case *Filter:
+		inner, err := evalPattern(x.Inner, src)
+		if err != nil {
+			return nil, err
+		}
+		var out []Binding
+		for _, b := range inner {
+			v, err := EvalExpr(x.Cond, b)
+			if err != nil {
+				continue // type error eliminates the solution
+			}
+			ok, err := ebv(v)
+			if err == nil && ok {
+				out = append(out, b)
+			}
+		}
+		return out, nil
+	case *Optional:
+		left, err := evalPattern(x.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPattern(x.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return LeftJoinBindings(left, right), nil
+	case *Union:
+		left, err := evalPattern(x.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPattern(x.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
+	return nil, fmt.Errorf("sparql: unknown pattern %T", p)
+}
+
+// evalBGP extends each seed binding through the triple patterns, greedily
+// choosing the most-bound pattern next.
+func evalBGP(bgp *BGP, src TripleSource, seeds []Binding) ([]Binding, error) {
+	remaining := append([]TriplePattern{}, bgp.Triples...)
+	cur := seeds
+	for len(remaining) > 0 {
+		// choose pattern with most positions bound under current bindings
+		bound := map[string]bool{}
+		if len(cur) > 0 {
+			for v := range cur[0] {
+				bound[v] = true
+			}
+		}
+		best, bestScore := 0, -1
+		for i, tp := range remaining {
+			score := 0
+			for _, t := range []TermOrVar{tp.S, tp.P, tp.O} {
+				if !t.IsVar() || bound[t.Var] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		var next []Binding
+		for _, b := range cur {
+			next = append(next, matchPattern(tp, src, b)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+func matchPattern(tp TriplePattern, src TripleSource, b Binding) []Binding {
+	resolve := func(t TermOrVar) *rdf.Term {
+		if !t.IsVar() {
+			v := t.Term
+			return &v
+		}
+		if v, ok := b[t.Var]; ok {
+			return &v
+		}
+		return nil
+	}
+	s, p, o := resolve(tp.S), resolve(tp.P), resolve(tp.O)
+	var out []Binding
+	for _, tr := range src.Match(s, p, o) {
+		nb := b.Clone()
+		ok := true
+		bind := func(t TermOrVar, val rdf.Term) {
+			if !t.IsVar() {
+				return
+			}
+			if prev, exists := nb[t.Var]; exists {
+				if prev != val {
+					ok = false
+				}
+				return
+			}
+			nb[t.Var] = val
+		}
+		bind(tp.S, tr.S)
+		bind(tp.P, tr.P)
+		bind(tp.O, tr.O)
+		if ok {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func joinBindings(left, right []Binding) []Binding {
+	shared := sharedBoundVars(left, right)
+	if len(shared) == 0 || len(left)*len(right) < 1024 {
+		var out []Binding
+		for _, lb := range left {
+			for _, rb := range right {
+				if merged, ok := mergeBindings(lb, rb); ok {
+					out = append(out, merged)
+				}
+			}
+		}
+		return out
+	}
+	// hash join on the variables bound in every binding of both sides;
+	// mergeBindings still verifies full compatibility.
+	ht := make(map[string][]Binding, len(right))
+	for _, rb := range right {
+		k := bindingKey(rb, shared)
+		ht[k] = append(ht[k], rb)
+	}
+	var out []Binding
+	for _, lb := range left {
+		for _, rb := range ht[bindingKey(lb, shared)] {
+			if merged, ok := mergeBindings(lb, rb); ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+// sharedBoundVars returns variables bound in every binding on both sides.
+func sharedBoundVars(left, right []Binding) []string {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	everywhere := func(bs []Binding) map[string]bool {
+		m := map[string]bool{}
+		for v := range bs[0] {
+			m[v] = true
+		}
+		for _, b := range bs[1:] {
+			for v := range m {
+				if _, ok := b[v]; !ok {
+					delete(m, v)
+				}
+			}
+		}
+		return m
+	}
+	l := everywhere(left)
+	r := everywhere(right)
+	var out []string
+	for v := range l {
+		if r[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func bindingKey(b Binding, vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		s := b[v].String()
+		fmt.Fprintf(&sb, "%d:%s", len(s), s)
+	}
+	return sb.String()
+}
+
+func mergeBindings(a, b Binding) (Binding, bool) {
+	out := a.Clone()
+	for k, v := range b {
+		if prev, ok := out[k]; ok {
+			if prev != v {
+				return nil, false
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// aggregateBindings implements GROUP BY + aggregate projection + HAVING.
+func aggregateBindings(q *Query, bindings []Binding) ([]Binding, error) {
+	type group struct {
+		key  Binding
+		rows []Binding
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, b := range bindings {
+		var kb strings.Builder
+		key := Binding{}
+		for _, g := range q.GroupBy {
+			t := b[g]
+			key[g] = t
+			s := t.String()
+			fmt.Fprintf(&kb, "%d:%s", len(s), s)
+		}
+		k := kb.String()
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{key: key}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.rows = append(gr.rows, b)
+	}
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{key: Binding{}}
+		order = append(order, "")
+	}
+	var out []Binding
+	for _, k := range order {
+		gr := groups[k]
+		if q.Having != nil {
+			hv, err := evalAggregateExpr(q.Having, gr.rows, gr.key)
+			if err != nil {
+				continue
+			}
+			ok, err := ebv(hv)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		nb := gr.key.Clone()
+		for _, it := range q.Items {
+			if it.Expr == nil {
+				continue // plain var: must be a GROUP BY var, already in key
+			}
+			v, err := evalAggregateExpr(it.Expr, gr.rows, gr.key)
+			if err != nil {
+				continue
+			}
+			nb[it.Var] = v
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
+
+// evalAggregateExpr evaluates expressions that may contain aggregate calls
+// over a group of solutions.
+func evalAggregateExpr(e Expr, rows []Binding, key Binding) (rdf.Term, error) {
+	switch x := e.(type) {
+	case *AggExpr:
+		return computeAgg(x, rows)
+	case *BinExpr:
+		if !exprHasAggregate(x) {
+			return EvalExpr(x, key)
+		}
+		lv, err := evalAggregateExpr(x.L, rows, key)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		rv, err := evalAggregateExpr(x.R, rows, key)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return evalBin(&BinExpr{Op: x.Op, L: &TermExpr{Term: lv}, R: &TermExpr{Term: rv}}, Binding{})
+	case *NotExpr:
+		v, err := evalAggregateExpr(x.E, rows, key)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		ok, err := ebv(v)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(!ok), nil
+	default:
+		return EvalExpr(e, key)
+	}
+}
+
+func computeAgg(a *AggExpr, rows []Binding) (rdf.Term, error) {
+	if a.Star {
+		if a.Name != "COUNT" {
+			return rdf.Term{}, fmt.Errorf("sparql: %s(*) invalid", a.Name)
+		}
+		return rdf.NewInteger(int64(len(rows))), nil
+	}
+	var vals []rdf.Term
+	seen := map[string]bool{}
+	for _, b := range rows {
+		v, err := EvalExpr(a.Arg, b)
+		if err != nil {
+			continue
+		}
+		if a.Distinct {
+			k := v.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch a.Name {
+	case "COUNT":
+		return rdf.NewInteger(int64(len(vals))), nil
+	case "SUM", "AVG":
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := NumericValue(v)
+			if !ok {
+				return rdf.Term{}, errTypeError
+			}
+			if !isIntegerTyped(v) {
+				allInt = false
+			}
+			sum += f
+		}
+		if a.Name == "AVG" {
+			if len(vals) == 0 {
+				return rdf.NewInteger(0), nil
+			}
+			avg := sum / float64(len(vals))
+			return rdf.NewTypedLiteral(fmt.Sprintf("%g", avg), rdf.XSDDouble), nil
+		}
+		if allInt {
+			return rdf.NewInteger(int64(sum)), nil
+		}
+		return rdf.NewTypedLiteral(fmt.Sprintf("%g", sum), rdf.XSDDouble), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return rdf.Term{}, errTypeError
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := CompareTermsSPARQL(v, best)
+			if err != nil {
+				c = rdf.CompareTerms(v, best)
+			}
+			if (a.Name == "MIN" && c < 0) || (a.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown aggregate %s", a.Name)
+}

@@ -1,0 +1,143 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"npdbench/internal/rdf"
+)
+
+// randomGraph builds a random source over a fixed vocabulary.
+func randomGraph(seed int64, n int) memSource {
+	rng := rand.New(rand.NewSource(seed))
+	knows := iri("knows")
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := iri("Person")
+	var g memSource
+	seen := map[rdf.Triple]bool{}
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			g = append(g, t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := iri(fmt.Sprintf("p%d", i))
+		add(rdf.Triple{S: s, P: typ, O: person})
+		add(rdf.Triple{S: s, P: iri("age"), O: rdf.NewInteger(int64(rng.Intn(60)))})
+		for k := 0; k < rng.Intn(4); k++ {
+			o := iri(fmt.Sprintf("p%d", rng.Intn(n)))
+			add(rdf.Triple{S: s, P: knows, O: o})
+		}
+	}
+	return g
+}
+
+// Property: DISTINCT is idempotent and never increases the result.
+func TestDistinctIdempotent(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		g := randomGraph(trial, 12)
+		q1 := MustParse(`SELECT ?a WHERE { ?a t:knows ?b }`, pm())
+		q2 := MustParse(`SELECT DISTINCT ?a WHERE { ?a t:knows ?b }`, pm())
+		r1, err := Evaluate(q1, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Evaluate(q2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Len() > r1.Len() {
+			t.Fatalf("DISTINCT grew the result: %d > %d", r2.Len(), r1.Len())
+		}
+		seen := map[string]bool{}
+		for _, row := range r2.Rows {
+			k := row[0].String()
+			if seen[k] {
+				t.Fatalf("duplicate %s after DISTINCT", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// Property: OPTIONAL never loses left-side solutions.
+func TestOptionalPreservesLeft(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		g := randomGraph(trial, 10)
+		left := MustParse(`SELECT ?x WHERE { ?x a t:Person }`, pm())
+		opt := MustParse(`SELECT ?x ?y WHERE { ?x a t:Person OPTIONAL { ?x t:knows ?y } }`, pm())
+		rl, err := Evaluate(left, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := Evaluate(opt, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subjects := map[string]bool{}
+		for _, row := range ro.Rows {
+			subjects[row[0].String()] = true
+		}
+		for _, row := range rl.Rows {
+			if !subjects[row[0].String()] {
+				t.Fatalf("OPTIONAL dropped %s", row[0])
+			}
+		}
+	}
+}
+
+// Property: FILTER commutes with itself and only removes rows.
+func TestFilterMonotone(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		g := randomGraph(trial, 15)
+		all := MustParse(`SELECT ?x ?a WHERE { ?x t:age ?a }`, pm())
+		filt := MustParse(`SELECT ?x ?a WHERE { ?x t:age ?a . FILTER(?a >= 30) }`, pm())
+		ra, err := Evaluate(all, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := Evaluate(filt, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.Len() > ra.Len() {
+			t.Fatalf("filter grew result")
+		}
+		for _, row := range rf.Rows {
+			v, _ := NumericValue(row[1])
+			if v < 30 {
+				t.Fatalf("filter kept %v", row[1])
+			}
+		}
+	}
+}
+
+// Property: GROUP BY COUNT sums to the unaggregated row count.
+func TestGroupCountsSumToTotal(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		g := randomGraph(trial, 12)
+		flat := MustParse(`SELECT ?x ?y WHERE { ?x t:knows ?y }`, pm())
+		grouped := MustParse(`SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x t:knows ?y } GROUP BY ?x`, pm())
+		rf, err := Evaluate(flat, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := Evaluate(grouped, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, row := range rg.Rows {
+			v, ok := NumericValue(row[1])
+			if !ok {
+				t.Fatalf("non-numeric count %v", row[1])
+			}
+			sum += v
+		}
+		if int(sum) != rf.Len() {
+			t.Fatalf("counts sum %d != %d rows", int(sum), rf.Len())
+		}
+	}
+}

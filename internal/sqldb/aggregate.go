@@ -1,0 +1,226 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// evalAggregate executes the grouping/aggregation path of a SELECT block.
+func (db *Database) evalAggregate(s *SelectStmt, input *relation) (*relation, error) {
+	// Group rows.
+	keyFns := make([]evalFn, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		fn, err := bindExpr(g, input.cols)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+	}
+	type group struct {
+		rows []Row
+	}
+	groups := make(map[string]*group)
+	var orderKeys []string
+	for _, row := range input.rows {
+		var kb strings.Builder
+		for _, fn := range keyFns {
+			v, err := fn(row)
+			if err != nil {
+				return nil, err
+			}
+			k := v.Key()
+			kb.WriteString(fmt.Sprintf("%d:", len(k)))
+			kb.WriteString(k)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			orderKeys = append(orderKeys, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Aggregates with no GROUP BY over an empty input still yield one group.
+	if len(s.GroupBy) == 0 && len(orderKeys) == 0 {
+		groups[""] = &group{}
+		orderKeys = append(orderKeys, "")
+	}
+
+	// Output layout.
+	var outCols []colMeta
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqldb: SELECT * is not allowed with aggregation")
+		}
+		name := strings.ToLower(it.Alias)
+		table := ""
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = strings.ToLower(cr.Name)
+				table = strings.ToLower(cr.Table)
+			} else {
+				name = strings.ToLower(it.Expr.String())
+			}
+		}
+		outCols = append(outCols, colMeta{table: table, name: name})
+	}
+	out := &relation{cols: outCols}
+	for _, k := range orderKeys {
+		g := groups[k]
+		if s.Having != nil {
+			hv, err := evalWithGroup(s.Having, g.rows, input.cols)
+			if err != nil {
+				return nil, err
+			}
+			if hv.IsNull() || !hv.Bool() {
+				continue
+			}
+		}
+		nr := make(Row, len(s.Items))
+		for i, it := range s.Items {
+			v, err := evalWithGroup(it.Expr, g.rows, input.cols)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+// evalWithGroup evaluates an expression in grouped context: aggregate calls
+// consume the whole group; everything else is evaluated on the group's
+// first row (queries are expected to group by the non-aggregated columns,
+// as all NPD benchmark queries do).
+func evalWithGroup(e Expr, rows []Row, cols []colMeta) (Value, error) {
+	if f, ok := e.(*FuncExpr); ok && isAggregateName(f.Name) {
+		return computeAggregate(f, rows, cols)
+	}
+	if !exprHasAggregate(e) {
+		if len(rows) == 0 {
+			return Null, nil
+		}
+		fn, err := bindExpr(e, cols)
+		if err != nil {
+			return Null, err
+		}
+		return fn(rows[0])
+	}
+	switch x := e.(type) {
+	case *BinOp:
+		lv, err := evalWithGroup(x.L, rows, cols)
+		if err != nil {
+			return Null, err
+		}
+		rv, err := evalWithGroup(x.R, rows, cols)
+		if err != nil {
+			return Null, err
+		}
+		return applyBinOp(x.Op, constFn(lv), constFn(rv), nil)
+	case *NotExpr:
+		v, err := evalWithGroup(x.E, rows, cols)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		return NewBool(!v.Bool()), nil
+	case *IsNullExpr:
+		v, err := evalWithGroup(x.E, rows, cols)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(v.IsNull() != x.Negate), nil
+	}
+	return Null, fmt.Errorf("sqldb: unsupported aggregate expression %s", e)
+}
+
+func constFn(v Value) evalFn {
+	return func(Row) (Value, error) { return v, nil }
+}
+
+// computeAggregate evaluates COUNT/SUM/AVG/MIN/MAX (with DISTINCT and *).
+func computeAggregate(f *FuncExpr, rows []Row, cols []colMeta) (Value, error) {
+	if f.Star {
+		if f.Name != "COUNT" {
+			return Null, fmt.Errorf("sqldb: %s(*) is not valid", f.Name)
+		}
+		return NewInt(int64(len(rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return Null, fmt.Errorf("sqldb: %s expects one argument", f.Name)
+	}
+	argFn, err := bindExpr(f.Args[0], cols)
+	if err != nil {
+		return Null, err
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := argFn(row)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch f.Name {
+	case "COUNT":
+		return NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		allInt := true
+		var fi int64
+		var ff float64
+		for _, v := range vals {
+			if v.Kind == KindInt {
+				fi += v.I
+				ff += float64(v.I)
+				continue
+			}
+			allInt = false
+			fv, ok := v.AsFloat()
+			if !ok {
+				return Null, fmt.Errorf("sqldb: %s over non-numeric value", f.Name)
+			}
+			ff += fv
+		}
+		if f.Name == "SUM" {
+			if allInt {
+				return NewInt(fi), nil
+			}
+			return NewFloat(ff), nil
+		}
+		return NewFloat(ff / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Null, err
+			}
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Null, fmt.Errorf("sqldb: unknown aggregate %s", f.Name)
+}

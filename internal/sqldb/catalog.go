@@ -1,0 +1,196 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of tables plus the execution profile used
+// by its query planner.
+type Database struct {
+	Name    string
+	Profile Profile
+	tables  map[string]*Table
+	order   []string // creation order, for deterministic iteration
+}
+
+// NewDatabase creates an empty database with the default profile.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, Profile: ProfileHashJoin, tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table; the definition is validated.
+func (db *Database) CreateTable(def *TableDef) (*Table, error) {
+	key := strings.ToLower(def.Name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("sqldb: table %s already exists", def.Name)
+	}
+	t, err := NewTable(def)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = t
+	db.order = append(db.order, key)
+	return t, nil
+}
+
+// Table returns the named table or nil.
+func (db *Database) Table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in creation order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k])
+	}
+	return out
+}
+
+// TableNames returns the table names in creation order.
+func (db *Database) TableNames() []string {
+	out := make([]string, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k].Def.Name)
+	}
+	return out
+}
+
+// Insert adds a row to the named table, enforcing all constraints including
+// foreign keys.
+func (db *Database) Insert(table string, row Row) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("sqldb: unknown table %s", table)
+	}
+	for _, fk := range t.Def.ForeignKeys {
+		if hasNullAt(row, fk.Columns) {
+			continue // SQL: NULL FK values are not checked
+		}
+		ref := db.Table(fk.RefTable)
+		if ref == nil {
+			return fmt.Errorf("sqldb: table %s: FK references unknown table %s", table, fk.RefTable)
+		}
+		vals := make([]Value, len(fk.Columns))
+		for i, c := range fk.Columns {
+			vals[i] = row[c]
+		}
+		if !db.refExists(ref, fk.RefColumns, vals) {
+			return &ForeignKeyError{Table: table, RefTable: fk.RefTable}
+		}
+	}
+	return t.insertUnchecked(row)
+}
+
+// InsertUnchecked adds a row without FK verification (bulk load fast path;
+// VIG guarantees referential integrity by construction and re-validates via
+// CheckIntegrity in tests).
+func (db *Database) InsertUnchecked(table string, row Row) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("sqldb: unknown table %s", table)
+	}
+	return t.insertUnchecked(row)
+}
+
+func (db *Database) refExists(ref *Table, refCols []int, vals []Value) bool {
+	// Use the PK index when the referenced columns are the PK; otherwise a
+	// secondary index.
+	if ref.pkIndex != nil && sameCols(ref.Def.PrimaryKey, refCols) {
+		return len(ref.pkIndex.LookupValues(vals)) > 0
+	}
+	idx := ref.EnsureIndex(refCols)
+	return len(idx.LookupValues(vals)) > 0
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForeignKeyError reports a referential-integrity violation.
+type ForeignKeyError struct {
+	Table, RefTable string
+}
+
+func (e *ForeignKeyError) Error() string {
+	return fmt.Sprintf("sqldb: foreign key violation: %s -> %s", e.Table, e.RefTable)
+}
+
+// CheckIntegrity verifies every FK of every table; it returns the list of
+// violations found (empty means the database is consistent).
+func (db *Database) CheckIntegrity() []error {
+	var errs []error
+	for _, k := range db.order {
+		t := db.tables[k]
+		for _, fk := range t.Def.ForeignKeys {
+			ref := db.Table(fk.RefTable)
+			if ref == nil {
+				errs = append(errs, fmt.Errorf("sqldb: %s: FK to missing table %s", t.Def.Name, fk.RefTable))
+				continue
+			}
+			for _, row := range t.Rows {
+				if hasNullAt(row, fk.Columns) {
+					continue
+				}
+				vals := make([]Value, len(fk.Columns))
+				for i, c := range fk.Columns {
+					vals[i] = row[c]
+				}
+				if !db.refExists(ref, fk.RefColumns, vals) {
+					errs = append(errs, &ForeignKeyError{Table: t.Def.Name, RefTable: fk.RefTable})
+					break // one violation per FK is enough for a report
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// FKGraph returns the foreign-key adjacency (table -> referenced tables),
+// used by VIG's cycle analysis.
+func (db *Database) FKGraph() map[string][]string {
+	g := make(map[string][]string)
+	for _, k := range db.order {
+		t := db.tables[k]
+		name := strings.ToLower(t.Def.Name)
+		g[name] = nil
+		for _, fk := range t.Def.ForeignKeys {
+			g[name] = append(g[name], strings.ToLower(fk.RefTable))
+		}
+	}
+	return g
+}
+
+// TotalRows returns the sum of row counts over all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// Summary renders a deterministic one-line-per-table overview.
+func (db *Database) Summary() string {
+	names := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		t := db.tables[n]
+		fmt.Fprintf(&sb, "%s: %d rows, %d cols\n", t.Def.Name, len(t.Rows), len(t.Def.Columns))
+	}
+	return sb.String()
+}

@@ -1,0 +1,534 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// relation is a materialized intermediate result. Base-table scans share the
+// table's row storage (rows are never mutated in place by the executor).
+type relation struct {
+	cols []colMeta
+	rows []Row
+}
+
+// filterRelation keeps rows where pred evaluates to TRUE.
+func filterRelation(r *relation, pred Expr) (*relation, error) {
+	f, err := bindExpr(pred, r.cols)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: r.cols}
+	for _, row := range r.rows {
+		v, err := f(row)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.Bool() {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// equiKey describes one equality column pair between two relations.
+type equiKey struct {
+	lSlot, rSlot int
+}
+
+// extractEquiKeys splits conjuncts into equi-join keys between l and r and
+// residual predicates. Conjuncts referring only to one side are also
+// returned as residual (callers push those down before joining).
+func extractEquiKeys(conjuncts []Expr, l, r *relation) (keys []equiKey, residual []Expr) {
+	for _, c := range conjuncts {
+		if b, ok := c.(*BinOp); ok && b.Op == OpEq {
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if lok && rok {
+				ls := findCol(l.cols, lc.Table, lc.Name)
+				rs := findCol(r.cols, rc.Table, rc.Name)
+				if ls >= 0 && rs >= 0 && findCol(r.cols, lc.Table, lc.Name) < 0 && findCol(l.cols, rc.Table, rc.Name) < 0 {
+					keys = append(keys, equiKey{ls, rs})
+					continue
+				}
+				// try swapped orientation
+				ls2 := findCol(l.cols, rc.Table, rc.Name)
+				rs2 := findCol(r.cols, lc.Table, lc.Name)
+				if ls2 >= 0 && rs2 >= 0 && findCol(r.cols, rc.Table, rc.Name) < 0 && findCol(l.cols, lc.Table, lc.Name) < 0 {
+					keys = append(keys, equiKey{ls2, rs2})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, residual
+}
+
+// splitConjuncts flattens nested ANDs.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinOp); ok && b.Op == OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// andAll rebuilds a conjunction (nil for empty input).
+func andAll(conjuncts []Expr) Expr {
+	var out Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &BinOp{Op: OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// hashJoin performs an inner equi-join; residual conjuncts are checked on
+// each candidate pair.
+func hashJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	var resFn evalFn
+	if residual != nil {
+		var err error
+		resFn, err = bindExpr(residual, out.cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Build on the smaller side.
+	build, probe := r, l
+	buildRight := true
+	if len(l.rows) < len(r.rows) {
+		build, probe = l, r
+		buildRight = false
+	}
+	buildCols := make([]int, len(keys))
+	probeCols := make([]int, len(keys))
+	for i, k := range keys {
+		if buildRight {
+			buildCols[i], probeCols[i] = k.rSlot, k.lSlot
+		} else {
+			buildCols[i], probeCols[i] = k.lSlot, k.rSlot
+		}
+	}
+	ht := make(map[string][]Row, len(build.rows))
+	for _, row := range build.rows {
+		if hasNullAt(row, buildCols) {
+			continue
+		}
+		k := RowKey(row, buildCols)
+		ht[k] = append(ht[k], row)
+	}
+	for _, prow := range probe.rows {
+		if hasNullAt(prow, probeCols) {
+			continue
+		}
+		for _, brow := range ht[RowKey(prow, probeCols)] {
+			var joined Row
+			if buildRight {
+				joined = concatRows(prow, brow)
+			} else {
+				joined = concatRows(brow, prow)
+			}
+			if resFn != nil {
+				v, err := resFn(joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// mergeJoinCtx is mergeJoin with the statement's sort-order cache.
+func mergeJoinCtx(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	return mergeJoinImpl(ctx, l, r, keys, residual)
+}
+
+// mergeJoin sorts both sides on the first key column and merges; remaining
+// keys and residual conjuncts are verified per pair. It reproduces the
+// "PostgreSQL-like" profile behaviour (sort-merge machinery).
+func mergeJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	return mergeJoinImpl(nil, l, r, keys, residual)
+}
+
+func mergeJoinImpl(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	if len(keys) == 0 {
+		return nestedLoopJoin(l, r, residual)
+	}
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	var resFn evalFn
+	rest := keys[1:]
+	checks := residual
+	if residual != nil || len(rest) > 0 {
+		var conj []Expr
+		if residual != nil {
+			conj = append(conj, residual)
+		}
+		_ = checks
+		var err error
+		if len(conj) > 0 {
+			resFn, err = bindExpr(andAll(conj), out.cols)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	k0 := keys[0]
+	var li, ri []int
+	if ctx != nil {
+		li = ctx.sortedOrder(l, k0.lSlot)
+		ri = ctx.sortedOrder(r, k0.rSlot)
+	} else {
+		li = sortedOrder(l, k0.lSlot)
+		ri = sortedOrder(r, k0.rSlot)
+	}
+	i, j := 0, 0
+	for i < len(li) && j < len(ri) {
+		lv := l.rows[li[i]][k0.lSlot]
+		rv := r.rows[ri[j]][k0.rSlot]
+		if lv.IsNull() {
+			i++
+			continue
+		}
+		if rv.IsNull() {
+			j++
+			continue
+		}
+		c, err := Compare(lv, rv)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// find the equal runs
+			i2 := i
+			for i2 < len(li) {
+				v := l.rows[li[i2]][k0.lSlot]
+				if v.IsNull() || !Equal(v, lv) {
+					break
+				}
+				i2++
+			}
+			j2 := j
+			for j2 < len(ri) {
+				v := r.rows[ri[j2]][k0.rSlot]
+				if v.IsNull() || !Equal(v, rv) {
+					break
+				}
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					lrow, rrow := l.rows[li[a]], r.rows[ri[b]]
+					ok := true
+					for _, k := range rest {
+						if !Equal(lrow[k.lSlot], rrow[k.rSlot]) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					joined := concatRows(lrow, rrow)
+					if resFn != nil {
+						v, err := resFn(joined)
+						if err != nil {
+							return nil, err
+						}
+						if v.IsNull() || !v.Bool() {
+							continue
+						}
+					}
+					out.rows = append(out.rows, joined)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, nil
+}
+
+func sortedOrder(r *relation, slot int) []int {
+	idx := make([]int, len(r.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c, err := Compare(r.rows[idx[a]][slot], r.rows[idx[b]][slot])
+		return err == nil && c < 0
+	})
+	return idx
+}
+
+// nestedLoopJoin joins with an arbitrary predicate (nil = cross join).
+func nestedLoopJoin(l, r *relation, pred Expr) (*relation, error) {
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	var f evalFn
+	if pred != nil {
+		var err error
+		f, err = bindExpr(pred, out.cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, lrow := range l.rows {
+		for _, rrow := range r.rows {
+			joined := concatRows(lrow, rrow)
+			if f != nil {
+				v, err := f(joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// leftJoin performs a left outer join with predicate on. Equi components of
+// the predicate are used for hashing; the full predicate decides matching.
+func leftJoin(l, r *relation, on Expr) (*relation, error) {
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	conjuncts := splitConjuncts(on)
+	keys, residual := extractEquiKeys(conjuncts, l, r)
+	var resFn evalFn
+	if res := andAll(residual); res != nil {
+		var err error
+		resFn, err = bindExpr(res, out.cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nullPad := make(Row, len(r.cols))
+	if len(keys) > 0 {
+		rCols := make([]int, len(keys))
+		lCols := make([]int, len(keys))
+		for i, k := range keys {
+			rCols[i], lCols[i] = k.rSlot, k.lSlot
+		}
+		ht := make(map[string][]Row, len(r.rows))
+		for _, row := range r.rows {
+			if hasNullAt(row, rCols) {
+				continue
+			}
+			k := RowKey(row, rCols)
+			ht[k] = append(ht[k], row)
+		}
+		for _, lrow := range l.rows {
+			matched := false
+			if !hasNullAt(lrow, lCols) {
+				for _, rrow := range ht[RowKey(lrow, lCols)] {
+					joined := concatRows(lrow, rrow)
+					if resFn != nil {
+						v, err := resFn(joined)
+						if err != nil {
+							return nil, err
+						}
+						if v.IsNull() || !v.Bool() {
+							continue
+						}
+					}
+					out.rows = append(out.rows, joined)
+					matched = true
+				}
+			}
+			if !matched {
+				out.rows = append(out.rows, concatRows(lrow, nullPad))
+			}
+		}
+		return out, nil
+	}
+	// no equi keys: nested loop
+	var onFn evalFn
+	if on != nil {
+		var err error
+		onFn, err = bindExpr(on, out.cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, lrow := range l.rows {
+		matched := false
+		for _, rrow := range r.rows {
+			joined := concatRows(lrow, rrow)
+			if onFn != nil {
+				v, err := onFn(joined)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			out.rows = append(out.rows, joined)
+			matched = true
+		}
+		if !matched {
+			out.rows = append(out.rows, concatRows(lrow, nullPad))
+		}
+	}
+	return out, nil
+}
+
+// naturalJoin joins on all same-named columns and keeps the shared columns
+// once (from the left side), per SQL NATURAL JOIN semantics.
+func naturalJoin(l, r *relation, profile Profile) (*relation, error) {
+	type shared struct{ lSlot, rSlot int }
+	var commons []shared
+	rUsed := make(map[int]bool)
+	for ls, lc := range l.cols {
+		for rs, rc := range r.cols {
+			if rUsed[rs] {
+				continue
+			}
+			if lc.name == rc.name {
+				commons = append(commons, shared{ls, rs})
+				rUsed[rs] = true
+				break
+			}
+		}
+	}
+	var keys []equiKey
+	for _, c := range commons {
+		keys = append(keys, equiKey{c.lSlot, c.rSlot})
+	}
+	var joined *relation
+	var err error
+	if len(keys) == 0 {
+		joined, err = nestedLoopJoin(l, r, nil)
+	} else if profile == ProfileSortMerge {
+		joined, err = mergeJoin(l, r, keys, nil)
+	} else {
+		joined, err = hashJoin(l, r, keys, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Project away the right-side copies of shared columns.
+	keep := make([]int, 0, len(joined.cols)-len(commons))
+	for i := range l.cols {
+		keep = append(keep, i)
+	}
+	for i := range r.cols {
+		if !rUsed[i] {
+			keep = append(keep, len(l.cols)+i)
+		}
+	}
+	out := &relation{cols: make([]colMeta, len(keep))}
+	for i, s := range keep {
+		out.cols[i] = joined.cols[s]
+	}
+	out.rows = make([]Row, len(joined.rows))
+	for ri, row := range joined.rows {
+		nr := make(Row, len(keep))
+		for i, s := range keep {
+			nr[i] = row[s]
+		}
+		out.rows[ri] = nr
+	}
+	return out, nil
+}
+
+// distinctRows removes duplicate rows, preserving first occurrence order.
+func distinctRows(r *relation) *relation {
+	all := make([]int, len(r.cols))
+	for i := range all {
+		all[i] = i
+	}
+	seen := make(map[string]bool, len(r.rows))
+	out := &relation{cols: r.cols, rows: make([]Row, 0, len(r.rows))}
+	for _, row := range r.rows {
+		k := RowKey(row, all)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.rows = append(out.rows, row)
+	}
+	return out
+}
+
+// sortRelation sorts rows by the given key functions.
+func sortRelation(r *relation, keys []evalFn, desc []bool) error {
+	type keyed struct {
+		row  Row
+		keys []Value
+	}
+	ks := make([]keyed, len(r.rows))
+	for i, row := range r.rows {
+		kv := make([]Value, len(keys))
+		for j, f := range keys {
+			v, err := f(row)
+			if err != nil {
+				return err
+			}
+			kv[j] = v
+		}
+		ks[i] = keyed{row, kv}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range keys {
+			c, err := Compare(ks[a].keys[j], ks[b].keys[j])
+			if err != nil {
+				continue
+			}
+			if c == 0 {
+				continue
+			}
+			if desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range ks {
+		r.rows[i] = ks[i].row
+	}
+	return nil
+}
+
+// relationFingerprint renders a stable textual digest of a relation (tests).
+func relationFingerprint(r *relation) string {
+	lines := make([]string, len(r.rows))
+	for i, row := range r.rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+var _ = fmt.Sprintf // keep fmt import if unused paths get pruned

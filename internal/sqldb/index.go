@@ -1,0 +1,107 @@
+package sqldb
+
+import "sort"
+
+// HashIndex maps a composite key over fixed column positions to the row
+// positions carrying that key.
+type HashIndex struct {
+	Cols []int
+	m    map[string][]int
+}
+
+// NewHashIndex creates an empty hash index over the given column positions.
+func NewHashIndex(cols []int) *HashIndex {
+	return &HashIndex{Cols: cols, m: make(map[string][]int)}
+}
+
+// Add indexes row (stored at position pos).
+func (ix *HashIndex) Add(row Row, pos int) {
+	k := RowKey(row, ix.Cols)
+	ix.m[k] = append(ix.m[k], pos)
+}
+
+// Lookup returns the positions of rows whose key columns equal row's.
+func (ix *HashIndex) Lookup(row Row) []int {
+	return ix.m[RowKey(row, ix.Cols)]
+}
+
+// LookupKey returns the positions for a pre-encoded key.
+func (ix *HashIndex) LookupKey(key string) []int { return ix.m[key] }
+
+// LookupValues returns the positions whose key columns equal vals (in the
+// index's column order).
+func (ix *HashIndex) LookupValues(vals []Value) []int {
+	return ix.m[RowKeyOf(vals)]
+}
+
+// Len returns the number of distinct keys.
+func (ix *HashIndex) Len() int { return len(ix.m) }
+
+// OrderedIndex supports range scans over a single column. It is built
+// lazily by the executor for merge joins and range predicates.
+type OrderedIndex struct {
+	Col  int
+	pos  []int // row positions sorted by column value
+	vals []Value
+}
+
+// BuildOrderedIndex sorts the table's rows by the given column. NULLs sort
+// first and are retained so that the caller can skip them.
+func BuildOrderedIndex(t *Table, col int) *OrderedIndex {
+	ix := &OrderedIndex{Col: col}
+	ix.pos = make([]int, len(t.Rows))
+	for i := range ix.pos {
+		ix.pos[i] = i
+	}
+	sort.SliceStable(ix.pos, func(a, b int) bool {
+		c, err := Compare(t.Rows[ix.pos[a]][col], t.Rows[ix.pos[b]][col])
+		return err == nil && c < 0
+	})
+	ix.vals = make([]Value, len(ix.pos))
+	for i, p := range ix.pos {
+		ix.vals[i] = t.Rows[p][col]
+	}
+	return ix
+}
+
+// Range returns row positions whose column value v satisfies
+// lo <= v (<=|<) hi, honouring open bounds when lo/hi are NULL.
+// NULL column values never match.
+func (ix *OrderedIndex) Range(lo Value, loInclusive bool, hi Value, hiInclusive bool) []int {
+	n := len(ix.pos)
+	start := 0
+	if !lo.IsNull() {
+		start = sort.Search(n, func(i int) bool {
+			c, err := Compare(ix.vals[i], lo)
+			if err != nil {
+				return true
+			}
+			if loInclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	} else {
+		// skip NULLs at the front
+		start = sort.Search(n, func(i int) bool { return !ix.vals[i].IsNull() })
+	}
+	end := n
+	if !hi.IsNull() {
+		end = sort.Search(n, func(i int) bool {
+			c, err := Compare(ix.vals[i], hi)
+			if err != nil {
+				return true
+			}
+			if hiInclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]int, end-start)
+	copy(out, ix.pos[start:end])
+	return out
+}

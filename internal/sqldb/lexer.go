@@ -1,0 +1,155 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "JOIN": true, "LEFT": true, "RIGHT": true,
+	"INNER": true, "OUTER": true, "CROSS": true, "NATURAL": true, "ON": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "UNION": true, "ALL": true,
+	"DISTINCT": true, "IS": true, "NULL": true, "IN": true, "LIKE": true,
+	"TRUE": true, "FALSE": true, "BETWEEN": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lexSQL tokenizes src, returning the token stream terminated by tokEOF.
+func lexSQL(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tokEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		up := strings.ToUpper(word)
+		if sqlKeywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9', c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		sawDot := false
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if isDigit(ch) {
+				lx.pos++
+				continue
+			}
+			if ch == '.' && !sawDot {
+				sawDot = true
+				lx.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
+	case c == '\'':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if ch == '\'' {
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		return token{}, fmt.Errorf("sqldb: unterminated string at %d", start)
+	case c == '"' || c == '`':
+		// quoted identifier
+		q := c
+		lx.pos++
+		s := lx.pos
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != q {
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, fmt.Errorf("sqldb: unterminated quoted identifier at %d", start)
+		}
+		word := lx.src[s:lx.pos]
+		lx.pos++
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	default:
+		// multi-char symbols first
+		for _, sym := range []string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(lx.src[lx.pos:], sym) {
+				lx.pos += len(sym)
+				if sym == "!=" {
+					sym = "<>"
+				}
+				return token{kind: tokSymbol, text: sym, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()=<>,.*+-/;", rune(c)) {
+			lx.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqldb: unexpected character %q at %d", c, start)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,676 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a SELECT statement (possibly a UNION chain).
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	stmt, err := p.parseSelectChain()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for static query/mapping definitions.
+func MustParse(sql string) *SelectStmt {
+	s, err := Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqldb.MustParse(%q): %v", sql, err))
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqldb: parse error near offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q, got %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelectChain() (*SelectStmt, error) {
+	head, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	cur := head
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		cur.Union = next
+		head.UnionAll = head.UnionAll || all
+		cur = next
+	}
+	return head, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := NewSelect()
+	s.Distinct = p.acceptKeyword("DISTINCT")
+	if p.acceptKeyword("ALL") {
+		// SELECT ALL is the default
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, tr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntToken()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+		if p.acceptKeyword("OFFSET") {
+			m, err := p.parseIntToken()
+			if err != nil {
+				return nil, err
+			}
+			s.Offset = m
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseIntToken() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %q", t.text)
+	}
+	p.advance()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* lookahead
+	if p.peek().kind == tokIdent && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tokSymbol && p.toks[p.i+2].text == "*" {
+		tbl := p.advance().text
+		p.advance()
+		p.advance()
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return SelectItem{}, p.errf("expected alias, got %q", t.text)
+		}
+		p.advance()
+		item.Alias = t.text
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parsePrimaryTableRef()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKeyword("NATURAL"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parsePrimaryTableRef()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Kind: JoinNatural, L: left, R: right}
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parsePrimaryTableRef()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Kind: JoinCross, L: left, R: right}
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parsePrimaryTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Kind: JoinLeft, L: left, R: right, On: on}
+		case p.acceptKeyword("INNER"), p.peekKeyword("JOIN"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parsePrimaryTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Kind: JoinInner, L: left, R: right, On: on}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	return p.peek().kind == tokKeyword && p.peek().text == kw
+}
+
+func (p *parser) parsePrimaryTableRef() (TableRef, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelectChain()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.acceptKeyword("AS") {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, p.errf("expected subquery alias")
+			}
+			alias = p.advance().text
+		} else if p.peek().kind == tokIdent {
+			alias = p.advance().text
+		}
+		if alias == "" {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return &SubqueryTable{Query: sub, Alias: alias}, nil
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected table name, got %q", t.text)
+	}
+	p.advance()
+	bt := &BaseTable{Name: t.text, Alias: t.text}
+	if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.kind != tokIdent {
+			return nil, p.errf("expected alias, got %q", a.text)
+		}
+		p.advance()
+		bt.Alias = a.text
+	} else if p.peek().kind == tokIdent {
+		bt.Alias = p.advance().text
+	}
+	return bt, nil
+}
+
+// ---- expression parsing (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// postfix predicates
+	for {
+		switch {
+		case p.acceptKeyword("IS"):
+			neg := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{E: l, Negate: neg}
+		case p.peekKeyword("NOT") && p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokKeyword &&
+			(p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "LIKE" || p.toks[p.i+1].text == "BETWEEN"):
+			p.advance() // NOT
+			e, err := p.parsePostfixPredicate(l, true)
+			if err != nil {
+				return nil, err
+			}
+			l = e
+		case p.peekKeyword("IN"), p.peekKeyword("LIKE"), p.peekKeyword("BETWEEN"):
+			e, err := p.parsePostfixPredicate(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = e
+		default:
+			goto ops
+		}
+	}
+ops:
+	t := p.peek()
+	if t.kind == tokSymbol {
+		var op BinOpKind
+		ok := true
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<>":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			ok = false
+		}
+		if ok {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePostfixPredicate(l Expr, neg bool) (Expr, error) {
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Negate: neg}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{E: l, Pattern: pat, Negate: neg}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		rng := &BinOp{Op: OpAnd,
+			L: &BinOp{Op: OpGe, L: l, R: lo},
+			R: &BinOp{Op: OpLe, L: l, R: hi}}
+		if neg {
+			return &NotExpr{E: rng}, nil
+		}
+		return rng, nil
+	}
+	return nil, p.errf("expected IN/LIKE/BETWEEN")
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol {
+			return l, nil
+		}
+		var op BinOpKind
+		switch t.text {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		case "||":
+			op = OpConcat
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol {
+			return l, nil
+		}
+		var op BinOpKind
+		switch t.text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: OpSub, L: &Lit{Val: NewInt(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{Val: NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{Val: NewInt(n)}, nil
+	case tokString:
+		p.advance()
+		return &Lit{Val: NewString(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &Lit{Val: Null}, nil
+		case "TRUE":
+			p.advance()
+			return &Lit{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Lit{Val: NewBool(false)}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected symbol %q", t.text)
+	case tokIdent:
+		p.advance()
+		// function call?
+		if p.acceptSymbol("(") {
+			f := &FuncExpr{Name: strings.ToUpper(t.text)}
+			if p.acceptSymbol("*") {
+				f.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			f.Distinct = p.acceptKeyword("DISTINCT")
+			if !p.acceptSymbol(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		// qualified column?
+		if p.acceptSymbol(".") {
+			c := p.peek()
+			if c.kind != tokIdent && c.kind != tokKeyword {
+				return nil, p.errf("expected column after %q.", t.text)
+			}
+			p.advance()
+			return &ColRef{Table: t.text, Name: c.text}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

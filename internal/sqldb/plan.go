@@ -1,0 +1,535 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the output of a query: named columns and rows.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Query parses and executes a SELECT statement.
+func (db *Database) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecSelect(stmt)
+}
+
+// ExplainSelect executes the statement and returns the planner decisions
+// taken (EXPLAIN ANALYZE style): pushed-down predicates with their
+// selectivity, join order, join algorithms and intermediate cardinalities.
+func (db *Database) ExplainSelect(s *SelectStmt) ([]string, error) {
+	var notes []string
+	ctx := &execCtx{subqueries: make(map[string]*relation), explain: &notes, sortOrders: make(map[sortKey][]int)}
+	rel, err := db.evalSelectChain(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf("result: %d rows, %d columns (%s profile)",
+		len(rel.rows), len(rel.cols), db.Profile))
+	return notes, nil
+}
+
+// ExecSelect executes a parsed SELECT statement (including UNION chains).
+func (db *Database) ExecSelect(s *SelectStmt) (*Result, error) {
+	ctx := &execCtx{subqueries: make(map[string]*relation), sortOrders: make(map[sortKey][]int)}
+	rel, err := db.evalSelectChain(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: make([]string, len(rel.cols)), Rows: rel.rows}
+	for i, c := range rel.cols {
+		res.Columns[i] = c.name
+	}
+	return res, nil
+}
+
+// execCtx carries per-statement execution state: derived tables that occur
+// in many union arms (OBDA unfoldings repeat the same mapping views) are
+// materialized once. When explain is non-nil, the planner records its
+// decisions (join order, algorithms, pushdowns) into it.
+type execCtx struct {
+	subqueries map[string]*relation
+	explain    *[]string
+	// sortOrders caches sorted row orders per (relation, column) so the
+	// sort-merge profile sorts each shared mapping view once per
+	// statement, not once per union arm (what a real server's indexes
+	// amortize).
+	sortOrders map[sortKey][]int
+}
+
+type sortKey struct {
+	rel  *relation
+	slot int
+}
+
+func (ctx *execCtx) sortedOrder(r *relation, slot int) []int {
+	if ctx.sortOrders == nil {
+		return sortedOrder(r, slot)
+	}
+	k := sortKey{r, slot}
+	if ord, ok := ctx.sortOrders[k]; ok {
+		return ord
+	}
+	ord := sortedOrder(r, slot)
+	ctx.sortOrders[k] = ord
+	return ord
+}
+
+func (ctx *execCtx) note(format string, args ...any) {
+	if ctx.explain != nil {
+		*ctx.explain = append(*ctx.explain, fmt.Sprintf(format, args...))
+	}
+}
+
+func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, error) {
+	head, err := db.evalSelect(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Union == nil {
+		return head, nil
+	}
+	for u := s.Union; u != nil; u = u.Union {
+		arm, err := db.evalSelect(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		if len(arm.cols) != len(head.cols) {
+			return nil, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(arm.cols))
+		}
+		head.rows = append(head.rows, arm.rows...)
+	}
+	if !s.UnionAll {
+		head = distinctRows(head)
+	}
+	return head, nil
+}
+
+// evalSelect executes a single SELECT block (no union chaining).
+func (db *Database) evalSelect(ctx *execCtx, s *SelectStmt) (*relation, error) {
+	input, remaining, err := db.buildFrom(ctx, s.From, splitConjuncts(s.Where))
+	if err != nil {
+		return nil, err
+	}
+	if rest := andAll(remaining); rest != nil {
+		input, err = filterRelation(input, rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, it := range s.Items {
+		if !it.Star && exprHasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var out *relation
+	var inputAligned []Row // input rows aligned to output rows (for ORDER BY)
+	if hasAgg {
+		out, err = db.evalAggregate(s, input)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out, inputAligned, err = projectItems(s.Items, input)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if s.Distinct {
+		out = distinctRows(out)
+		inputAligned = nil
+	}
+
+	if len(s.OrderBy) > 0 {
+		if err := orderRelation(s.OrderBy, out, input.cols, inputAligned); err != nil {
+			return nil, err
+		}
+	}
+
+	if s.Offset > 0 {
+		if s.Offset >= len(out.rows) {
+			out.rows = nil
+		} else {
+			out.rows = out.rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(out.rows) {
+		out.rows = out.rows[:s.Limit]
+	}
+	return out, nil
+}
+
+// buildFrom materializes the FROM clause. WHERE conjuncts are consumed for
+// pushdown and join planning; the unconsumed ones are returned.
+func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (*relation, []Expr, error) {
+	if len(from) == 0 {
+		// SELECT without FROM: a single empty row.
+		return &relation{rows: []Row{{}}}, conjuncts, nil
+	}
+	rels := make([]*relation, len(from))
+	for i, tr := range from {
+		r, err := db.buildRef(ctx, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = r
+	}
+	// Push single-relation conjuncts.
+	var pending []Expr
+	for _, c := range conjuncts {
+		placed := false
+		for i, r := range rels {
+			if bindable(c, r.cols) {
+				before := len(r.rows)
+				fr, err := filterRelation(r, c)
+				if err != nil {
+					return nil, nil, err
+				}
+				ctx.note("pushdown %s: %d -> %d rows", c, before, len(fr.rows))
+				rels[i] = fr
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pending = append(pending, c)
+		}
+	}
+	// Join planning.
+	order := make([]int, len(rels))
+	for i := range order {
+		order[i] = i
+	}
+	if db.Profile == ProfileSortMerge {
+		// Greedy: start from the smallest relation; each step joins in the
+		// smallest relation connected by an equi predicate (else smallest).
+		order = greedyOrder(rels, pending)
+	}
+	cur := rels[order[0]]
+	for step := 1; step < len(order); step++ {
+		next := rels[order[step]]
+		// Conjuncts fully bindable on cur+next become the residual predicate.
+		combinedCols := append(append([]colMeta{}, cur.cols...), next.cols...)
+		var usable, stillPending []Expr
+		for _, c := range pending {
+			if bindable(c, combinedCols) {
+				usable = append(usable, c)
+			} else {
+				stillPending = append(stillPending, c)
+			}
+		}
+		eq, residual := extractEquiKeys(usable, cur, next)
+		lrows, rrows := len(cur.rows), len(next.rows)
+		var algo string
+		var err error
+		switch {
+		case len(eq) > 0 && db.Profile == ProfileSortMerge:
+			algo = "merge join"
+			cur, err = mergeJoinCtx(ctx, cur, next, eq, andAll(residual))
+		case len(eq) > 0:
+			algo = "hash join"
+			cur, err = hashJoin(cur, next, eq, andAll(residual))
+		default:
+			algo = "nested loop"
+			cur, err = nestedLoopJoin(cur, next, andAll(residual))
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx.note("%s (%d equi keys): %d x %d -> %d rows", algo, len(eq), lrows, rrows, len(cur.rows))
+		pending = stillPending
+	}
+	return cur, pending, nil
+}
+
+// greedyOrder returns a join order for the sort-merge profile: smallest
+// relation first, then repeatedly the smallest relation that shares an
+// equality predicate with what has been joined so far.
+func greedyOrder(rels []*relation, conjuncts []Expr) []int {
+	n := len(rels)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	// seed: smallest
+	best := 0
+	for i := 1; i < n; i++ {
+		if len(rels[i].rows) < len(rels[best].rows) {
+			best = i
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	curCols := append([]colMeta{}, rels[best].cols...)
+	for len(order) < n {
+		cand := -1
+		candConnected := false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			connected := hasEquiBetween(conjuncts, curCols, rels[i].cols)
+			if cand == -1 ||
+				(connected && !candConnected) ||
+				(connected == candConnected && len(rels[i].rows) < len(rels[cand].rows)) {
+				cand = i
+				candConnected = connected
+			}
+		}
+		order = append(order, cand)
+		used[cand] = true
+		curCols = append(curCols, rels[cand].cols...)
+	}
+	return order
+}
+
+func hasEquiBetween(conjuncts []Expr, lcols, rcols []colMeta) bool {
+	for _, c := range conjuncts {
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != OpEq {
+			continue
+		}
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			continue
+		}
+		inL1 := findCol(lcols, lc.Table, lc.Name) >= 0
+		inR1 := findCol(rcols, rc.Table, rc.Name) >= 0
+		inL2 := findCol(lcols, rc.Table, rc.Name) >= 0
+		inR2 := findCol(rcols, lc.Table, lc.Name) >= 0
+		if (inL1 && inR1) || (inL2 && inR2) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindable reports whether e can be fully bound against cols.
+func bindable(e Expr, cols []colMeta) bool {
+	_, err := bindExpr(e, cols)
+	return err == nil
+}
+
+func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
+	switch t := tr.(type) {
+	case *BaseTable:
+		tab := db.Table(t.Name)
+		if tab == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %s", t.Name)
+		}
+		alias := strings.ToLower(t.Alias)
+		if alias == "" {
+			alias = strings.ToLower(t.Name)
+		}
+		cols := make([]colMeta, len(tab.Def.Columns))
+		for i, c := range tab.Def.Columns {
+			cols[i] = colMeta{table: alias, name: strings.ToLower(c.Name)}
+		}
+		return &relation{cols: cols, rows: tab.Rows}, nil
+	case *SubqueryTable:
+		key := t.Query.String()
+		inner, cached := ctx.subqueries[key]
+		if !cached {
+			var err error
+			inner, err = db.evalSelectChain(ctx, t.Query)
+			if err != nil {
+				return nil, err
+			}
+			ctx.subqueries[key] = inner
+		}
+		alias := strings.ToLower(t.Alias)
+		cols := make([]colMeta, len(inner.cols))
+		for i, c := range inner.cols {
+			cols[i] = colMeta{table: alias, name: c.name}
+		}
+		return &relation{cols: cols, rows: inner.rows}, nil
+	case *JoinRef:
+		l, err := db.buildRef(ctx, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.buildRef(ctx, t.R)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case JoinCross:
+			return nestedLoopJoin(l, r, nil)
+		case JoinNatural:
+			return naturalJoin(l, r, db.Profile)
+		case JoinLeft:
+			return leftJoin(l, r, t.On)
+		default: // inner
+			conj := splitConjuncts(t.On)
+			eq, residual := extractEquiKeys(conj, l, r)
+			if len(eq) == 0 {
+				return nestedLoopJoin(l, r, t.On)
+			}
+			if db.Profile == ProfileSortMerge {
+				return mergeJoinCtx(ctx, l, r, eq, andAll(residual))
+			}
+			return hashJoin(l, r, eq, andAll(residual))
+		}
+	}
+	return nil, fmt.Errorf("sqldb: unsupported table reference %T", tr)
+}
+
+// projectItems applies the SELECT list to the input relation. It returns
+// the projected relation and, for non-star projections, the input rows
+// aligned with the output rows (for ORDER BY over non-projected columns).
+func projectItems(items []SelectItem, input *relation) (*relation, []Row, error) {
+	// Pure star fast path.
+	if len(items) == 1 && items[0].Star && items[0].Table == "" {
+		return input, input.rows, nil
+	}
+	var outCols []colMeta
+	type producer struct {
+		star  bool
+		slots []int // for star
+		fn    evalFn
+	}
+	var prods []producer
+	for _, it := range items {
+		if it.Star {
+			var slots []int
+			q := strings.ToLower(it.Table)
+			for i, c := range input.cols {
+				if q == "" || c.table == q {
+					outCols = append(outCols, c)
+					slots = append(slots, i)
+				}
+			}
+			if len(slots) == 0 {
+				return nil, nil, fmt.Errorf("sqldb: %s.* matches no columns", it.Table)
+			}
+			prods = append(prods, producer{star: true, slots: slots})
+			continue
+		}
+		fn, err := bindExpr(it.Expr, input.cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := strings.ToLower(it.Alias)
+		table := ""
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = strings.ToLower(cr.Name)
+				table = strings.ToLower(cr.Table)
+			} else {
+				name = strings.ToLower(it.Expr.String())
+			}
+		}
+		outCols = append(outCols, colMeta{table: table, name: name})
+		prods = append(prods, producer{fn: fn})
+	}
+	out := &relation{cols: outCols, rows: make([]Row, 0, len(input.rows))}
+	for _, row := range input.rows {
+		nr := make(Row, 0, len(outCols))
+		for _, p := range prods {
+			if p.star {
+				for _, s := range p.slots {
+					nr = append(nr, row[s])
+				}
+				continue
+			}
+			v, err := p.fn(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			nr = append(nr, v)
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, input.rows, nil
+}
+
+// orderRelation sorts out by the ORDER BY items; keys resolve against the
+// output columns first, then against the aligned input rows.
+func orderRelation(order []OrderItem, out *relation, inCols []colMeta, inputAligned []Row) error {
+	keys := make([]evalFn, len(order))
+	desc := make([]bool, len(order))
+	useInput := false
+	for i, o := range order {
+		desc[i] = o.Desc
+		if fn, err := bindExpr(o.Expr, out.cols); err == nil {
+			keys[i] = fn
+			continue
+		}
+		if inputAligned == nil {
+			return fmt.Errorf("sqldb: cannot resolve ORDER BY expression %s", o.Expr)
+		}
+		fn, err := bindExpr(o.Expr, inCols)
+		if err != nil {
+			return err
+		}
+		useInput = true
+		slot := i
+		inner := fn
+		_ = slot
+		keys[i] = inner // marked: evaluated against input row
+	}
+	if !useInput {
+		return sortRelation(out, keys, desc)
+	}
+	// Sort output and aligned input rows together using per-item source.
+	type pair struct {
+		out, in Row
+		keys    []Value
+	}
+	if len(inputAligned) != len(out.rows) {
+		return fmt.Errorf("sqldb: internal: ORDER BY alignment lost")
+	}
+	ps := make([]pair, len(out.rows))
+	for i := range out.rows {
+		kv := make([]Value, len(order))
+		for j, o := range order {
+			var src Row
+			if fn, err := bindExpr(o.Expr, out.cols); err == nil {
+				src = out.rows[i]
+				v, err := fn(src)
+				if err != nil {
+					return err
+				}
+				kv[j] = v
+				continue
+			}
+			fn, err := bindExpr(o.Expr, inCols)
+			if err != nil {
+				return err
+			}
+			v, err := fn(inputAligned[i])
+			if err != nil {
+				return err
+			}
+			kv[j] = v
+		}
+		ps[i] = pair{out.rows[i], inputAligned[i], kv}
+	}
+	sort.SliceStable(ps, func(a, b int) bool {
+		for j := range desc {
+			c, err := Compare(ps[a].keys[j], ps[b].keys[j])
+			if err != nil || c == 0 {
+				continue
+			}
+			if desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range ps {
+		out.rows[i] = ps[i].out
+	}
+	return nil
+}

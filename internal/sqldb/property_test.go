@@ -1,0 +1,130 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property: the two planner profiles implement the same SQL semantics.
+// Random instances of a two-table schema are generated and a panel of
+// query shapes must return identical row multisets under both profiles.
+func TestProfilesAgreeOnRandomInstances(t *testing.T) {
+	queries := []string{
+		"SELECT a.k, b.v FROM ta a, tb b WHERE a.k = b.k",
+		"SELECT a.k, b.v FROM ta a JOIN tb b ON a.k = b.k AND a.v < b.v",
+		"SELECT a.k FROM ta a LEFT JOIN tb b ON a.k = b.k WHERE b.k IS NULL",
+		"SELECT a.k, COUNT(*) FROM ta a, tb b WHERE a.k = b.k GROUP BY a.k",
+		"SELECT DISTINCT b.v FROM ta a, tb b WHERE a.k = b.k AND a.v > 50",
+		"SELECT a.k FROM ta a WHERE a.v BETWEEN 20 AND 80 UNION SELECT b.k FROM tb b",
+	}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		build := func(profile Profile) *Database {
+			db := NewDatabase("prop")
+			db.Profile = profile
+			for _, name := range []string{"ta", "tb"} {
+				if _, err := db.CreateTable(&TableDef{
+					Name: name,
+					Columns: []Column{
+						{Name: "k", Type: TInt},
+						{Name: "v", Type: TInt},
+					},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// duplicate keys and NULLs are deliberately common
+			localRng := rand.New(rand.NewSource(int64(trial)))
+			for i := 0; i < 30+localRng.Intn(40); i++ {
+				for _, name := range []string{"ta", "tb"} {
+					k := Value(NewInt(int64(localRng.Intn(12))))
+					if localRng.Intn(8) == 0 {
+						k = Null
+					}
+					v := NewInt(int64(localRng.Intn(100)))
+					if err := db.Insert(name, Row{k, v}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			return db
+		}
+		_ = rng
+		h := build(ProfileHashJoin)
+		m := build(ProfileSortMerge)
+		for _, q := range queries {
+			rh, err := h.Query(q)
+			if err != nil {
+				t.Fatalf("trial %d hash %q: %v", trial, q, err)
+			}
+			rm, err := m.Query(q)
+			if err != nil {
+				t.Fatalf("trial %d merge %q: %v", trial, q, err)
+			}
+			fh := relationFingerprint(&relation{rows: rh.Rows})
+			fm := relationFingerprint(&relation{rows: rm.Rows})
+			if fh != fm {
+				t.Fatalf("trial %d: profiles disagree on %q:\nhash:\n%s\nmerge:\n%s",
+					trial, q, fh, fm)
+			}
+		}
+	}
+}
+
+// Property: UNION is UNION ALL followed by DISTINCT.
+func TestUnionEqualsDistinctUnionAll(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	u, err := db.Query("SELECT branch FROM TEmployee UNION SELECT branch FROM TAssignment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := db.Query("SELECT DISTINCT branch FROM (SELECT branch FROM TEmployee UNION ALL SELECT branch FROM TAssignment) AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relationFingerprint(&relation{rows: u.Rows}) != relationFingerprint(&relation{rows: ua.Rows}) {
+		t.Fatal("UNION != DISTINCT(UNION ALL)")
+	}
+}
+
+// Property: LIMIT n returns a prefix of the unlimited ordered result.
+func TestLimitIsPrefix(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	full, err := db.Query("SELECT id FROM TEmployee ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(full.Rows); n++ {
+		part, err := db.Query(fmt.Sprintf("SELECT id FROM TEmployee ORDER BY id LIMIT %d", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Rows) != n {
+			t.Fatalf("LIMIT %d returned %d rows", n, len(part.Rows))
+		}
+		for i := range part.Rows {
+			if part.Rows[i][0] != full.Rows[i][0] {
+				t.Fatalf("LIMIT %d row %d differs", n, i)
+			}
+		}
+	}
+}
+
+// Property: COUNT(*) equals the row count of the unaggregated query.
+func TestCountMatchesRowCount(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	for _, where := range []string{"", " WHERE branch = 'B1'", " WHERE id > 1"} {
+		rows, err := db.Query("SELECT id FROM TEmployee" + where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := db.Query("SELECT COUNT(*) FROM TEmployee" + where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt.Rows[0][0].I != int64(len(rows.Rows)) {
+			t.Fatalf("COUNT mismatch for %q: %d vs %d", where, cnt.Rows[0][0].I, len(rows.Rows))
+		}
+	}
+}

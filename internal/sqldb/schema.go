@@ -1,0 +1,172 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType is the declared type of a column.
+type ColType uint8
+
+// Column types supported by the engine.
+const (
+	TInt ColType = iota
+	TFloat
+	TText
+	TBool
+	TDate
+	TGeometry
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "DOUBLE"
+	case TText:
+		return "TEXT"
+	case TBool:
+		return "BOOLEAN"
+	case TDate:
+		return "DATE"
+	case TGeometry:
+		return "GEOMETRY"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(t))
+}
+
+// Kind returns the value kind stored in columns of this type.
+func (t ColType) Kind() Kind {
+	switch t {
+	case TInt:
+		return KindInt
+	case TFloat:
+		return KindFloat
+	case TText:
+		return KindString
+	case TBool:
+		return KindBool
+	case TDate:
+		return KindDate
+	case TGeometry:
+		return KindGeometry
+	}
+	return KindNull
+}
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    ColType
+	NotNull bool
+}
+
+// ForeignKey declares that the projection of this table on Columns must
+// appear in RefTable's projection on RefColumns (or be NULL).
+type ForeignKey struct {
+	Columns    []int
+	RefTable   string
+	RefColumns []int
+}
+
+// TableDef is the schema of a table.
+type TableDef struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []int // column positions; empty means no PK
+	Uniques     [][]int
+	ForeignKeys []ForeignKey
+}
+
+// ColIndex returns the position of the named column (case-insensitive), or
+// -1 if absent.
+func (d *TableDef) ColIndex(name string) int {
+	for i, c := range d.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency of the definition.
+func (d *TableDef) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("sqldb: table with empty name")
+	}
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("sqldb: table %s has no columns", d.Name)
+	}
+	seen := make(map[string]bool, len(d.Columns))
+	for _, c := range d.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("sqldb: table %s: duplicate column %s", d.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	check := func(cols []int, what string) error {
+		for _, i := range cols {
+			if i < 0 || i >= len(d.Columns) {
+				return fmt.Errorf("sqldb: table %s: %s references column #%d out of range", d.Name, what, i)
+			}
+		}
+		return nil
+	}
+	if err := check(d.PrimaryKey, "primary key"); err != nil {
+		return err
+	}
+	for _, u := range d.Uniques {
+		if err := check(u, "unique constraint"); err != nil {
+			return err
+		}
+	}
+	for _, fk := range d.ForeignKeys {
+		if err := check(fk.Columns, "foreign key"); err != nil {
+			return err
+		}
+		if len(fk.Columns) != len(fk.RefColumns) {
+			return fmt.Errorf("sqldb: table %s: foreign key arity mismatch", d.Name)
+		}
+	}
+	return nil
+}
+
+// DDL renders the definition as a CREATE TABLE statement (for debugging and
+// dataset dumps).
+func (d *TableDef) DDL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (", d.Name)
+	for i, c := range d.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", c.Name, c.Type)
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	if len(d.PrimaryKey) > 0 {
+		sb.WriteString(", PRIMARY KEY (")
+		for i, ci := range d.PrimaryKey {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(d.Columns[ci].Name)
+		}
+		sb.WriteByte(')')
+	}
+	for _, fk := range d.ForeignKeys {
+		sb.WriteString(", FOREIGN KEY (")
+		for i, ci := range fk.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(d.Columns[ci].Name)
+		}
+		fmt.Fprintf(&sb, ") REFERENCES %s", fk.RefTable)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

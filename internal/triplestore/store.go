@@ -1,0 +1,144 @@
+// Package triplestore is an in-memory indexed RDF store with SPO/POS/OSP
+// access paths. It is the materialized baseline of the benchmark: the
+// virtual RDF graph exposed by an OBDA specification is loaded here and
+// queried directly with the SPARQL evaluator (the role Stardog plays in the
+// paper's evaluation).
+package triplestore
+
+import (
+	"sort"
+
+	"npdbench/internal/rdf"
+)
+
+// Store holds triples with three hash access paths.
+type Store struct {
+	triples []rdf.Triple
+	seen    map[tripleKey]bool
+
+	bySubject   map[rdf.Term][]int
+	byPredicate map[rdf.Term][]int
+	byObject    map[rdf.Term][]int
+	// byPO accelerates the hottest OBDA pattern: ?x rdf:type :Class and
+	// ?x :prop <const>.
+	byPO map[poKey][]int
+}
+
+type tripleKey struct{ s, p, o rdf.Term }
+
+type poKey struct{ p, o rdf.Term }
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		seen:        make(map[tripleKey]bool),
+		bySubject:   make(map[rdf.Term][]int),
+		byPredicate: make(map[rdf.Term][]int),
+		byObject:    make(map[rdf.Term][]int),
+		byPO:        make(map[poKey][]int),
+	}
+}
+
+// Add inserts a triple; duplicates are ignored (RDF graphs are sets).
+// It reports whether the triple was new.
+func (st *Store) Add(t rdf.Triple) bool {
+	k := tripleKey{t.S, t.P, t.O}
+	if st.seen[k] {
+		return false
+	}
+	st.seen[k] = true
+	idx := len(st.triples)
+	st.triples = append(st.triples, t)
+	st.bySubject[t.S] = append(st.bySubject[t.S], idx)
+	st.byPredicate[t.P] = append(st.byPredicate[t.P], idx)
+	st.byObject[t.O] = append(st.byObject[t.O], idx)
+	st.byPO[poKey{t.P, t.O}] = append(st.byPO[poKey{t.P, t.O}], idx)
+	return true
+}
+
+// AddAll inserts a batch of triples and returns the number actually added.
+func (st *Store) AddAll(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if st.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int { return len(st.triples) }
+
+// Contains reports whether the triple is in the store.
+func (st *Store) Contains(t rdf.Triple) bool {
+	return st.seen[tripleKey{t.S, t.P, t.O}]
+}
+
+// Match returns the triples matching the given pattern; nil positions are
+// wildcards. It implements sparql.TripleSource.
+func (st *Store) Match(s, p, o *rdf.Term) []rdf.Triple {
+	var candidates []int
+	switch {
+	case s != nil:
+		candidates = st.bySubject[*s]
+	case p != nil && o != nil:
+		candidates = st.byPO[poKey{*p, *o}]
+	case p != nil:
+		candidates = st.byPredicate[*p]
+	case o != nil:
+		candidates = st.byObject[*o]
+	default:
+		out := make([]rdf.Triple, len(st.triples))
+		copy(out, st.triples)
+		return out
+	}
+	var out []rdf.Triple
+	for _, idx := range candidates {
+		t := st.triples[idx]
+		if s != nil && t.S != *s {
+			continue
+		}
+		if p != nil && t.P != *p {
+			continue
+		}
+		if o != nil && t.O != *o {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Triples returns a sorted copy of all triples (deterministic dumps).
+func (st *Store) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, len(st.triples))
+	copy(out, st.triples)
+	rdf.SortTriples(out)
+	return out
+}
+
+// Subjects returns the sorted distinct subjects of a predicate (statistics
+// and VIG validation).
+func (st *Store) Subjects(p rdf.Term) []rdf.Term {
+	set := make(map[rdf.Term]bool)
+	for _, idx := range st.byPredicate[p] {
+		set[st.triples[idx].S] = true
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}
+
+// CountPredicate returns the number of triples with predicate p.
+func (st *Store) CountPredicate(p rdf.Term) int {
+	return len(st.byPredicate[p])
+}
+
+// CountClass returns the number of rdf:type assertions for a class.
+func (st *Store) CountClass(class rdf.Term) int {
+	return len(st.byPO[poKey{rdf.NewIRI(rdf.RDFType), class}])
+}

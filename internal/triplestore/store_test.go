@@ -1,0 +1,102 @@
+package triplestore
+
+import (
+	"fmt"
+	"testing"
+
+	"npdbench/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://t/" + s) }
+
+func testStore() *Store {
+	st := New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	for i := 0; i < 10; i++ {
+		s := iri(fmt.Sprintf("e%d", i))
+		st.Add(rdf.Triple{S: s, P: typ, O: iri("E")})
+		st.Add(rdf.Triple{S: s, P: iri("value"), O: rdf.NewInteger(int64(i))})
+		if i > 0 {
+			st.Add(rdf.Triple{S: s, P: iri("next"), O: iri(fmt.Sprintf("e%d", i-1))})
+		}
+	}
+	return st
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	st := New()
+	tr := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}
+	if !st.Add(tr) {
+		t.Fatal("first add must report new")
+	}
+	if st.Add(tr) {
+		t.Fatal("second add must report duplicate")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("len = %d", st.Len())
+	}
+}
+
+func TestMatchAccessPaths(t *testing.T) {
+	st := testStore()
+	typ := rdf.NewIRI(rdf.RDFType)
+	e := iri("E")
+	// by PO
+	if got := len(st.Match(nil, &typ, &e)); got != 10 {
+		t.Fatalf("PO match = %d", got)
+	}
+	// by S
+	s := iri("e3")
+	if got := len(st.Match(&s, nil, nil)); got != 3 {
+		t.Fatalf("S match = %d", got)
+	}
+	// by P
+	next := iri("next")
+	if got := len(st.Match(nil, &next, nil)); got != 9 {
+		t.Fatalf("P match = %d", got)
+	}
+	// by O
+	o := iri("e0")
+	if got := len(st.Match(nil, nil, &o)); got != 1 {
+		t.Fatalf("O match = %d", got)
+	}
+	// fully bound
+	if got := len(st.Match(&s, &next, nil)); got != 1 {
+		t.Fatalf("SP match = %d", got)
+	}
+	// no match
+	zz := iri("zz")
+	if got := len(st.Match(&zz, nil, nil)); got != 0 {
+		t.Fatalf("missing subject match = %d", got)
+	}
+	// full scan
+	if got := len(st.Match(nil, nil, nil)); got != st.Len() {
+		t.Fatalf("scan = %d, len = %d", got, st.Len())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	st := testStore()
+	if st.CountClass(iri("E")) != 10 {
+		t.Fatal("CountClass")
+	}
+	if st.CountPredicate(iri("value")) != 10 {
+		t.Fatal("CountPredicate")
+	}
+	if got := len(st.Subjects(iri("next"))); got != 9 {
+		t.Fatalf("Subjects = %d", got)
+	}
+}
+
+func TestTriplesDeterministic(t *testing.T) {
+	a, b := testStore(), testStore()
+	ta, tb := a.Triples(), b.Triples()
+	if len(ta) != len(tb) {
+		t.Fatal("length mismatch")
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package unfold
+
+import (
+	"strings"
+	"testing"
+
+	"npdbench/internal/r2rml"
+	"npdbench/internal/rdf"
+	"npdbench/internal/rewrite"
+	"npdbench/internal/sqldb"
+)
+
+const ns = "http://t/"
+
+func testMapping() *r2rml.Mapping {
+	return r2rml.MustParseMapping(`
+[PrefixDeclaration]
+t: http://t/
+
+[MappingDeclaration]
+mappingId emp
+target    t:emp/{id} a t:Employee ; t:name {name} .
+source    SELECT id, name FROM emp
+
+mappingId sells
+target    t:emp/{id} t:sells t:prod/{p} .
+source    SELECT id, p FROM sells
+
+mappingId prods
+target    t:prod/{p} a t:Product .
+source    SELECT p FROM prods
+`)
+}
+
+func vt(v string) rewrite.Term   { return rewrite.Term{Var: v} }
+func ct(t rdf.Term) rewrite.Term { return rewrite.Term{Const: t} }
+
+func classAtom(class string, s rewrite.Term) rewrite.Atom {
+	return rewrite.Atom{Kind: rewrite.ClassAtom, Pred: ns + class, S: s}
+}
+
+func propAtom(p string, s, o rewrite.Term) rewrite.Atom {
+	return rewrite.Atom{Kind: rewrite.ObjPropAtom, Pred: ns + p, S: s, O: o}
+}
+
+func dataAtom(p string, s, o rewrite.Term) rewrite.Atom {
+	return rewrite.Atom{Kind: rewrite.DataPropAtom, Pred: ns + p, S: s, O: o}
+}
+
+func TestUnfoldSingleClassAtom(t *testing.T) {
+	cq := &rewrite.CQ{Atoms: []rewrite.Atom{classAtom("Employee", vt("x"))}, Answer: []string{"x"}}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 1 || un.Stmt == nil {
+		t.Fatalf("arms = %d", un.Arms)
+	}
+	sql := un.Stmt.String()
+	if !strings.Contains(sql, "emp") || !strings.Contains(sql, "http://t/emp/") {
+		t.Fatalf("SQL: %s", sql)
+	}
+	// three output columns per answer variable
+	if got := len(un.Stmt.Items); got != 3 {
+		t.Fatalf("items = %d, want 3", got)
+	}
+}
+
+func TestUnfoldJoinSharedVariable(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			propAtom("sells", vt("x"), vt("y")),
+			classAtom("Product", vt("y")),
+		},
+		Answer: []string{"x", "y"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 1 {
+		t.Fatalf("arms = %d", un.Arms)
+	}
+	sql := un.Stmt.String()
+	// templates share the skeleton prod/{..}: join on columns, not concat
+	if !strings.Contains(sql, "t1.p = t2.p") && !strings.Contains(sql, "t2.p = t1.p") {
+		t.Fatalf("expected column-level join: %s", sql)
+	}
+}
+
+func TestUnfoldTemplateMismatchPrunes(t *testing.T) {
+	// x sells y, y sells z: y must be both a product IRI and an employee
+	// IRI — impossible.
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			propAtom("sells", vt("x"), vt("y")),
+			propAtom("sells", vt("y"), vt("z")),
+		},
+		Answer: []string{"x", "z"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 0 {
+		t.Fatalf("arms = %d, want 0 (template mismatch)", un.Arms)
+	}
+	if un.PrunedArms == 0 {
+		t.Fatal("pruning not recorded")
+	}
+	if un.Stmt != nil {
+		t.Fatal("provably empty query must have nil statement")
+	}
+}
+
+func TestUnfoldConstantUnification(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			propAtom("sells", ct(rdf.NewIRI(ns+"emp/7")), vt("y")),
+		},
+		Answer: []string{"y"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := un.Stmt.String()
+	if !strings.Contains(sql, "= 7") {
+		t.Fatalf("constant must become a column condition: %s", sql)
+	}
+}
+
+func TestUnfoldConstantMismatchPrunes(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			propAtom("sells", ct(rdf.NewIRI("http://other/emp/7")), vt("y")),
+		},
+		Answer: []string{"y"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 0 {
+		t.Fatalf("arms = %d, want 0", un.Arms)
+	}
+}
+
+func TestUnfoldSelfJoinElimination(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			classAtom("Employee", vt("x")),
+			dataAtom("name", vt("x"), vt("n")),
+		},
+		Answer: []string{"x", "n"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.SelfJoinsEliminated != 1 {
+		t.Fatalf("self joins eliminated = %d, want 1", un.SelfJoinsEliminated)
+	}
+	if strings.Contains(un.Stmt.String(), "t2") {
+		t.Fatalf("same-source atoms must share one alias: %s", un.Stmt)
+	}
+}
+
+func TestUnfoldNotNullGuards(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms:  []rewrite.Atom{dataAtom("name", vt("x"), vt("n"))},
+		Answer: []string{"x", "n"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := un.Stmt.String()
+	if !strings.Contains(sql, "IS NOT NULL") {
+		t.Fatalf("R2RML NULL suppression missing: %s", sql)
+	}
+}
+
+func TestUnfoldPushFilter(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms:  []rewrite.Atom{dataAtom("name", vt("x"), vt("n"))},
+		Answer: []string{"x", "n"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), []PushFilter{
+		{Var: "n", Op: ">=", Val: rdf.NewLiteral("M")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := un.Stmt.String()
+	if !strings.Contains(sql, ">= 'M'") {
+		t.Fatalf("filter not pushed: %s", sql)
+	}
+}
+
+func TestUnfoldUnionArms(t *testing.T) {
+	// Employee(x) ∪ Product(x) — built as two CQs.
+	u := rewrite.UCQ{
+		{Atoms: []rewrite.Atom{classAtom("Employee", vt("x"))}, Answer: []string{"x"}},
+		{Atoms: []rewrite.Atom{classAtom("Product", vt("x"))}, Answer: []string{"x"}},
+	}
+	un, err := Unfold(u, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 2 {
+		t.Fatalf("arms = %d, want 2", un.Arms)
+	}
+	if m := un.Metrics(); m.Unions != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestUnfoldEndToEndExecution(t *testing.T) {
+	db := sqldb.NewDatabase("t")
+	mustCreate := func(def *sqldb.TableDef) {
+		if _, err := db.CreateTable(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&sqldb.TableDef{Name: "emp", Columns: []sqldb.Column{
+		{Name: "id", Type: sqldb.TInt, NotNull: true}, {Name: "name", Type: sqldb.TText}},
+		PrimaryKey: []int{0}})
+	mustCreate(&sqldb.TableDef{Name: "sells", Columns: []sqldb.Column{
+		{Name: "id", Type: sqldb.TInt, NotNull: true}, {Name: "p", Type: sqldb.TText, NotNull: true}},
+		PrimaryKey: []int{0, 1}})
+	mustCreate(&sqldb.TableDef{Name: "prods", Columns: []sqldb.Column{
+		{Name: "p", Type: sqldb.TText, NotNull: true}}, PrimaryKey: []int{0}})
+	for _, r := range []sqldb.Row{{sqldb.NewInt(1), sqldb.NewString("A")}, {sqldb.NewInt(2), sqldb.NewString("B")}} {
+		if err := db.Insert("emp", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("prods", sqldb.Row{sqldb.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("sells", sqldb.Row{sqldb.NewInt(1), sqldb.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			propAtom("sells", vt("e"), vt("p")),
+			classAtom("Product", vt("p")),
+			dataAtom("name", vt("e"), vt("n")),
+		},
+		Answer: []string{"n", "p"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSelect(un.Stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "A" {
+		t.Fatalf("row %v", res.Rows[0])
+	}
+	// the IRI column carries the full lexical form
+	if res.Rows[0][3].S != ns+"prod/x" {
+		t.Fatalf("IRI lexical form: %v", res.Rows[0][3])
+	}
+}
+
+func TestUnfoldEmptyUCQ(t *testing.T) {
+	if _, err := Unfold(nil, testMapping(), nil); err == nil {
+		t.Fatal("empty UCQ must error")
+	}
+}

@@ -1,0 +1,258 @@
+// Package vig implements the Virtual Instance Generator of the NPD
+// benchmark (paper Sect. 5.1): a data-scaling tool that pumps a relational
+// database by a tunable growth factor while preserving the statistics that
+// shape the virtual RDF instance exposed through OBDA mappings.
+//
+// The generator runs in two phases, mirroring the paper:
+//
+//   - analysis: per-column duplicate ratios (measure D), value intervals of
+//     ordered domains, geometry bounding boxes, NULL ratios, and the
+//     foreign-key graph with its cycles;
+//   - generation: per table T, ~g·|T| fresh tuples whose columns reproduce
+//     the measured duplicate ratios (duplicates drawn uniformly from the
+//     existing values) and whose fresh values stay inside the measured
+//     intervals, with primary keys kept unique, foreign keys kept valid,
+//     and FK cycles cut by NULLs or duplicates.
+//
+// A purely random generator with the same constraint handling is included
+// as the baseline of the paper's Table 8 comparison.
+package vig
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// ColumnProfile is the analysis result for one column.
+type ColumnProfile struct {
+	Name string
+	Type sqldb.ColType
+	// DuplicateRatio is (|T.C| − |distinct T.C|)/|T.C| (paper measure D).
+	DuplicateRatio float64
+	// NullRatio is the fraction of NULLs.
+	NullRatio float64
+	// Distinct holds the distinct non-NULL values (the duplicate pool).
+	// Capped at poolCap values, sampled deterministically.
+	Distinct []sqldb.Value
+	// Min/Max bound ordered domains (zero Values otherwise).
+	Min, Max sqldb.Value
+	// Geometry bounding box (valid when Type == TGeometry and HasGeo).
+	HasGeo           bool
+	GeoMinX, GeoMinY float64
+	GeoMaxX, GeoMaxY float64
+	// IntrinsicallyConstant marks columns whose content does not scale
+	// with database size (duplicate ratio above the constancy threshold);
+	// the generator never invents fresh values for them, which keeps
+	// concepts like the paper's :ProductSize from growing.
+	IntrinsicallyConstant bool
+}
+
+// TableProfile is the analysis result for one table.
+type TableProfile struct {
+	Name     string
+	RowCount int
+	Columns  []ColumnProfile
+}
+
+// Analysis is the full analysis-phase output.
+type Analysis struct {
+	Tables map[string]*TableProfile
+	// Order lists table names parents-first (FK-topological; cycles broken
+	// arbitrarily but deterministically).
+	Order []string
+	// CyclicTables marks tables involved in FK cycles; insertions into
+	// them cut the chase by NULL or duplicate FK values (paper: "length of
+	// chase cycles").
+	CyclicTables map[string]bool
+}
+
+const (
+	poolCap = 4096
+	// constancyThreshold: a duplicate ratio at or above this marks a column
+	// as intrinsically constant (its distinct values are a fixed small
+	// vocabulary, e.g. product sizes or status codes).
+	constancyThreshold = 0.9
+)
+
+// Analyze runs the analysis phase over the database.
+func Analyze(db *sqldb.Database) (*Analysis, error) {
+	a := &Analysis{Tables: make(map[string]*TableProfile), CyclicTables: make(map[string]bool)}
+	for _, t := range db.Tables() {
+		tp, err := analyzeTable(t)
+		if err != nil {
+			return nil, err
+		}
+		a.Tables[strings.ToLower(t.Def.Name)] = tp
+	}
+	a.Order, a.CyclicTables = topoOrder(db)
+	return a, nil
+}
+
+func analyzeTable(t *sqldb.Table) (*TableProfile, error) {
+	st := t.Stats()
+	tp := &TableProfile{Name: t.Def.Name, RowCount: st.RowCount}
+	for i, col := range t.Def.Columns {
+		cp := ColumnProfile{
+			Name:           col.Name,
+			Type:           col.Type,
+			DuplicateRatio: st.DuplicateRatio(i),
+			Min:            st.Min[i],
+			Max:            st.Max[i],
+		}
+		if st.RowCount > 0 {
+			cp.NullRatio = float64(st.NullCount[i]) / float64(st.RowCount)
+		}
+		cp.IntrinsicallyConstant = st.RowCount >= 4 && cp.DuplicateRatio >= constancyThreshold
+		// distinct pool (deterministic order: first occurrence)
+		seen := make(map[string]bool)
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, row := range t.Rows {
+			v := row[i]
+			if v.IsNull() {
+				continue
+			}
+			if col.Type == sqldb.TGeometry && v.G != nil {
+				x0, y0, x1, y1 := v.G.BoundingBox()
+				minX, minY = math.Min(minX, x0), math.Min(minY, y0)
+				maxX, maxY = math.Max(maxX, x1), math.Max(maxY, y1)
+				cp.HasGeo = true
+			}
+			k := v.Key()
+			if seen[k] || len(cp.Distinct) >= poolCap {
+				continue
+			}
+			seen[k] = true
+			cp.Distinct = append(cp.Distinct, v)
+		}
+		if cp.HasGeo {
+			cp.GeoMinX, cp.GeoMinY, cp.GeoMaxX, cp.GeoMaxY = minX, minY, maxX, maxY
+		}
+		tp.Columns = append(tp.Columns, cp)
+	}
+	return tp, nil
+}
+
+// topoOrder orders tables parents-first along foreign keys and reports the
+// tables on FK cycles.
+func topoOrder(db *sqldb.Database) ([]string, map[string]bool) {
+	graph := db.FKGraph() // table -> referenced parents
+	names := make([]string, 0, len(graph))
+	for n := range graph {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	cyclic := make(map[string]bool)
+	// Tarjan-free cycle detection: a table is cyclic when it can reach
+	// itself through FK edges.
+	for _, n := range names {
+		seen := map[string]bool{}
+		stack := append([]string{}, graph[n]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == n {
+				cyclic[n] = true
+				break
+			}
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			stack = append(stack, graph[cur]...)
+		}
+	}
+
+	// Kahn's algorithm over the acyclic part; cyclic tables appended in
+	// name order at positions after their acyclic parents.
+	indeg := map[string]int{}
+	children := map[string][]string{}
+	for _, n := range names {
+		indeg[n] = 0
+	}
+	for _, n := range names {
+		for _, parent := range graph[n] {
+			if parent == n || cyclic[n] && cyclic[parent] {
+				continue // cycle edges ignored for ordering
+			}
+			indeg[n]++
+			children[parent] = append(children[parent], n)
+		}
+	}
+	var order []string
+	var queue []string
+	for _, n := range names {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		next := children[n]
+		sort.Strings(next)
+		for _, c := range next {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+		sort.Strings(queue)
+	}
+	if len(order) < len(names) {
+		// leftover (cycles): deterministic append
+		in := map[string]bool{}
+		for _, n := range order {
+			in[n] = true
+		}
+		for _, n := range names {
+			if !in[n] {
+				order = append(order, n)
+			}
+		}
+	}
+	return order, cyclic
+}
+
+// Summary renders a human-readable analysis report (cmd/vigstat).
+func (a *Analysis) Summary() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(a.Tables))
+	for n := range a.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tp := a.Tables[n]
+		fmt.Fprintf(&sb, "%s (%d rows%s)\n", tp.Name, tp.RowCount, cycleMark(a.CyclicTables[n]))
+		for _, c := range tp.Columns {
+			fmt.Fprintf(&sb, "  %-24s %-8s dup=%.3f null=%.3f distinct=%d",
+				c.Name, c.Type, c.DuplicateRatio, c.NullRatio, len(c.Distinct))
+			if !c.Min.IsNull() {
+				fmt.Fprintf(&sb, " range=[%s, %s]", c.Min, c.Max)
+			}
+			if c.HasGeo {
+				fmt.Fprintf(&sb, " bbox=[%g %g %g %g]", c.GeoMinX, c.GeoMinY, c.GeoMaxX, c.GeoMaxY)
+			}
+			if c.IntrinsicallyConstant {
+				sb.WriteString(" CONSTANT")
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func cycleMark(b bool) string {
+	if b {
+		return ", on FK cycle"
+	}
+	return ""
+}

@@ -1,0 +1,265 @@
+package vig
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// Generator produces scaled database instances from an analysis.
+type Generator struct {
+	analysis *Analysis
+	rng      *rand.Rand
+	freshSeq map[string]int64 // per table.column fresh-value counter
+}
+
+// New creates a deterministic generator (same seed → same data).
+func New(a *Analysis, seed int64) *Generator {
+	return &Generator{
+		analysis: a,
+		rng:      rand.New(rand.NewSource(seed)),
+		freshSeq: make(map[string]int64),
+	}
+}
+
+// Report summarizes a generation run.
+type Report struct {
+	Inserted map[string]int
+	// Skipped counts rows abandoned after repeated key conflicts; the
+	// resulting size is approximate, as the paper states ("the size is
+	// approximated").
+	Skipped map[string]int
+}
+
+// TotalInserted sums inserted rows over all tables.
+func (r *Report) TotalInserted() int {
+	n := 0
+	for _, v := range r.Inserted {
+		n += v
+	}
+	return n
+}
+
+const rowRetries = 32
+
+// Generate inserts ~growth·|T| tuples into every table of db, walking
+// tables parents-first so that foreign keys can always reference existing
+// rows. growth is the paper's g: a database NPDk corresponds to
+// Generate(db, k-1) applied to the original instance.
+func (g *Generator) Generate(db *sqldb.Database, growth float64) (*Report, error) {
+	if growth < 0 {
+		return nil, fmt.Errorf("vig: negative growth factor %g", growth)
+	}
+	rep := &Report{Inserted: make(map[string]int), Skipped: make(map[string]int)}
+	for _, name := range g.analysis.Order {
+		tp := g.analysis.Tables[name]
+		if tp == nil {
+			continue
+		}
+		t := db.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("vig: table %s missing from target database", name)
+		}
+		target := int(math.Round(growth * float64(tp.RowCount)))
+		inserted, skipped, err := g.pumpTable(db, t, tp, target)
+		if err != nil {
+			return nil, err
+		}
+		rep.Inserted[tp.Name] = inserted
+		rep.Skipped[tp.Name] = skipped
+	}
+	return rep, nil
+}
+
+func (g *Generator) pumpTable(db *sqldb.Database, t *sqldb.Table, tp *TableProfile, target int) (inserted, skipped int, err error) {
+	if target <= 0 || tp.RowCount == 0 {
+		return 0, 0, nil
+	}
+	def := t.Def
+	cyclic := g.analysis.CyclicTables[strings.ToLower(def.Name)]
+	// Columns covered by foreign keys are assigned from parent rows.
+	fkCols := map[int]bool{}
+	for _, fk := range def.ForeignKeys {
+		for _, c := range fk.Columns {
+			fkCols[c] = true
+		}
+	}
+	for n := 0; n < target; n++ {
+		ok := false
+		for attempt := 0; attempt < rowRetries; attempt++ {
+			row := make(sqldb.Row, len(def.Columns))
+			if err := g.assignForeignKeys(db, def, row, cyclic); err != nil {
+				return inserted, skipped, err
+			}
+			for i := range def.Columns {
+				if fkCols[i] && !row[i].IsNull() {
+					continue // set by FK assignment
+				}
+				if fkCols[i] {
+					continue // FK deliberately NULL (cycle cut)
+				}
+				row[i] = g.columnValue(def.Name, def.Columns[i], &tp.Columns[i], attempt)
+			}
+			insErr := db.InsertUnchecked(def.Name, row)
+			if insErr == nil {
+				ok = true
+				break
+			}
+			if _, dup := insErr.(*sqldb.DuplicateKeyError); dup {
+				continue // retry with fresh values
+			}
+			return inserted, skipped, insErr
+		}
+		if ok {
+			inserted++
+		} else {
+			skipped++
+		}
+	}
+	return inserted, skipped, nil
+}
+
+// assignForeignKeys fills FK columns from randomly chosen parent rows,
+// keeping composite keys consistent. On FK cycles the chase is cut: the
+// reference is NULLed when allowed, otherwise it reuses an existing parent
+// key (a duplicate), exactly the two cuts the paper describes.
+func (g *Generator) assignForeignKeys(db *sqldb.Database, def *sqldb.TableDef, row sqldb.Row, cyclic bool) error {
+	for _, fk := range def.ForeignKeys {
+		parent := db.Table(fk.RefTable)
+		if parent == nil {
+			return fmt.Errorf("vig: %s references missing table %s", def.Name, fk.RefTable)
+		}
+		if parent.Len() == 0 {
+			// no parent rows: NULL if allowed, else fail the row later
+			continue
+		}
+		if cyclic && g.fkNullable(def, fk) && g.rng.Float64() < 0.5 {
+			// cycle cut by NULL
+			for _, c := range fk.Columns {
+				row[c] = sqldb.Null
+			}
+			continue
+		}
+		src := parent.Rows[g.rng.Intn(parent.Len())]
+		for i, c := range fk.Columns {
+			row[c] = src[fk.RefColumns[i]]
+		}
+	}
+	return nil
+}
+
+func (g *Generator) fkNullable(def *sqldb.TableDef, fk sqldb.ForeignKey) bool {
+	for _, c := range fk.Columns {
+		if def.Columns[c].NotNull {
+			return false
+		}
+		for _, pk := range def.PrimaryKey {
+			if pk == c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// columnValue draws one value for a non-FK column, honouring the analyzed
+// duplicate/NULL ratios; later retry attempts bias toward fresh values so
+// key conflicts resolve.
+func (g *Generator) columnValue(table string, col sqldb.Column, cp *ColumnProfile, attempt int) sqldb.Value {
+	if !col.NotNull && cp.NullRatio > 0 && g.rng.Float64() < cp.NullRatio {
+		return sqldb.Null
+	}
+	dupP := cp.DuplicateRatio
+	if cp.IntrinsicallyConstant {
+		dupP = 1 // never invent new values for constant vocabularies
+	}
+	if attempt > 0 && !cp.IntrinsicallyConstant {
+		dupP = 0 // retries need fresh values to escape key conflicts
+	}
+	if len(cp.Distinct) > 0 && g.rng.Float64() < dupP {
+		return cp.Distinct[g.rng.Intn(len(cp.Distinct))]
+	}
+	return g.freshValue(table, col, cp)
+}
+
+// freshValue draws a new value from (or adjacent to) the analyzed domain
+// interval, per the paper's Fresh Values Generation rule.
+func (g *Generator) freshValue(table string, col sqldb.Column, cp *ColumnProfile) sqldb.Value {
+	key := table + "." + col.Name
+	g.freshSeq[key]++
+	seq := g.freshSeq[key]
+	switch col.Type {
+	case sqldb.TInt:
+		lo, hi := int64(0), int64(1)
+		if !cp.Min.IsNull() {
+			lo, hi = cp.Min.I, cp.Max.I
+		}
+		span := hi - lo + 1
+		if span > 1 && seq <= span {
+			// draw inside the interval first
+			return sqldb.NewInt(lo + g.rng.Int63n(span))
+		}
+		// interval exhausted: values adjacent to it
+		return sqldb.NewInt(hi + seq)
+	case sqldb.TFloat:
+		lo, hi := 0.0, 1.0
+		if !cp.Min.IsNull() {
+			lo, _ = cp.Min.AsFloat()
+			hi, _ = cp.Max.AsFloat()
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		return sqldb.NewFloat(lo + g.rng.Float64()*(hi-lo))
+	case sqldb.TDate:
+		lo, hi := int64(0), int64(365)
+		if !cp.Min.IsNull() {
+			lo, hi = cp.Min.I, cp.Max.I
+		}
+		if hi <= lo {
+			hi = lo + 365
+		}
+		return sqldb.NewDate(lo + g.rng.Int63n(hi-lo+1))
+	case sqldb.TBool:
+		return sqldb.NewBool(g.rng.Intn(2) == 0)
+	case sqldb.TGeometry:
+		return sqldb.NewGeometry(g.freshPolygon(cp))
+	default: // TText
+		prefix := ""
+		if len(cp.Distinct) > 0 {
+			sample := cp.Distinct[0].String()
+			if i := strings.IndexAny(sample, "0123456789"); i > 0 {
+				prefix = sample[:i]
+			}
+		}
+		return sqldb.NewString(fmt.Sprintf("%s%s_g%d", prefix, col.Name, seq))
+	}
+}
+
+// freshPolygon builds a valid rectangle inside the analyzed bounding box,
+// implementing the paper's rule that generated geometric values fall in
+// the region of the existing ones (so selection queries still hit them).
+func (g *Generator) freshPolygon(cp *ColumnProfile) *sqldb.Geometry {
+	minX, minY, maxX, maxY := cp.GeoMinX, cp.GeoMinY, cp.GeoMaxX, cp.GeoMaxY
+	if !cp.HasGeo || maxX <= minX || maxY <= minY {
+		minX, minY, maxX, maxY = 0, 0, 100, 100
+	}
+	w := maxX - minX
+	h := maxY - minY
+	x0 := minX + g.rng.Float64()*w*0.8
+	y0 := minY + g.rng.Float64()*h*0.8
+	x1 := x0 + g.rng.Float64()*(maxX-x0)
+	y1 := y0 + g.rng.Float64()*(maxY-y0)
+	if x1 <= x0 {
+		x1 = x0 + w*0.01 + 1e-9
+	}
+	if y1 <= y0 {
+		y1 = y0 + h*0.01 + 1e-9
+	}
+	return &sqldb.Geometry{Points: []sqldb.Point{
+		{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}, {X: x0, Y: y0},
+	}}
+}

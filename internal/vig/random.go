@@ -1,0 +1,117 @@
+package vig
+
+import (
+	"fmt"
+	"math/rand"
+
+	"npdbench/internal/sqldb"
+)
+
+// RandomGenerator is the purely random baseline of the paper's Table 8:
+// it respects hard database constraints (types, primary keys, foreign
+// keys — without them the data would not even load) but ignores every
+// statistic of the analysis phase: no duplicate ratios, no domain
+// intervals, no constant-vocabulary detection.
+type RandomGenerator struct {
+	rng *rand.Rand
+}
+
+// NewRandom creates a deterministic random baseline generator.
+func NewRandom(seed int64) *RandomGenerator {
+	return &RandomGenerator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate inserts ~growth·|T| uniformly random tuples into each table.
+func (g *RandomGenerator) Generate(db *sqldb.Database, growth float64) (*Report, error) {
+	if growth < 0 {
+		return nil, fmt.Errorf("vig: negative growth factor %g", growth)
+	}
+	// FK ordering is still required for loadability.
+	order, _ := topoOrder(db)
+	rep := &Report{Inserted: make(map[string]int), Skipped: make(map[string]int)}
+	baseCounts := make(map[string]int)
+	for _, t := range db.Tables() {
+		baseCounts[t.Def.Name] = t.Len()
+	}
+	for _, name := range order {
+		t := db.Table(name)
+		if t == nil {
+			continue
+		}
+		target := int(growth * float64(baseCounts[t.Def.Name]))
+		ins, skip := g.pump(db, t, target)
+		rep.Inserted[t.Def.Name] = ins
+		rep.Skipped[t.Def.Name] = skip
+	}
+	return rep, nil
+}
+
+func (g *RandomGenerator) pump(db *sqldb.Database, t *sqldb.Table, target int) (inserted, skipped int) {
+	def := t.Def
+	fkCols := map[int]bool{}
+	for _, fk := range def.ForeignKeys {
+		for _, c := range fk.Columns {
+			fkCols[c] = true
+		}
+	}
+	for n := 0; n < target; n++ {
+		ok := false
+		for attempt := 0; attempt < rowRetries; attempt++ {
+			row := make(sqldb.Row, len(def.Columns))
+			valid := true
+			for _, fk := range def.ForeignKeys {
+				parent := db.Table(fk.RefTable)
+				if parent == nil || parent.Len() == 0 {
+					valid = false
+					break
+				}
+				src := parent.Rows[g.rng.Intn(parent.Len())]
+				for i, c := range fk.Columns {
+					row[c] = src[fk.RefColumns[i]]
+				}
+			}
+			if !valid {
+				break
+			}
+			for i, col := range def.Columns {
+				if fkCols[i] {
+					continue
+				}
+				row[i] = g.randomValue(col)
+			}
+			if err := db.InsertUnchecked(def.Name, row); err == nil {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			inserted++
+		} else {
+			skipped++
+		}
+	}
+	return inserted, skipped
+}
+
+func (g *RandomGenerator) randomValue(col sqldb.Column) sqldb.Value {
+	switch col.Type {
+	case sqldb.TInt:
+		return sqldb.NewInt(g.rng.Int63n(1 << 40))
+	case sqldb.TFloat:
+		return sqldb.NewFloat(g.rng.Float64() * 1e9)
+	case sqldb.TDate:
+		return sqldb.NewDate(g.rng.Int63n(40000)) // anywhere in 1970–2079
+	case sqldb.TBool:
+		return sqldb.NewBool(g.rng.Intn(2) == 0)
+	case sqldb.TGeometry:
+		x0 := g.rng.Float64() * 1e6
+		y0 := g.rng.Float64() * 1e6
+		x1 := x0 + g.rng.Float64()*1e5 + 1
+		y1 := y0 + g.rng.Float64()*1e5 + 1
+		return sqldb.NewGeometry(&sqldb.Geometry{Points: []sqldb.Point{
+			{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}, {X: x0, Y: y0},
+		}})
+	default:
+		return sqldb.NewString(fmt.Sprintf("rnd%x", g.rng.Int63()))
+	}
+}

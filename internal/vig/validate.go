@@ -1,0 +1,238 @@
+package vig
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/r2rml"
+	"npdbench/internal/sqldb"
+)
+
+// ElementKind partitions ontology terms for the Table 8 rows.
+type ElementKind string
+
+// Element kinds.
+const (
+	KindClass ElementKind = "class"
+	KindObj   ElementKind = "obj"
+	KindData  ElementKind = "data"
+)
+
+// GrowthRow is one row of the paper's Table 8: the growth quality of one
+// element kind under one growth factor for one generator.
+type GrowthRow struct {
+	Kind      ElementKind
+	Growth    float64
+	Generator string // "vig" (the paper's "heuristic") or "random"
+	Elements  int
+	// AvgDeviation is the average |actual−expected|/expected, as a
+	// fraction (the paper reports percentages).
+	AvgDeviation float64
+	// Err50 counts elements deviating by more than 50%.
+	Err50 int
+}
+
+// Err50Ratio is the relative error column of Table 8.
+func (r GrowthRow) Err50Ratio() float64 {
+	if r.Elements == 0 {
+		return 0
+	}
+	return float64(r.Err50) / float64(r.Elements)
+}
+
+func (r GrowthRow) String() string {
+	return fmt.Sprintf("%s_g%g %s: avg dev %.2f%%, err>50%%: %d (%.2f%%) of %d",
+		r.Kind, r.Growth, r.Generator, r.AvgDeviation*100, r.Err50, r.Err50Ratio()*100, r.Elements)
+}
+
+// GrowthValidator reproduces the paper's Sect. 5.2 validation: it compares
+// the virtual-instance growth produced by a generator against the expected
+// growth of each ontology element.
+type GrowthValidator struct {
+	Onto    *owl.Ontology
+	Mapping *r2rml.Mapping
+	// NewSeed returns a fresh copy of the seed database (each validation
+	// run mutates its copy).
+	NewSeed func() (*sqldb.Database, error)
+}
+
+// expectedConstant decides a priori whether an ontology term's virtual
+// extension is intrinsically constant: every source column feeding its
+// term maps is a constant vocabulary per the analysis. This mirrors the
+// paper's discussion of :ProductSize.
+func expectedConstant(term string, mp *r2rml.Mapping, a *Analysis) bool {
+	found := false
+	for _, m := range mp.Maps {
+		var maps []r2rml.TermMap
+		for _, c := range m.Classes {
+			if c == term {
+				maps = append(maps, m.Subject)
+			}
+		}
+		for _, po := range m.POs {
+			if po.Predicate == term {
+				maps = append(maps, m.Subject, po.Object)
+			}
+		}
+		if len(maps) == 0 {
+			continue
+		}
+		found = true
+		tables := sourceTables(m)
+		for _, tm := range maps {
+			for _, col := range tm.Columns() {
+				if !columnConstant(a, tables, col) {
+					return false
+				}
+			}
+		}
+	}
+	return found
+}
+
+// sourceTables extracts the base tables of the mapping's logical source.
+func sourceTables(m *r2rml.TriplesMap) []string {
+	stmt, err := m.LogicalSQL()
+	if err != nil {
+		return nil
+	}
+	var out []string
+	var walk func(tr sqldb.TableRef)
+	walk = func(tr sqldb.TableRef) {
+		switch t := tr.(type) {
+		case *sqldb.BaseTable:
+			out = append(out, strings.ToLower(t.Name))
+		case *sqldb.JoinRef:
+			walk(t.L)
+			walk(t.R)
+		case *sqldb.SubqueryTable:
+			for _, f := range t.Query.From {
+				walk(f)
+			}
+		}
+	}
+	for s := stmt; s != nil; s = s.Union {
+		for _, f := range s.From {
+			walk(f)
+		}
+	}
+	return out
+}
+
+func columnConstant(a *Analysis, tables []string, col string) bool {
+	for _, tn := range tables {
+		tp := a.Tables[tn]
+		if tp == nil {
+			continue
+		}
+		for i := range tp.Columns {
+			if strings.EqualFold(tp.Columns[i].Name, col) {
+				return tp.Columns[i].IntrinsicallyConstant
+			}
+		}
+	}
+	return false
+}
+
+// GeneratorFunc pumps a database by a growth factor.
+type GeneratorFunc func(db *sqldb.Database, growth float64) error
+
+// VIGFunc adapts the heuristic generator for validation runs.
+func VIGFunc(seed int64) GeneratorFunc {
+	return func(db *sqldb.Database, growth float64) error {
+		a, err := Analyze(db)
+		if err != nil {
+			return err
+		}
+		_, err = New(a, seed).Generate(db, growth)
+		return err
+	}
+}
+
+// RandomFunc adapts the random baseline for validation runs.
+func RandomFunc(seed int64) GeneratorFunc {
+	return func(db *sqldb.Database, growth float64) error {
+		_, err := NewRandom(seed).Generate(db, growth)
+		return err
+	}
+}
+
+// Run produces the Table 8 rows for one generator across growth factors.
+func (v *GrowthValidator) Run(name string, gen GeneratorFunc, growths []float64) ([]GrowthRow, error) {
+	seed, err := v.NewSeed()
+	if err != nil {
+		return nil, err
+	}
+	base, err := v.Mapping.VirtualCounts(seed)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := Analyze(seed)
+	if err != nil {
+		return nil, err
+	}
+	constant := make(map[string]bool)
+	for term := range base {
+		constant[term] = expectedConstant(term, v.Mapping, analysis)
+	}
+
+	var rows []GrowthRow
+	for _, g := range growths {
+		db, err := v.NewSeed()
+		if err != nil {
+			return nil, err
+		}
+		if err := gen(db, g); err != nil {
+			return nil, err
+		}
+		counts, err := v.Mapping.VirtualCounts(db)
+		if err != nil {
+			return nil, err
+		}
+		agg := map[ElementKind]*GrowthRow{
+			KindClass: {Kind: KindClass, Growth: g, Generator: name},
+			KindObj:   {Kind: KindObj, Growth: g, Generator: name},
+			KindData:  {Kind: KindData, Growth: g, Generator: name},
+		}
+		sums := map[ElementKind]float64{}
+		for term, n0 := range base {
+			if n0 == 0 {
+				continue
+			}
+			expected := float64(n0) * (1 + g)
+			if constant[term] {
+				expected = float64(n0)
+			}
+			actual := float64(counts[term])
+			dev := math.Abs(actual-expected) / expected
+			kind := v.kindOf(term)
+			row := agg[kind]
+			row.Elements++
+			sums[kind] += dev
+			if dev > 0.5 {
+				row.Err50++
+			}
+		}
+		for _, kind := range []ElementKind{KindClass, KindObj, KindData} {
+			row := agg[kind]
+			if row.Elements > 0 {
+				row.AvgDeviation = sums[kind] / float64(row.Elements)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func (v *GrowthValidator) kindOf(term string) ElementKind {
+	switch {
+	case v.Onto.HasClass(term):
+		return KindClass
+	case v.Onto.HasDataProperty(term):
+		return KindData
+	default:
+		return KindObj
+	}
+}

@@ -1,0 +1,328 @@
+package vig
+
+import (
+	"testing"
+
+	"npdbench/internal/r2rml"
+	"npdbench/internal/sqldb"
+)
+
+// newSeedDB builds a small database exercising every generator concern:
+// constant vocab columns, linear id columns, FKs, a composite PK, a
+// self-referencing FK cycle, dates, floats and geometry.
+func newSeedDB(t testing.TB) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase("vigtest")
+	mustCreate := func(def *sqldb.TableDef) {
+		t.Helper()
+		if _, err := db.CreateTable(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&sqldb.TableDef{
+		Name: "parent",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TInt, NotNull: true},
+			{Name: "kind", Type: sqldb.TText},
+			{Name: "score", Type: sqldb.TFloat},
+			{Name: "born", Type: sqldb.TDate},
+			{Name: "area", Type: sqldb.TGeometry},
+		},
+		PrimaryKey: []int{0},
+	})
+	mustCreate(&sqldb.TableDef{
+		Name: "child",
+		Columns: []sqldb.Column{
+			{Name: "pid", Type: sqldb.TInt, NotNull: true},
+			{Name: "seq", Type: sqldb.TInt, NotNull: true},
+			{Name: "note", Type: sqldb.TText},
+		},
+		PrimaryKey:  []int{0, 1},
+		ForeignKeys: []sqldb.ForeignKey{{Columns: []int{0}, RefTable: "parent", RefColumns: []int{0}}},
+	})
+	mustCreate(&sqldb.TableDef{
+		Name: "node",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TInt, NotNull: true},
+			{Name: "up", Type: sqldb.TInt},
+		},
+		PrimaryKey:  []int{0},
+		ForeignKeys: []sqldb.ForeignKey{{Columns: []int{1}, RefTable: "node", RefColumns: []int{0}}},
+	})
+	kinds := []string{"A", "B"} // constant vocabulary
+	for i := 0; i < 40; i++ {
+		poly := &sqldb.Geometry{Points: []sqldb.Point{
+			{X: float64(i), Y: 0}, {X: float64(i) + 1, Y: 0},
+			{X: float64(i) + 1, Y: 1}, {X: float64(i), Y: 1}, {X: float64(i), Y: 0},
+		}}
+		if err := db.Insert("parent", sqldb.Row{
+			sqldb.NewInt(int64(i)),
+			sqldb.NewString(kinds[i%2]),
+			sqldb.NewFloat(float64(i) * 1.5),
+			sqldb.NewDate(int64(10000 + i*10)),
+			sqldb.NewGeometry(poly),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		for s := 0; s < 2; s++ {
+			if err := db.Insert("child", sqldb.Row{
+				sqldb.NewInt(int64(i)), sqldb.NewInt(int64(s)),
+				sqldb.NewString("n"),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		up := sqldb.Null
+		if i > 0 {
+			up = sqldb.NewInt(int64(i - 1))
+		}
+		if err := db.Insert("node", sqldb.Row{sqldb.NewInt(int64(i)), up}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAnalyzeMeasures(t *testing.T) {
+	db := newSeedDB(t)
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := a.Tables["parent"]
+	if parent == nil || parent.RowCount != 40 {
+		t.Fatalf("parent profile %+v", parent)
+	}
+	// kind: 40 values, 2 distinct -> duplicate ratio 0.95, constant
+	kind := parent.Columns[1]
+	if kind.DuplicateRatio < 0.94 || !kind.IntrinsicallyConstant {
+		t.Fatalf("kind profile %+v", kind)
+	}
+	// id: all distinct
+	if parent.Columns[0].DuplicateRatio != 0 || parent.Columns[0].IntrinsicallyConstant {
+		t.Fatalf("id profile %+v", parent.Columns[0])
+	}
+	// geometry bounding box covers all polygons
+	area := parent.Columns[4]
+	if !area.HasGeo || area.GeoMinX != 0 || area.GeoMaxX != 40 {
+		t.Fatalf("geo bbox %+v", area)
+	}
+	// node is on an FK cycle
+	if !a.CyclicTables["node"] {
+		t.Fatal("self-FK table must be flagged cyclic")
+	}
+	// parents must precede children in generation order
+	pos := map[string]int{}
+	for i, n := range a.Order {
+		pos[n] = i
+	}
+	if pos["parent"] > pos["child"] {
+		t.Fatalf("order %v", a.Order)
+	}
+}
+
+func TestGenerateGrowsAndStaysValid(t *testing.T) {
+	db := newSeedDB(t)
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(a, 1).Generate(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalInserted() == 0 {
+		t.Fatal("nothing inserted")
+	}
+	// ~3x rows per table (approximate, per the paper)
+	p := db.Table("parent").Len()
+	if p < 100 || p > 130 {
+		t.Fatalf("parent rows = %d, want ≈120", p)
+	}
+	if errs := db.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity: %v", errs[0])
+	}
+}
+
+func TestGenerateKeepsConstantVocabulary(t *testing.T) {
+	db := newSeedDB(t)
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(a, 1).Generate(db, 5); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Table("parent").Stats()
+	// kind column must still hold only A and B
+	if st.DistinctCount[1] != 2 {
+		t.Fatalf("constant vocabulary grew: %d distinct", st.DistinctCount[1])
+	}
+}
+
+func TestGenerateGeometryInsideBBox(t *testing.T) {
+	db := newSeedDB(t)
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(a, 1).Generate(db, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range db.Table("parent").Rows {
+		g := row[4].G
+		if g == nil {
+			continue
+		}
+		if !g.Valid() {
+			t.Fatal("generated polygon invalid")
+		}
+		minX, _, maxX, _ := g.BoundingBox()
+		if minX < -0.001 || maxX > 40.001 {
+			t.Fatalf("polygon outside analyzed bbox: [%g, %g]", minX, maxX)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	run := func() string {
+		db := newSeedDB(t)
+		a, err := Analyze(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(a, 7).Generate(db, 1); err != nil {
+			t.Fatal(err)
+		}
+		return db.Summary()
+	}
+	if run() != run() {
+		t.Fatal("generation must be deterministic for a fixed seed")
+	}
+}
+
+func TestGenerateZeroGrowth(t *testing.T) {
+	db := newSeedDB(t)
+	before := db.TotalRows()
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(a, 1).Generate(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalInserted() != 0 || db.TotalRows() != before {
+		t.Fatal("growth 0 must not insert")
+	}
+	if _, err := New(a, 1).Generate(db, -1); err == nil {
+		t.Fatal("negative growth must error")
+	}
+}
+
+func TestRandomGeneratorValidButIgnorantOfStats(t *testing.T) {
+	db := newSeedDB(t)
+	if _, err := NewRandom(1).Generate(db, 2); err != nil {
+		t.Fatal(err)
+	}
+	if errs := db.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("random generator must still satisfy FKs: %v", errs[0])
+	}
+	st := db.Table("parent").Stats()
+	// the constant vocabulary is destroyed (random strings)
+	if st.DistinctCount[1] <= 3 {
+		t.Fatalf("random generator should invent kinds, distinct = %d", st.DistinctCount[1])
+	}
+}
+
+func TestFKCycleBounded(t *testing.T) {
+	db := newSeedDB(t)
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(a, 3).Generate(db, 4); err != nil {
+		t.Fatal(err)
+	}
+	// inserting into the cyclic table terminated and stayed valid
+	if errs := db.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("cycle handling broke integrity: %v", errs[0])
+	}
+	if db.Table("node").Len() < 30 {
+		t.Fatalf("node rows = %d", db.Table("node").Len())
+	}
+}
+
+func TestVirtualMultiplicityAndIGAs(t *testing.T) {
+	db := newSeedDB(t)
+	mp := testMappingForMD()
+	vmd, err := VirtualMultiplicity(mp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasChild := vmd["http://t/hasChild"]
+	// every parent has exactly 2 children
+	if hasChild.Mean != 2 || hasChild.P50 != 2 || hasChild.Max != 2 {
+		t.Fatalf("hasChild VMD %+v", hasChild)
+	}
+	pairs, err := AnalyzeIGAs(mp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	p := pairs[0]
+	if !p.IntraTable || p.Table != "child" {
+		t.Fatalf("pair %+v", p)
+	}
+	if p.MD.Mean != 2 {
+		t.Fatalf("Intra-MD mean = %g, want 2", p.MD.Mean)
+	}
+	if p.PairDuplication != 0 {
+		t.Fatalf("pair duplication = %g", p.PairDuplication)
+	}
+}
+
+func TestVMDPreservedByVIG(t *testing.T) {
+	db := newSeedDB(t)
+	mp := testMappingForMD()
+	before, err := VirtualMultiplicity(mp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(a, 3).Generate(db, 2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := VirtualMultiplicity(mp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := CompareMultiplicity(before, after)
+	// hasChild mean degree should stay near 2 (children FK-sample parents
+	// uniformly, both tables grow linearly)
+	if d := drift["http://t/hasChild"]; d > 0.5 {
+		t.Fatalf("VMD drift %.2f too large", d)
+	}
+}
+
+// testMappingForMD maps the child table: parent/{pid} hasChild child/{pid}/{seq}.
+func testMappingForMD() *r2rml.Mapping {
+	return r2rml.MustParseMapping(`
+[PrefixDeclaration]
+t: http://t/
+
+[MappingDeclaration]
+mappingId children
+target    t:parent/{pid} t:hasChild t:child/{pid}/{seq} .
+source    SELECT pid, seq FROM child
+`)
+}

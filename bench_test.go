@@ -293,6 +293,51 @@ func BenchmarkAblation_Profiles(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_Constraints contrasts unfolding with and without the
+// static analyzer's schema constraints (key-based self-join merging and
+// union-arm subsumption; see internal/analyze). The reported metrics show
+// the plan simplification on the dataPropsSplit-heavy NPD mappings.
+func BenchmarkAblation_Constraints(b *testing.B) {
+	db, _, err := mixer.BuildInstance(1, benchSeedScale, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"constraints-on", true}, {"constraints-off", false}} {
+		eng, err := core.NewEngine(spec, core.Options{
+			TMappings: true, Existential: true, Constraints: mode.on,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// q1 (join-heavy), q6 (largest UCQ), q10 (per-attribute lookups):
+		// the three shapes the merge optimization targets.
+		for _, id := range []string{"q1", "q6", "q10"} {
+			parsed, err := eng.ParseQuery(npd.QueryByID(id).SPARQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(id+"/"+mode.name, func(b *testing.B) {
+				var st core.PhaseStats
+				for i := 0; i < b.N; i++ {
+					ans, err := eng.Answer(parsed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = ans.Stats
+				}
+				b.ReportMetric(float64(st.UnionArms), "arms")
+				b.ReportMetric(float64(st.SelfJoinsEliminated), "selfjoins-merged")
+				b.ReportMetric(float64(st.SQL.Joins), "joins")
+				b.ReportMetric(float64(st.SQL.InnerQueries), "innerqueries")
+			})
+		}
+	}
+}
+
 // BenchmarkAblation_AggregatePushdown contrasts SQL-side aggregation with
 // in-memory aggregation over translated bindings on q19 (COUNT per
 // company over every wellbore).

@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the tier-1+ gate. Everything here must pass before merging:
+# build, vet, the full test suite under the race detector, and a clean
+# obdalint run over the benchmark artifacts (see ROADMAP.md).
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+go run ./cmd/obdalint -strict -quiet

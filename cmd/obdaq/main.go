@@ -26,6 +26,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "random seed")
 		profile     = flag.String("profile", "hashjoin", "database profile: hashjoin | sortmerge")
 		existential = flag.Bool("existential", true, "enable tree-witness reasoning")
+		constraints = flag.Bool("constraints", true, "enable schema-constraint optimizations (self-join merging, arm subsumption)")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the SQL planner decisions (EXPLAIN ANALYZE)")
 		maxRows     = flag.Int("rows", 20, "result rows to print (0 = all)")
@@ -76,7 +77,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		eng, err := core.NewEngine(spec, core.Options{TMappings: true, Existential: *existential})
+		eng, err := core.NewEngine(spec, core.Options{TMappings: true, Existential: *existential, Constraints: *constraints})
 		if err != nil {
 			fatal(err)
 		}
@@ -93,8 +94,8 @@ func main() {
 	fmt.Printf("\nphases: rewrite=%v unfold=%v exec=%v translate=%v total=%v\n",
 		st.RewriteTime.Round(1e3), st.UnfoldTime.Round(1e3),
 		st.ExecTime.Round(1e3), st.TranslateTime.Round(1e3), st.TotalTime.Round(1e3))
-	fmt.Printf("rewriting: %d tree witnesses, %d CQs; unfolding: %d arms (%d pruned, %d self-joins eliminated)\n",
-		st.TreeWitnesses, st.CQCount, st.UnionArms, st.PrunedArms, st.SelfJoinsEliminated)
+	fmt.Printf("rewriting: %d tree witnesses, %d CQs; unfolding: %d arms (%d pruned, %d self-joins eliminated, %d subsumed)\n",
+		st.TreeWitnesses, st.CQCount, st.UnionArms, st.PrunedArms, st.SelfJoinsEliminated, st.SubsumedArms)
 	fmt.Printf("weight of R+U: %.3f\n", st.WeightRU())
 	if *showSQL && st.UnfoldedSQL != "" {
 		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)

@@ -1,0 +1,172 @@
+// Package analyze implements the static-analysis pass of the OBDA stack:
+// a one-time check of the three benchmark artifacts — R2RML mapping, OWL 2
+// QL ontology and SQL schema — that produces (a) a diagnostic Report (the
+// lint half, surfaced by cmd/obdalint) and (b) a Constraints artifact (the
+// optimization half, consumed by internal/unfold to drop subsumed UCQ arms
+// and collapse provably-redundant self-joins, after Hovland et al., "OBDA
+// Constraints for Effective Query Answering").
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities, ordered: errors make obdalint exit non-zero.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic codes emitted by Run.
+const (
+	// CodeInvalidSource: a mapping's logical source SQL does not parse.
+	CodeInvalidSource = "invalid-source"
+	// CodeMissingTable: source SQL references a table absent from the schema.
+	CodeMissingTable = "missing-table"
+	// CodeMissingColumn: source SQL or a term map references a column the
+	// logical source does not provide.
+	CodeMissingColumn = "missing-column"
+	// CodeUnmappedTerm: an ontology class/property with no mapping assertion,
+	// directly or via any subsumed term — queries over it are provably empty.
+	CodeUnmappedTerm = "unmapped-term"
+	// CodeDeadMapping: a mapping asserts a class/property the ontology does
+	// not declare — the triples are invisible to rewriting.
+	CodeDeadMapping = "dead-mapping"
+	// CodeUnjoinableObject: an object IRI template disjoint from every
+	// subject template — its objects can never be joined or typed.
+	CodeUnjoinableObject = "unjoinable-object"
+	// CodeUnsupportedJoin: a source-level join condition with no supporting
+	// key or foreign key in the catalog.
+	CodeUnsupportedJoin = "unsupported-join"
+	// CodeRedundantAssertion: a mapping assertion subsumed by a sub-term's
+	// assertion under the ontology (T-mapping redundancy).
+	CodeRedundantAssertion = "redundant-assertion"
+)
+
+// Diagnostic is one finding of the static analyzer.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Mapping  string   `json:"mapping,omitempty"` // triples-map name, when tied to one
+	Term     string   `json:"term,omitempty"`    // ontology term IRI, when tied to one
+	Detail   string   `json:"detail"`
+}
+
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-7s %-20s", d.Severity, d.Code)
+	if d.Mapping != "" {
+		fmt.Fprintf(&sb, " [%s]", d.Mapping)
+	}
+	if d.Term != "" {
+		fmt.Fprintf(&sb, " <%s>", d.Term)
+	}
+	sb.WriteString(" " + d.Detail)
+	return sb.String()
+}
+
+// Report is the ordered set of diagnostics produced by one analysis run.
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+func (r *Report) add(d Diagnostic) { r.Diagnostics = append(r.Diagnostics, d) }
+
+// sortDiagnostics orders errors first, then by code, mapping, term and
+// detail, so reports are deterministic (golden tests diff them).
+func (r *Report) sortDiagnostics() {
+	sort.SliceStable(r.Diagnostics, func(i, j int) bool {
+		a, b := r.Diagnostics[i], r.Diagnostics[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Mapping != b.Mapping {
+			return a.Mapping < b.Mapping
+		}
+		if a.Term != b.Term {
+			return a.Term < b.Term
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
+
+// ByCode counts diagnostics per code.
+func (r *Report) ByCode() map[string]int {
+	out := map[string]int{}
+	for _, d := range r.Diagnostics {
+		out[d.Code]++
+	}
+	return out
+}
+
+// Summary is a one-line count of findings.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d errors, %d warnings, %d infos",
+		r.Count(SevError), r.Count(SevWarning), r.Count(SevInfo))
+}
+
+// String renders the full text report: one line per diagnostic plus the
+// summary line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, d := range r.Diagnostics {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(r.Summary())
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// JSON renders the report (diagnostics + per-severity counts) as
+// indented JSON for machine consumers.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Diagnostics []Diagnostic   `json:"diagnostics"`
+		Counts      map[string]int `json:"counts"`
+	}{
+		Diagnostics: r.Diagnostics,
+		Counts: map[string]int{
+			"error":   r.Count(SevError),
+			"warning": r.Count(SevWarning),
+			"info":    r.Count(SevInfo),
+		},
+	}, "", "  ")
+}

@@ -115,7 +115,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	st.CQCount += rres.CQCount
 
 	unStart := time.Now()
-	un, err := unfold.Unfold(rres.UCQ, e.mapping, filters)
+	un, err := unfold.UnfoldWith(rres.UCQ, e.mapping, filters, e.cons)
 	if err != nil {
 		return nil, false, err
 	}
@@ -123,6 +123,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	st.UnionArms += un.Arms
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
+	st.SubsumedArms += un.SubsumedArms
 	if un.Stmt == nil {
 		// provably empty: aggregate over nothing
 		return emptyAggregate(q), true, nil

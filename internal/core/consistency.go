@@ -70,7 +70,7 @@ func (e *Engine) CheckConsistency(maxWitnesses int) (*ConsistencyReport, error) 
 		if err != nil {
 			return nil, err
 		}
-		un, err := unfold.Unfold(res.UCQ, e.mapping, nil)
+		un, err := unfold.UnfoldWith(res.UCQ, e.mapping, nil, e.cons)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func (e *Engine) CheckConsistency(maxWitnesses int) (*ConsistencyReport, error) 
 		if err != nil {
 			return nil, err
 		}
-		un, err := unfold.Unfold(res.UCQ, e.mapping, nil)
+		un, err := unfold.UnfoldWith(res.UCQ, e.mapping, nil, e.cons)
 		if err != nil {
 			return nil, err
 		}

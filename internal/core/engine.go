@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"npdbench/internal/analyze"
 	"npdbench/internal/owl"
 	"npdbench/internal/r2rml"
 	"npdbench/internal/rdf"
@@ -48,12 +49,18 @@ type Options struct {
 	Existential bool
 	// MaxCQs bounds the rewriting size (0 = default).
 	MaxCQs int
+	// Constraints derives database constraints (keys, NOT NULL, exact
+	// predicates) via the static analyzer at load time and applies the
+	// constraint-driven unfolding optimizations: key-based self-join
+	// elimination, NULL-guard elision, subsumed-arm elimination.
+	Constraints bool
 }
 
 // DefaultOptions returns the configuration the paper uses for the main
-// experiments: T-mappings on, existential reasoning on.
+// experiments: T-mappings on, existential reasoning on, database
+// constraints on.
 func DefaultOptions() Options {
-	return Options{TMappings: true, Existential: true}
+	return Options{TMappings: true, Existential: true, Constraints: true}
 }
 
 // LoadStats reports the starting-phase measures.
@@ -71,6 +78,7 @@ type Engine struct {
 	spec     Spec
 	opts     Options
 	mapping  *r2rml.Mapping // saturated when TMappings is on
+	cons     *analyze.Constraints
 	rewriter *rewrite.Rewriter
 	load     LoadStats
 }
@@ -93,6 +101,9 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		e.mapping = rewrite.Saturate(spec.Mapping, spec.Onto)
 	} else {
 		e.mapping = spec.Mapping
+	}
+	if opts.Constraints {
+		e.cons = analyze.DeriveConstraints(spec.Mapping, spec.Onto, spec.DB)
 	}
 	e.load.SaturatedAssertions = e.mapping.AssertionCount()
 	e.rewriter = &rewrite.Rewriter{
@@ -129,6 +140,7 @@ type PhaseStats struct {
 	UnionArms           int
 	PrunedArms          int
 	SelfJoinsEliminated int
+	SubsumedArms        int
 	SQL                 sqldb.SQLMetrics
 	// UnfoldedSQL is the translated query text (diagnostics; empty when
 	// all arms were pruned).
@@ -342,7 +354,7 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	st.CQCount += rres.CQCount
 
 	unStart := time.Now()
-	un, err := unfold.Unfold(rres.UCQ, e.mapping, push)
+	un, err := unfold.UnfoldWith(rres.UCQ, e.mapping, push, e.cons)
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +362,7 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	st.UnionArms += un.Arms
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
+	st.SubsumedArms += un.SubsumedArms
 	if un.Stmt == nil {
 		return nil, nil // provably empty
 	}

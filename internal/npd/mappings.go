@@ -74,6 +74,9 @@ func NewMapping() *r2rml.Mapping {
 	// redundant: wellbore kind also from the overview table (M2)
 	b.condClassCol("wellbore_npdid_overview", wellboreIRI(), "ExplorationWellbore", "wlbKind = 'EXPLORATION'")
 	b.condClassCol("wellbore_npdid_overview", wellboreIRI(), "DevelopmentWellbore", "wlbKind = 'DEVELOPMENT'")
+	// the raw wellbore kind itself (static-analyzer finding: npdv:wlbKind
+	// was declared by the ontology but had no mapping assertion)
+	b.alias("wellbore_npdid_overview", wellboreIRI(), "wlbKind", "wlbKind")
 
 	// wellbore object properties
 	b.objFK("wellbore_exploration_all", "drillingOperatorCompany", wellboreIRI(), subjectTemplates["company"])

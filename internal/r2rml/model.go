@@ -131,6 +131,30 @@ func (tm TermMap) String() string {
 	return "?"
 }
 
+// TermMapsCompatible is the conservative structural unification check
+// shared by the unfolder's candidate walk and the static analyzer: false
+// proves the two term maps can never generate the same RDF term; true
+// means they may (full unification remains the caller's job).
+func TermMapsCompatible(a, b TermMap) bool {
+	aIRI := a.Kind == IRITemplate || (a.Kind == ConstantTerm && a.Constant.IsIRI())
+	bIRI := b.Kind == IRITemplate || (b.Kind == ConstantTerm && b.Constant.IsIRI())
+	if aIRI != bIRI {
+		return false
+	}
+	if a.Kind == IRITemplate && b.Kind == IRITemplate {
+		return a.Template.SameStructure(b.Template)
+	}
+	if a.Kind == ConstantTerm && b.Kind == IRITemplate {
+		_, ok := b.Template.Match(a.Constant.Value)
+		return ok
+	}
+	if b.Kind == ConstantTerm && a.Kind == IRITemplate {
+		_, ok := a.Template.Match(b.Constant.Value)
+		return ok
+	}
+	return true
+}
+
 // PredicateObject pairs a predicate IRI with an object term map.
 type PredicateObject struct {
 	Predicate string

@@ -211,21 +211,41 @@ func (t *Template) CompatiblePrefix(s string) bool {
 // SameStructure reports whether two templates can ever produce the same
 // string; the unfolder uses it to prune join branches between incompatible
 // templates (a key semantic-query-optimization step of the paper).
-// The check is conservative: templates with equal literal skeletons are
-// compatible, templates whose first literal segments differ are not.
+// It is the negation of DisjointWith.
 func (t *Template) SameStructure(u *Template) bool {
-	// Compare leading literal segments: if one is a prefix of the other up
-	// to the first placeholder, they may collide.
+	return !t.DisjointWith(u)
+}
+
+// DisjointWith proves that no string can be produced by both templates.
+// It is the shared disjointness test behind the unfolder's branch pruning
+// and the static analyzer's unjoinable-template diagnostics. The proof is
+// conservative (false means "may collide", not "must collide"):
+//
+//   - the leading literal segments must be prefix-compatible (any
+//     expansion of t starts with t.parts[0], and likewise for u);
+//   - the trailing literal segments must be suffix-compatible;
+//   - two constants collide only when equal.
+//
+// Templates differing only in interior separators are NOT disjoint:
+// placeholder values are unconstrained strings, so "p/{a}-{b}" and
+// "p/{a}_{b}" can both produce "p/1_2-3".
+func (t *Template) DisjointWith(u *Template) bool {
 	a, b := t.parts[0], u.parts[0]
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if !strings.HasPrefix(b, a) {
-		return false
+		return true
 	}
-	// If both are pure constants, require equality.
+	at, bt := t.parts[len(t.parts)-1], u.parts[len(u.parts)-1]
+	if len(at) > len(bt) {
+		at, bt = bt, at
+	}
+	if !strings.HasSuffix(bt, at) {
+		return true
+	}
 	if t.IsConstant() && u.IsConstant() {
-		return t.parts[0] == u.parts[0]
+		return t.parts[0] != u.parts[0]
 	}
-	return true
+	return false
 }

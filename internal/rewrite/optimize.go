@@ -10,25 +10,28 @@ import (
 
 // OptimizeMapping removes redundant mapping assertions: an assertion for a
 // term is dropped when another assertion for the same term, with the same
-// subject (and object) templates, draws from the same base table without a
-// restricting WHERE clause — its rows are a superset. This is the
-// T-mapping optimization of Ontop the paper refers to ("the opportunity to
-// apply different optimization on the mappings at loading time"): without
-// it, a saturated NPD mapping asserts :ExplorationWellbore once per
-// conditional subclass of the same table, and every class atom in a query
-// multiplies into dozens of redundant union arms.
+// subject (and object) templates, draws from the same base table under a
+// WHERE clause whose conjuncts are a subset of this one's — its rows are a
+// superset. This is the T-mapping optimization of Ontop the paper refers
+// to ("the opportunity to apply different optimization on the mappings at
+// loading time"): without it, a saturated NPD mapping asserts
+// :ExplorationWellbore once per conditional subclass of the same table,
+// and every class atom in a query multiplies into dozens of redundant
+// union arms.
 //
 // The containment test is deliberately conservative: only single-table
-// sources are compared, and only the no-WHERE source subsumes.
+// sources are compared, and containment is syntactic conjunct-set
+// inclusion (the unrestricted source is the empty-set special case;
+// equal conjunct sets collapse to one assertion).
 func OptimizeMapping(mp *r2rml.Mapping) *r2rml.Mapping {
 	type srcShape struct {
 		simple bool
 		table  string
-		where  string
+		conjs  map[string]bool
 	}
 	shapeOf := func(m *r2rml.TriplesMap) srcShape {
 		if m.Table != "" {
-			return srcShape{simple: true, table: strings.ToLower(m.Table)}
+			return srcShape{simple: true, table: strings.ToLower(m.Table), conjs: map[string]bool{}}
 		}
 		stmt, err := m.LogicalSQL()
 		if err != nil || stmt.Union != nil || len(stmt.GroupBy) > 0 ||
@@ -39,11 +42,19 @@ func OptimizeMapping(mp *r2rml.Mapping) *r2rml.Mapping {
 		if !ok {
 			return srcShape{}
 		}
-		where := ""
-		if stmt.Where != nil {
-			where = stmt.Where.String()
+		conjs := map[string]bool{}
+		for _, cj := range sqldb.Conjuncts(stmt.Where) {
+			conjs[sqldb.QualifyColumns(cj, "").String()] = true
 		}
-		return srcShape{simple: true, table: strings.ToLower(bt.Name), where: where}
+		return srcShape{simple: true, table: strings.ToLower(bt.Name), conjs: conjs}
+	}
+	subset := func(a, b map[string]bool) bool {
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
 	}
 
 	// assertion identifies one class or PO assertion inside the mapping.
@@ -93,27 +104,27 @@ func OptimizeMapping(mp *r2rml.Mapping) *r2rml.Mapping {
 			if len(g) < 2 {
 				continue
 			}
-			// find the first unrestricted assertion
-			superIdx := -1
-			for i, a := range g {
-				if a.shape.where == "" {
-					superIdx = i
+			keep := make([]bool, len(g))
+			for i := range keep {
+				keep[i] = true
+			}
+			for i := range g {
+				for j := range g {
+					if i == j || !keep[j] {
+						continue
+					}
+					if !subset(g[j].shape.conjs, g[i].shape.conjs) {
+						continue
+					}
+					if len(g[j].shape.conjs) == len(g[i].shape.conjs) && j > i {
+						continue // equal conjunct sets: keep the earlier one
+					}
+					keep[i] = false
 					break
 				}
 			}
-			seenWhere := map[string]bool{}
 			for i, a := range g {
-				redundant := false
-				if superIdx >= 0 && i != superIdx {
-					redundant = true
-				} else if superIdx < 0 {
-					// no superset: collapse equal-WHERE duplicates
-					if seenWhere[a.shape.where] {
-						redundant = true
-					}
-					seenWhere[a.shape.where] = true
-				}
-				if !redundant {
+				if keep[i] {
 					continue
 				}
 				if a.isPO {

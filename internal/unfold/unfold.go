@@ -20,10 +20,12 @@ package unfold
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
+	"npdbench/internal/analyze"
 	"npdbench/internal/r2rml"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
@@ -60,6 +62,9 @@ type Unfolded struct {
 	PrunedArms int
 	// SelfJoinsEliminated counts merged table instances.
 	SelfJoinsEliminated int
+	// SubsumedArms counts arms dropped because another arm provably
+	// returns a superset (constraint-driven, requires UnfoldWith).
+	SubsumedArms int
 	// FiltersPushed[i] reports whether filters[i] was translated into SQL
 	// in every emitted arm. Callers that skip re-checking filters on the
 	// translated results (e.g. aggregate pushdown) must require true.
@@ -131,6 +136,26 @@ type candidate struct {
 
 // Unfold translates the UCQ into SQL over the mapping.
 func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded, error) {
+	return UnfoldWith(ucq, mp, filters, nil)
+}
+
+// UnfoldWith additionally applies the constraint-driven semantic query
+// optimizations of the static analyzer (Hovland et al.'s OBDA
+// constraints):
+//
+//   - key-based self-join elimination: atoms whose logical sources reduce
+//     to the same base table and whose shared subject template covers a
+//     PK/UNIQUE key of that table denote the same row, so their instances
+//     merge even across different mapping assertions (the per-attribute
+//     mapping style of the NPD benchmark otherwise yields one subquery
+//     per data property);
+//   - NOT NULL guard elision for columns the catalog declares NOT NULL;
+//   - subsumed-arm elimination: a union arm whose FROM/projection equals
+//     another's and whose conditions are a superset is dropped (sound
+//     under the engine's set semantics).
+//
+// A nil cons reproduces Unfold exactly.
+func UnfoldWith(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter, cons *analyze.Constraints) (*Unfolded, error) {
 	res := &Unfolded{}
 	if len(ucq) == 0 {
 		return nil, fmt.Errorf("unfold: empty UCQ")
@@ -142,7 +167,7 @@ func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded
 	}
 	var arms []*sqldb.SelectStmt
 	for _, cq := range ucq {
-		cqArms, pruned, selfJoins, pushed, err := unfoldCQ(cq, mp, filters)
+		cqArms, pruned, selfJoins, pushed, err := unfoldCQ(cq, mp, filters, cons)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +191,9 @@ func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded
 		uniq = append(uniq, a)
 	}
 	arms = uniq
+	if cons != nil && len(arms) > 1 {
+		arms = subsumeArms(arms, &res.SubsumedArms)
+	}
 	res.Arms = len(arms)
 	if len(arms) == 0 {
 		return res, nil // provably empty
@@ -180,7 +208,7 @@ func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded
 
 // unfoldCQ enumerates mapping-assertion combinations for the CQ's atoms and
 // compiles each viable combination into one SPJ arm.
-func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter) (arms []*sqldb.SelectStmt, pruned, selfJoins int, pushedAll []bool, err error) {
+func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *analyze.Constraints) (arms []*sqldb.SelectStmt, pruned, selfJoins int, pushedAll []bool, err error) {
 	pushedAll = make([]bool, len(filters))
 	for i := range pushedAll {
 		pushedAll[i] = true
@@ -196,7 +224,7 @@ func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter) (arms []*
 	var walk func(i int) error
 	walk = func(i int) error {
 		if i == len(cands) {
-			arm, ok, merged, pushed, err := buildArm(cq, pick, filters)
+			arm, ok, merged, pushed, err := buildArm(cq, pick, filters, cons)
 			if err != nil {
 				return err
 			}
@@ -300,24 +328,9 @@ func constantCompatible(tm r2rml.TermMap, c rdf.Term) bool {
 
 // mapsCompatible is the conservative structural check used during the
 // candidate walk; the full unification in buildArm remains authoritative.
+// The implementation is shared with the static analyzer (r2rml).
 func mapsCompatible(a, b r2rml.TermMap) bool {
-	aIRI := a.Kind == r2rml.IRITemplate || (a.Kind == r2rml.ConstantTerm && a.Constant.IsIRI())
-	bIRI := b.Kind == r2rml.IRITemplate || (b.Kind == r2rml.ConstantTerm && b.Constant.IsIRI())
-	if aIRI != bIRI {
-		return false
-	}
-	if a.Kind == r2rml.IRITemplate && b.Kind == r2rml.IRITemplate {
-		return a.Template.SameStructure(b.Template)
-	}
-	if a.Kind == r2rml.ConstantTerm && b.Kind == r2rml.IRITemplate {
-		_, ok := b.Template.Match(a.Constant.Value)
-		return ok
-	}
-	if b.Kind == r2rml.ConstantTerm && a.Kind == r2rml.IRITemplate {
-		_, ok := a.Template.Match(b.Constant.Value)
-		return ok
-	}
-	return true
+	return r2rml.TermMapsCompatible(a, b)
 }
 
 func candidatesFor(atom rewrite.Atom, mp *r2rml.Mapping) []candidate {
@@ -346,12 +359,60 @@ type occurrence struct {
 	tm    r2rml.TermMap
 }
 
+// mergeShape describes a candidate's logical source when it reduces to a
+// single (optionally filtered) base table exposing columns under their own
+// names — the precondition for key-based self-join elimination and
+// catalog-driven NOT NULL guard elision.
+type mergeShape struct {
+	ok    bool
+	table string
+	where sqldb.Expr // the source's WHERE clause, possibly nil
+}
+
+func shapeForMerge(m *r2rml.TriplesMap) mergeShape {
+	if m.SQL == "" {
+		if m.Table == "" {
+			return mergeShape{}
+		}
+		return mergeShape{ok: true, table: m.Table}
+	}
+	stmt, err := m.LogicalSQL()
+	if err != nil || stmt.Union != nil || stmt.Distinct || len(stmt.GroupBy) > 0 ||
+		stmt.Having != nil || stmt.Limit >= 0 || stmt.Offset > 0 ||
+		len(stmt.OrderBy) > 0 || len(stmt.From) != 1 {
+		return mergeShape{}
+	}
+	bt, ok := stmt.From[0].(*sqldb.BaseTable)
+	if !ok {
+		return mergeShape{}
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			if it.Table != "" && !strings.EqualFold(it.Table, bt.Name) &&
+				!strings.EqualFold(it.Table, bt.Alias) {
+				return mergeShape{}
+			}
+			continue
+		}
+		c, okc := it.Expr.(*sqldb.ColRef)
+		if !okc || (it.Alias != "" && !strings.EqualFold(it.Alias, c.Name)) {
+			return mergeShape{}
+		}
+	}
+	return mergeShape{ok: true, table: bt.Name, where: stmt.Where}
+}
+
 // buildArm compiles one combination of mapping assertions into an SPJ
 // SELECT. ok=false means the combination is pruned (template mismatch).
-func buildArm(cq *rewrite.CQ, pick []candidate, filters []PushFilter) (stmt *sqldb.SelectStmt, ok bool, selfJoins int, pushed []bool, err error) {
+func buildArm(cq *rewrite.CQ, pick []candidate, filters []PushFilter, cons *analyze.Constraints) (stmt *sqldb.SelectStmt, ok bool, selfJoins int, pushed []bool, err error) {
 	pushed = make([]bool, len(filters))
 	// Self-join elimination: group atoms by (source, subject var, subject
-	// template); each group shares one alias.
+	// template); each group shares one alias. With constraints, candidates
+	// whose sources reduce to the same base table additionally merge
+	// across *different* mapping assertions whenever the shared subject
+	// template covers a PK/UNIQUE key of that table — equal key values
+	// denote the same row (a virtual functional dependency), so one table
+	// instance suffices and the sources' WHERE clauses hoist into the arm.
 	type groupKey struct {
 		source  string
 		subject string // subject term rendering (var name or constant)
@@ -361,6 +422,9 @@ func buildArm(cq *rewrite.CQ, pick []candidate, filters []PushFilter) (stmt *sql
 	groups := make(map[groupKey]string)
 	aliasSeq := 0
 	var fromItems []sqldb.TableRef
+	var conds []sqldb.Expr
+	aliasTable := make(map[string]string) // alias -> base table (guard elision)
+	seenHoist := make(map[string]bool)    // dedup hoisted source conditions
 	newAlias := func(c candidate) (string, error) {
 		aliasSeq++
 		alias := fmt.Sprintf("t%d", aliasSeq)
@@ -376,27 +440,53 @@ func buildArm(cq *rewrite.CQ, pick []candidate, filters []PushFilter) (stmt *sql
 		return alias, nil
 	}
 	for i, c := range pick {
+		var sh mergeShape
+		if cons != nil {
+			sh = shapeForMerge(c.m)
+		}
+		keyMerge := sh.ok && len(c.subject.Columns()) > 0 &&
+			cons.KeyCoveredBy(sh.table, c.subject.Columns())
 		key := groupKey{
 			source:  c.m.SourceDescription(),
 			subject: cq.Atoms[i].S.String(),
 			tmpl:    c.subject.String(),
 		}
-		if alias, found := groups[key]; found && cq.Atoms[i].S.IsVar() {
+		if keyMerge {
+			key.source = "\x00table:" + strings.ToLower(sh.table)
+		}
+		alias, found := groups[key]
+		if found && (keyMerge || cq.Atoms[i].S.IsVar()) {
 			aliasOf[i] = alias
 			selfJoins++
-			continue
+		} else {
+			if keyMerge {
+				// Flatten to a plain base table; source filters hoist below.
+				aliasSeq++
+				alias = fmt.Sprintf("t%d", aliasSeq)
+				fromItems = append(fromItems, &sqldb.BaseTable{Name: sh.table, Alias: alias})
+			} else if alias, err = newAlias(c); err != nil {
+				return nil, false, 0, pushed, err
+			}
+			groups[key] = alias
+			aliasOf[i] = alias
 		}
-		alias, err := newAlias(c)
-		if err != nil {
-			return nil, false, 0, pushed, err
+		if sh.ok {
+			aliasTable[alias] = sh.table
 		}
-		groups[key] = alias
-		aliasOf[i] = alias
+		if keyMerge && sh.where != nil {
+			for _, cj := range sqldb.Conjuncts(sh.where) {
+				q := sqldb.QualifyColumns(cj, alias)
+				k := alias + "\x00" + q.String()
+				if !seenHoist[k] {
+					seenHoist[k] = true
+					conds = append(conds, q)
+				}
+			}
+		}
 	}
 
 	// Collect per-variable occurrences and constant conditions.
 	varOccs := make(map[string][]occurrence)
-	var conds []sqldb.Expr
 	addOcc := func(t rewrite.Term, alias string, tm r2rml.TermMap) bool {
 		if t.IsVar() {
 			varOccs[t.Var] = append(varOccs[t.Var], occurrence{alias, tm})
@@ -442,6 +532,9 @@ func buildArm(cq *rewrite.CQ, pick []candidate, filters []PushFilter) (stmt *sql
 	seenNN := map[string]bool{}
 	addNotNull := func(alias string, tm r2rml.TermMap) {
 		for _, col := range tm.Columns() {
+			if t, known := aliasTable[alias]; known && cons.IsNotNull(t, col) {
+				continue // catalog says NOT NULL: guard is redundant
+			}
 			k := alias + "." + col
 			if seenNN[k] {
 				continue
@@ -639,7 +732,7 @@ func unifyOccurrences(a, b occurrence) ([]sqldb.Expr, bool) {
 		}
 		pa, ca := ta.Skeleton()
 		pb, cb := tb.Skeleton()
-		if len(ca) == len(cb) && equalStrings(pa, pb) {
+		if len(ca) == len(cb) && slices.Equal(pa, pb) {
 			// identical skeletons: equate columns pairwise
 			var conds []sqldb.Expr
 			for i := range ca {
@@ -669,18 +762,6 @@ func unifyOccurrences(a, b occurrence) ([]sqldb.Expr, bool) {
 func projectLex(o occurrence) sqldb.Expr {
 	lex, _, _ := projectTermMap(o)
 	return lex
-}
-
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // filterCondition translates a pushed filter over a literal-column variable
@@ -757,4 +838,62 @@ func guessValue(s string) sqldb.Value {
 func cloneStmt(s *sqldb.SelectStmt) *sqldb.SelectStmt {
 	c := *s
 	return &c
+}
+
+// subsumeArms drops arms provably contained in a surviving arm: identical
+// projection and FROM rendering, with WHERE conjuncts a superset of the
+// other's (the other arm already returns every row this arm can). Sound
+// because every consumer enforces set semantics on the translated
+// bindings (dedup at the BGP level, inner DISTINCT for aggregates).
+func subsumeArms(arms []*sqldb.SelectStmt, counter *int) []*sqldb.SelectStmt {
+	type armInfo struct {
+		skel  string
+		conjs map[string]bool
+	}
+	infos := make([]armInfo, len(arms))
+	for i, a := range arms {
+		c := *a
+		c.Where = nil
+		c.Union, c.UnionAll = nil, false
+		m := make(map[string]bool)
+		for _, cj := range sqldb.Conjuncts(a.Where) {
+			m[cj.String()] = true
+		}
+		infos[i] = armInfo{skel: c.String(), conjs: m}
+	}
+	subset := func(a, b map[string]bool) bool {
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	keep := make([]bool, len(arms))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range arms {
+		for j := range arms {
+			if i == j || !keep[j] || infos[i].skel != infos[j].skel {
+				continue
+			}
+			if !subset(infos[j].conjs, infos[i].conjs) {
+				continue
+			}
+			if len(infos[j].conjs) == len(infos[i].conjs) && j > i {
+				continue // equal condition sets: keep the earlier arm
+			}
+			keep[i] = false
+			*counter++
+			break
+		}
+	}
+	out := arms[:0]
+	for i, a := range arms {
+		if keep[i] {
+			out = append(out, a)
+		}
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"npdbench/internal/analyze"
 	"npdbench/internal/r2rml"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
@@ -273,5 +274,249 @@ func TestUnfoldEndToEndExecution(t *testing.T) {
 func TestUnfoldEmptyUCQ(t *testing.T) {
 	if _, err := Unfold(nil, testMapping(), nil); err == nil {
 		t.Fatal("empty UCQ must error")
+	}
+}
+
+// ---- pruning edge cases and constraint-driven SQO ----
+
+func TestUnfoldConstantSubjectWithPicks(t *testing.T) {
+	// A constant in subject position must unify with the candidate's
+	// subject template directly and stay consistent across the picks for
+	// the other atoms sharing it.
+	iri := ct(rdf.NewIRI(ns + "emp/7"))
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			classAtom("Employee", iri),
+			dataAtom("name", iri, vt("n")),
+		},
+		Answer: []string{"n"},
+	}
+	un, err := Unfold(rewrite.UCQ{cq}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Arms != 1 {
+		t.Fatalf("arms = %d, want 1", un.Arms)
+	}
+	if sql := un.Stmt.String(); !strings.Contains(sql, "= 7") {
+		t.Fatalf("constant subject must bind the template column: %s", sql)
+	}
+
+	// The same shape with a subject from a foreign template prunes every
+	// combination before any SQL is built.
+	bad := ct(rdf.NewIRI(ns + "prod/7"))
+	cq2 := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			classAtom("Employee", bad),
+			dataAtom("name", bad, vt("n")),
+		},
+		Answer: []string{"n"},
+	}
+	un2, err := Unfold(rewrite.UCQ{cq2}, testMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un2.Arms != 0 || un2.PrunedArms == 0 {
+		t.Fatalf("arms = %d, pruned = %d; want 0 arms and pruning recorded",
+			un2.Arms, un2.PrunedArms)
+	}
+}
+
+func TestMapsCompatibleSeparatorLiterals(t *testing.T) {
+	// Templates that differ only in an interior separator are NOT provably
+	// disjoint: {a}/{b} with a="x-y", b="z" collides with {a}-{b} at
+	// a="x", b="y/z" is impossible, but a="x", b="y" vs a="x-y" … the
+	// placeholders can absorb the separators, so pruning here would be
+	// unsound.
+	a := r2rml.IRIMap("http://t/w/{a}/{b}")
+	b := r2rml.IRIMap("http://t/w/{a}-{b}")
+	if !mapsCompatible(a, b) {
+		t.Error("interior separator difference must not prove disjointness")
+	}
+	// Literal prefixes that diverge DO prove disjointness.
+	c := r2rml.IRIMap("http://t/x/{a}/{b}")
+	if mapsCompatible(a, c) {
+		t.Error("diverging literal prefixes are disjoint")
+	}
+	// …and so do diverging literal suffixes.
+	d := r2rml.IRIMap("http://t/w/{a}/{b}/tail")
+	e := r2rml.IRIMap("http://t/w/{a}/{b}/liat")
+	if mapsCompatible(d, e) {
+		t.Error("diverging literal suffixes are disjoint")
+	}
+}
+
+// splitMapping mimics the NPD dataPropsSplit style: one narrow SELECT per
+// data property over the same base table, plus a guarded variant.
+func splitMapping() *r2rml.Mapping {
+	return r2rml.MustParseMapping(`
+[PrefixDeclaration]
+t: http://t/
+
+[MappingDeclaration]
+mappingId emp-name
+target    t:emp/{id} t:name {name} .
+source    SELECT id, name FROM emp
+
+mappingId emp-age
+target    t:emp/{id} t:age {age} .
+source    SELECT id, age FROM emp
+
+mappingId emp-senior
+target    t:emp/{id} t:senior {name} .
+source    SELECT id, name FROM emp WHERE age > 30
+`)
+}
+
+func splitConstraints(t *testing.T) *analyze.Constraints {
+	t.Helper()
+	db := sqldb.NewDatabase("t")
+	if _, err := db.CreateTable(&sqldb.TableDef{Name: "emp", Columns: []sqldb.Column{
+		{Name: "id", Type: sqldb.TInt, NotNull: true},
+		{Name: "name", Type: sqldb.TText},
+		{Name: "age", Type: sqldb.TInt},
+	}, PrimaryKey: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	return analyze.DeriveConstraints(nil, nil, db)
+}
+
+func TestUnfoldWithConstraintsMergesSplitMappings(t *testing.T) {
+	// name(x,n) ∧ age(x,a): the two picks come from different mappings, so
+	// syntactic source-equality never merges them. The subject template
+	// covers emp's primary key, so under the key constraint both table
+	// instances denote the same row and collapse to one.
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			dataAtom("name", vt("x"), vt("n")),
+			dataAtom("age", vt("x"), vt("a")),
+		},
+		Answer: []string{"x", "n", "a"},
+	}
+	base, err := Unfold(rewrite.UCQ{cq}, splitMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SelfJoinsEliminated != 0 {
+		t.Fatalf("baseline should not merge: %d", base.SelfJoinsEliminated)
+	}
+
+	opt, err := UnfoldWith(rewrite.UCQ{cq}, splitMapping(), nil, splitConstraints(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Arms != 1 || opt.SelfJoinsEliminated != 1 {
+		t.Fatalf("arms = %d, selfJoins = %d; want 1 arm with 1 merged instance\n%s",
+			opt.Arms, opt.SelfJoinsEliminated, opt.Stmt)
+	}
+	bm, om := base.Metrics(), opt.Metrics()
+	if om.InnerQueries >= bm.InnerQueries {
+		t.Fatalf("inner queries not reduced: base %d, constrained %d",
+			bm.InnerQueries, om.InnerQueries)
+	}
+	if strings.Contains(opt.Stmt.String(), "t2") {
+		t.Fatalf("merged arm must use a single table instance: %s", opt.Stmt)
+	}
+}
+
+func TestUnfoldWithConstraintsSubsumesArms(t *testing.T) {
+	// name(x,n) ∪ senior(x,n): the senior arm adds age > 30 over the same
+	// flattened shape, so its rows are a subset of the name arm's and the
+	// engine's set semantics make the union arm redundant.
+	u := rewrite.UCQ{
+		{Atoms: []rewrite.Atom{dataAtom("name", vt("x"), vt("n"))}, Answer: []string{"x", "n"}},
+		{Atoms: []rewrite.Atom{dataAtom("senior", vt("x"), vt("n"))}, Answer: []string{"x", "n"}},
+	}
+	base, err := Unfold(u, splitMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Arms != 2 || base.SubsumedArms != 0 {
+		t.Fatalf("baseline arms = %d, subsumed = %d", base.Arms, base.SubsumedArms)
+	}
+
+	opt, err := UnfoldWith(u, splitMapping(), nil, splitConstraints(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Arms != 1 || opt.SubsumedArms != 1 {
+		t.Fatalf("arms = %d, subsumed = %d; want the senior arm dropped\n%s",
+			opt.Arms, opt.SubsumedArms, opt.Stmt)
+	}
+	if m := opt.Metrics(); m.Unions != 0 {
+		t.Fatalf("union should collapse: %+v", m)
+	}
+	// The surviving arm must be the unguarded (superset) one.
+	if sql := opt.Stmt.String(); strings.Contains(sql, "age") {
+		t.Fatalf("kept the narrower arm: %s", sql)
+	}
+}
+
+func TestUnfoldWithNilConstraintsMatchesUnfold(t *testing.T) {
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			dataAtom("name", vt("x"), vt("n")),
+			dataAtom("age", vt("x"), vt("a")),
+		},
+		Answer: []string{"x", "n", "a"},
+	}
+	a, err := Unfold(rewrite.UCQ{cq}, splitMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnfoldWith(rewrite.UCQ{cq}, splitMapping(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stmt.String() != b.Stmt.String() {
+		t.Fatalf("nil constraints must be a no-op:\n%s\nvs\n%s", a.Stmt, b.Stmt)
+	}
+}
+
+func TestUnfoldWithConstraintsExecution(t *testing.T) {
+	// Semantics check: merged and unmerged plans return the same rows.
+	db := sqldb.NewDatabase("t")
+	if _, err := db.CreateTable(&sqldb.TableDef{Name: "emp", Columns: []sqldb.Column{
+		{Name: "id", Type: sqldb.TInt, NotNull: true},
+		{Name: "name", Type: sqldb.TText},
+		{Name: "age", Type: sqldb.TInt},
+	}, PrimaryKey: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := []sqldb.Row{
+		{sqldb.NewInt(1), sqldb.NewString("A"), sqldb.NewInt(50)},
+		{sqldb.NewInt(2), sqldb.NewString("B"), sqldb.NewInt(20)},
+		{sqldb.NewInt(3), sqldb.Null, sqldb.NewInt(40)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("emp", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cq := &rewrite.CQ{
+		Atoms: []rewrite.Atom{
+			dataAtom("name", vt("x"), vt("n")),
+			dataAtom("age", vt("x"), vt("a")),
+		},
+		Answer: []string{"x", "n", "a"},
+	}
+	base, err := Unfold(rewrite.UCQ{cq}, splitMapping(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := UnfoldWith(rewrite.UCQ{cq}, splitMapping(), nil, analyze.DeriveConstraints(nil, nil, db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := db.ExecSelect(base.Stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := db.ExecSelect(opt.Stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Rows) != 2 || len(ro.Rows) != len(rb.Rows) {
+		t.Fatalf("row counts diverge: base %d, constrained %d", len(rb.Rows), len(ro.Rows))
 	}
 }

@@ -338,6 +338,90 @@ func BenchmarkAblation_Constraints(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_StaticPrune measures the effect of ontology-driven
+// static pruning (candidate arc-consistency and contradictory-condition
+// elimination before/during unfolding) on the queries where the NPD
+// mapping admits the most dead candidates.
+func BenchmarkAblation_StaticPrune(b *testing.B) {
+	db, _, err := mixer.BuildInstance(1, benchSeedScale, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"staticprune-on", true}, {"staticprune-off", false}} {
+		eng, err := core.NewEngine(spec, core.Options{
+			TMappings: true, Existential: true, Constraints: true, StaticPrune: mode.on,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// q1 (join-heavy, many template candidates), q6 (largest UCQ),
+		// q13 (wide union over facility subclasses).
+		for _, id := range []string{"q1", "q6", "q13"} {
+			parsed, err := eng.ParseQuery(npd.QueryByID(id).SPARQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(id+"/"+mode.name, func(b *testing.B) {
+				var st core.PhaseStats
+				for i := 0; i < b.N; i++ {
+					ans, err := eng.Answer(parsed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = ans.Stats
+				}
+				b.ReportMetric(float64(st.UnionArms), "arms")
+				b.ReportMetric(float64(st.StaticPrunedArms), "staticpruned")
+				b.ReportMetric(float64(st.PrunedArms), "walkpruned")
+			})
+		}
+	}
+}
+
+// BenchmarkVerifyOverhead measures the cost of running the planck plan
+// verifier on every intermediate representation (translate, rewrite,
+// static-prune, unfold) relative to an unverified pipeline, over all 21
+// NPD queries end-to-end.
+func BenchmarkVerifyOverhead(b *testing.B) {
+	db, _, err := mixer.BuildInstance(1, benchSeedScale, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	for _, mode := range []struct {
+		name   string
+		verify core.VerifyMode
+	}{{"verify-on", core.VerifyOn}, {"verify-off", core.VerifyOff}} {
+		opts := core.DefaultOptions()
+		opts.VerifyPlans = mode.verify
+		eng, err := core.NewEngine(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := npd.Queries()
+		parsed := make([]*sparql.Query, len(queries))
+		for i, q := range queries {
+			parsed[i], err = eng.ParseQuery(q.SPARQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range parsed {
+					if _, err := eng.Answer(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_AggregatePushdown contrasts SQL-side aggregation with
 // in-memory aggregation over translated bindings on q19 (COUNT per
 // company over every wellbore).

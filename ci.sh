@@ -1,10 +1,20 @@
 #!/bin/sh
 # ci.sh — the tier-1+ gate. Everything here must pass before merging:
-# build, vet, the full test suite under the race detector, and a clean
-# obdalint run over the benchmark artifacts (see ROADMAP.md).
+# formatting, build (library and commands), vet, repolint, the full test
+# suite under the race detector (which also runs the planck plan verifier
+# on every engine query), and a clean obdalint run over the benchmark
+# artifacts (see ROADMAP.md).
 set -eux
 
+UNFORMATTED=$(gofmt -l cmd internal examples *.go)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 go build ./...
+go build ./cmd/...
 go vet ./...
+go run ./cmd/repolint internal cmd
 go test -race ./...
 go run ./cmd/obdalint -strict -quiet

@@ -27,6 +27,8 @@ func main() {
 		profile     = flag.String("profile", "hashjoin", "database profile: hashjoin | sortmerge")
 		existential = flag.Bool("existential", true, "enable tree-witness reasoning")
 		constraints = flag.Bool("constraints", true, "enable schema-constraint optimizations (self-join merging, arm subsumption)")
+		verify      = flag.Bool("verify", false, "verify every intermediate plan against the invariant catalog (planck)")
+		staticPrune = flag.Bool("staticprune", true, "statically delete unsatisfiable CQs, candidates, and arms before execution")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the SQL planner decisions (EXPLAIN ANALYZE)")
 		maxRows     = flag.Int("rows", 20, "result rows to print (0 = all)")
@@ -77,7 +79,17 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		eng, err := core.NewEngine(spec, core.Options{TMappings: true, Existential: *existential, Constraints: *constraints})
+		mode := core.VerifyOff
+		if *verify {
+			mode = core.VerifyOn
+		}
+		eng, err := core.NewEngine(spec, core.Options{
+			TMappings:   true,
+			Existential: *existential,
+			Constraints: *constraints,
+			VerifyPlans: mode,
+			StaticPrune: *staticPrune,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -96,6 +108,10 @@ func main() {
 		st.ExecTime.Round(1e3), st.TranslateTime.Round(1e3), st.TotalTime.Round(1e3))
 	fmt.Printf("rewriting: %d tree witnesses, %d CQs; unfolding: %d arms (%d pruned, %d self-joins eliminated, %d subsumed)\n",
 		st.TreeWitnesses, st.CQCount, st.UnionArms, st.PrunedArms, st.SelfJoinsEliminated, st.SubsumedArms)
+	if st.StaticPrunedCQs+st.StaticPrunedArms+st.StaticUnsatFilters > 0 {
+		fmt.Printf("static pruning: %d CQs, %d candidates/arms, %d unsatisfiable filter sets\n",
+			st.StaticPrunedCQs, st.StaticPrunedArms, st.StaticUnsatFilters)
+	}
 	fmt.Printf("weight of R+U: %.3f\n", st.WeightRU())
 	if *showSQL && st.UnfoldedSQL != "" {
 		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)

@@ -1,0 +1,234 @@
+// Command repolint enforces repository-local coding discipline that go vet
+// does not cover, using nothing but the standard library's go/ast:
+//
+//   - iterator hygiene: a value obtained from an Open*/*Iterator/*Rows
+//     call must be Closed (directly or deferred) within the same function,
+//     or returned/assigned onward for the caller to close;
+//   - no discarded errors: `_ = err` silently swallows a value that was
+//     important enough to assign a name to.
+//
+// Usage: repolint [dirs...]   (default: internal)
+// Exits 1 when any finding is reported, making it suitable as a ci.sh gate.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// finding is one lint diagnostic.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.pos.Filename, f.pos.Line, f.msg)
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal"}
+	}
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, lintFile(fset, file)...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintFile runs every check over one parsed file.
+func lintFile(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, checkIterators(fset, fn.Body)...)
+			}
+		case *ast.AssignStmt:
+			out = append(out, checkDiscardedError(fset, fn)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkDiscardedError flags `_ = err`: every left-hand side is blank and
+// the right-hand side is a bare identifier named err (or *Err-suffixed).
+func checkDiscardedError(fset *token.FileSet, as *ast.AssignStmt) []finding {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	allBlank := true
+	for _, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			allBlank = false
+			break
+		}
+	}
+	if !allBlank {
+		return nil
+	}
+	var out []finding
+	for _, r := range as.Rhs {
+		id, ok := r.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "err" || strings.HasSuffix(id.Name, "Err") {
+			out = append(out, finding{
+				pos: fset.Position(as.Pos()),
+				msg: fmt.Sprintf("error value %q discarded with a blank assignment", id.Name),
+			})
+		}
+	}
+	return out
+}
+
+// iteratorCall reports whether a call expression looks like it yields a
+// resource that must be closed: Open*(...), *Iterator(...), *Rows(...).
+func iteratorCall(call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return strings.HasPrefix(name, "Open") ||
+		strings.HasSuffix(name, "Iterator") ||
+		strings.HasSuffix(name, "Rows")
+}
+
+// checkIterators flags variables bound to iterator-yielding calls that are
+// never Closed in the function body. A variable that escapes the function
+// (returned, stored in a field or another variable, passed to a call) is
+// considered handed off and exempt — the discipline travels with the value.
+func checkIterators(fset *token.FileSet, body *ast.BlockStmt) []finding {
+	type obtained struct {
+		name string
+		pos  token.Pos
+	}
+	var opened []obtained
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !iteratorCall(call) {
+			return true
+		}
+		for _, l := range as.Lhs {
+			id, okID := l.(*ast.Ident)
+			if !okID || id.Name == "_" || id.Name == "err" {
+				continue
+			}
+			opened = append(opened, obtained{name: id.Name, pos: as.Pos()})
+			break // only the first non-blank binding is the iterator
+		}
+		return true
+	})
+	if len(opened) == 0 {
+		return nil
+	}
+	closed := map[string]bool{}
+	escaped := map[string]bool{}
+	markIdent := func(e ast.Expr, set map[string]bool) {
+		if id, ok := e.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				markIdent(sel.X, closed)
+				return true
+			}
+			for _, arg := range x.Args {
+				markIdent(arg, escaped)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				markIdent(r, escaped)
+			}
+		case *ast.AssignStmt:
+			// re-assignment onward (v.field = it, other = it) hands it off
+			for _, r := range x.Rhs {
+				if _, isCall := r.(*ast.CallExpr); !isCall {
+					markIdent(r, escaped)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					markIdent(kv.Value, escaped)
+				} else {
+					markIdent(el, escaped)
+				}
+			}
+		case *ast.RangeStmt:
+			// ranged over: a slice or map, not a closable iterator — the
+			// Open*/*Rows naming heuristic misfired
+			markIdent(x.X, escaped)
+		case *ast.BinaryExpr:
+			// compared or computed with: plain data, not a resource
+			markIdent(x.X, escaped)
+			markIdent(x.Y, escaped)
+		}
+		return true
+	})
+	var out []finding
+	for _, o := range opened {
+		if closed[o.name] || escaped[o.name] {
+			continue
+		}
+		out = append(out, finding{
+			pos: fset.Position(o.pos),
+			msg: fmt.Sprintf("iterator %q is never Closed in this function (and does not escape)", o.name),
+		})
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, file)
+}
+
+func TestDiscardedError(t *testing.T) {
+	findings := lintSource(t, `package p
+func f() {
+	err := g()
+	_ = err
+}
+func g() error { return nil }
+`)
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "discarded") {
+		t.Fatalf("findings: %v", findings)
+	}
+	if findings[0].pos.Line != 4 {
+		t.Fatalf("line = %d, want 4", findings[0].pos.Line)
+	}
+}
+
+func TestDiscardedErrorIgnoresOtherBlanks(t *testing.T) {
+	findings := lintSource(t, `package p
+func f() {
+	v := 1
+	_ = v
+	_, ok := m["k"]
+	_ = ok
+}
+var m map[string]int
+`)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestIteratorNeverClosed(t *testing.T) {
+	findings := lintSource(t, `package p
+func f() {
+	it := OpenRows()
+	for it.Next() {
+	}
+}
+`)
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "never Closed") {
+		t.Fatalf("findings: %v", findings)
+	}
+}
+
+func TestIteratorClosedDirectly(t *testing.T) {
+	findings := lintSource(t, `package p
+func f() {
+	it := OpenRows()
+	defer it.Close()
+	other := table.NewIterator()
+	other.Close()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestIteratorEscapes(t *testing.T) {
+	findings := lintSource(t, `package p
+func ret() *Rows {
+	it := OpenRows()
+	return it
+}
+func pass() {
+	it := OpenRows()
+	consume(it)
+}
+func store(s *state) {
+	it := OpenRows()
+	s.rows = it
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestIteratorUsedAsPlainValue(t *testing.T) {
+	// Values with iterator-like provenance that are ranged over or used in
+	// arithmetic/comparisons are plain data (slices, counts), not
+	// closable resources.
+	findings := lintSource(t, `package p
+func f() {
+	rows := TableRows()
+	for _, r := range rows {
+		use(r)
+	}
+	n := db.TotalRows()
+	if n != 0 {
+		use(n)
+	}
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestIteratorNamingHeuristics(t *testing.T) {
+	findings := lintSource(t, `package p
+func f() {
+	a := OpenFile("x")
+	b := db.ScanRows()
+	c := idx.KeyIterator()
+	plain := compute()
+	_ = plain
+}
+`)
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings (a, b, c), got %v", findings)
+	}
+}

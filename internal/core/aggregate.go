@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"npdbench/internal/planck"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
 	"npdbench/internal/sparql"
@@ -104,6 +105,15 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	if err != nil {
 		return nil, false, nil // out of fragment: fall back
 	}
+	if err := e.verifyCQ("translate", cq); err != nil {
+		return nil, false, err
+	}
+	if e.opts.StaticPrune && len(filters) > 0 {
+		if reason := planck.UnsatisfiableBounds(staticBounds(filters)); reason != "" {
+			st.StaticUnsatFilters++
+			return emptyAggregate(q), true, nil
+		}
+	}
 	protected := append([]string{}, answerVars...)
 	rwStart := time.Now()
 	rres, err := e.rewriter.Rewrite(cq, protected)
@@ -113,9 +123,24 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	st.RewriteTime += time.Since(rwStart)
 	st.TreeWitnesses += rres.TreeWitnesses
 	st.CQCount += rres.CQCount
+	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
+		return nil, false, err
+	}
+	ucq := rres.UCQ
+	if e.opts.StaticPrune {
+		pr := planck.PruneUCQ(ucq, e.spec.Onto)
+		st.StaticPrunedCQs += pr.Dropped
+		ucq = pr.Kept
+		if len(ucq) == 0 {
+			return emptyAggregate(q), true, nil
+		}
+		if err := e.verifyUCQ("static-prune", ucq, cq.Answer); err != nil {
+			return nil, false, err
+		}
+	}
 
 	unStart := time.Now()
-	un, err := unfold.UnfoldWith(rres.UCQ, e.mapping, filters, e.cons)
+	un, err := unfold.UnfoldOpts(ucq, e.mapping, filters, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
 	if err != nil {
 		return nil, false, err
 	}
@@ -124,9 +149,13 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
 	st.SubsumedArms += un.SubsumedArms
+	st.StaticPrunedArms += un.StaticPrunedCands + un.StaticContradictions
 	if un.Stmt == nil {
 		// provably empty: aggregate over nothing
 		return emptyAggregate(q), true, nil
+	}
+	if err := e.verifySQL("unfold", un.Stmt, un.Vars); err != nil {
+		return nil, false, err
 	}
 
 	// Every filter conjunct must actually have been compiled into every
@@ -283,15 +312,13 @@ func fullyPushable(cond sparql.Expr) bool {
 	}
 	switch b.Op {
 	case "=", "!=", "<", "<=", ">", ">=":
-		if v, okv := b.L.(*sparql.VarExpr); okv {
+		if _, okv := b.L.(*sparql.VarExpr); okv {
 			if t, okt := b.R.(*sparql.TermExpr); okt && t.Term.IsLiteral() {
-				_ = v
 				return true
 			}
 		}
-		if v, okv := b.R.(*sparql.VarExpr); okv {
+		if _, okv := b.R.(*sparql.VarExpr); okv {
 			if t, okt := b.L.(*sparql.TermExpr); okt && t.Term.IsLiteral() {
-				_ = v
 				return true
 			}
 		}

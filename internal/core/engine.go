@@ -23,6 +23,7 @@ import (
 
 	"npdbench/internal/analyze"
 	"npdbench/internal/owl"
+	"npdbench/internal/planck"
 	"npdbench/internal/r2rml"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
@@ -54,13 +55,24 @@ type Options struct {
 	// constraint-driven unfolding optimizations: key-based self-join
 	// elimination, NULL-guard elision, subsumed-arm elimination.
 	Constraints bool
+	// VerifyPlans controls the per-transform plan verifier: every
+	// intermediate plan (translated CQ, rewritten UCQ, unfolded SQL) is
+	// checked against the planck invariant catalog, failing the query with
+	// a structured diagnostic naming the offending transform. The zero
+	// value (VerifyAuto) verifies under `go test` only.
+	VerifyPlans VerifyMode
+	// StaticPrune deletes statically unsatisfiable work before it runs:
+	// contradictory pushed-filter bounds, UCQ disjuncts typed into
+	// disjoint concepts, mapping candidates with no arc-consistent
+	// partner, and union arms with contradictory WHERE conjunctions.
+	StaticPrune bool
 }
 
 // DefaultOptions returns the configuration the paper uses for the main
 // experiments: T-mappings on, existential reasoning on, database
-// constraints on.
+// constraints on, static pruning on.
 func DefaultOptions() Options {
-	return Options{TMappings: true, Existential: true, Constraints: true}
+	return Options{TMappings: true, Existential: true, Constraints: true, StaticPrune: true}
 }
 
 // LoadStats reports the starting-phase measures.
@@ -81,6 +93,8 @@ type Engine struct {
 	cons     *analyze.Constraints
 	rewriter *rewrite.Rewriter
 	load     LoadStats
+	verifier *planck.Verifier
+	verify   bool
 }
 
 // NewEngine performs the starting phase and returns a ready engine.
@@ -106,6 +120,8 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		e.cons = analyze.DeriveConstraints(spec.Mapping, spec.Onto, spec.DB)
 	}
 	e.load.SaturatedAssertions = e.mapping.AssertionCount()
+	e.verifier = &planck.Verifier{Onto: spec.Onto, Cons: e.cons, DB: spec.DB}
+	e.verify = opts.VerifyPlans.enabled()
 	e.rewriter = &rewrite.Rewriter{
 		Onto:            spec.Onto,
 		ExpandHierarchy: !opts.TMappings,
@@ -141,7 +157,14 @@ type PhaseStats struct {
 	PrunedArms          int
 	SelfJoinsEliminated int
 	SubsumedArms        int
-	SQL                 sqldb.SQLMetrics
+	// Static pruning measures (planck): UCQ disjuncts deleted for type
+	// contradictions, unfolder work deleted by the pre-walk candidate
+	// analysis plus contradictory-condition arms, and whole BGPs skipped
+	// because their pushed filter bounds are unsatisfiable.
+	StaticPrunedCQs    int
+	StaticPrunedArms   int
+	StaticUnsatFilters int
+	SQL                sqldb.SQLMetrics
 	// UnfoldedSQL is the translated query text (diagnostics; empty when
 	// all arms were pruned).
 	UnfoldedSQL string
@@ -339,6 +362,18 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	if err != nil {
 		return nil, err
 	}
+	if err := e.verifyCQ("translate", cq); err != nil {
+		return nil, err
+	}
+	// Contradictory pushed-filter bounds prove the BGP answerless before
+	// any rewriting happens (the filters are conjunctive: every solution
+	// would have to satisfy all of them).
+	if e.opts.StaticPrune && len(push) > 0 {
+		if reason := planck.UnsatisfiableBounds(staticBounds(push)); reason != "" {
+			st.StaticUnsatFilters++
+			return nil, nil
+		}
+	}
 	protected := append([]string{}, answerVars...)
 	for _, f := range push {
 		protected = append(protected, f.Var)
@@ -352,9 +387,24 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	st.RewriteTime += time.Since(rwStart)
 	st.TreeWitnesses += rres.TreeWitnesses
 	st.CQCount += rres.CQCount
+	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
+		return nil, err
+	}
+	ucq := rres.UCQ
+	if e.opts.StaticPrune {
+		pr := planck.PruneUCQ(ucq, e.spec.Onto)
+		st.StaticPrunedCQs += pr.Dropped
+		ucq = pr.Kept
+		if len(ucq) == 0 {
+			return nil, nil // every disjunct statically unsatisfiable
+		}
+		if err := e.verifyUCQ("static-prune", ucq, cq.Answer); err != nil {
+			return nil, err
+		}
+	}
 
 	unStart := time.Now()
-	un, err := unfold.UnfoldWith(rres.UCQ, e.mapping, push, e.cons)
+	un, err := unfold.UnfoldOpts(ucq, e.mapping, push, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
 	if err != nil {
 		return nil, err
 	}
@@ -363,8 +413,12 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
 	st.SubsumedArms += un.SubsumedArms
+	st.StaticPrunedArms += un.StaticPrunedCands + un.StaticContradictions
 	if un.Stmt == nil {
 		return nil, nil // provably empty
+	}
+	if err := e.verifySQL("unfold", un.Stmt, un.Vars); err != nil {
+		return nil, err
 	}
 	m := un.Metrics()
 	st.SQL.Joins += m.Joins

@@ -377,7 +377,7 @@ func TestEngineTemplateMismatchPruning(t *testing.T) {
 	if ans.Len() != 0 {
 		t.Fatalf("expected empty answer, got %d rows", ans.Len())
 	}
-	if ans.Stats.PrunedArms == 0 {
+	if ans.Stats.PrunedArms == 0 && ans.Stats.StaticPrunedArms == 0 {
 		t.Fatal("expected pruned arms from template mismatch")
 	}
 }

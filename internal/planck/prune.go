@@ -1,0 +1,220 @@
+package planck
+
+import (
+	"strconv"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/rdf"
+	"npdbench/internal/rewrite"
+)
+
+// PruneResult reports the outcome of static UCQ pruning.
+type PruneResult struct {
+	// Kept is the satisfiable remainder of the input UCQ (possibly empty:
+	// the query is provably answerless).
+	Kept rewrite.UCQ
+	// Dropped counts the deleted disjuncts.
+	Dropped int
+	// Reasons explains each deletion, in input order.
+	Reasons []string
+}
+
+// PruneUCQ deletes statically unsatisfiable disjuncts from a UCQ before
+// unfolding: a disjunct whose inferred type environment is contradictory
+// (a variable typed with two disjoint concepts, or forced to be both IRI
+// and literal — disjointness and domain/range axioms of the OWL 2 QL TBox
+// do the work), or that asserts two disjoint object properties over the
+// same term pair, can contribute no certain answers in any consistent
+// data instance and is deleted without ever reaching the unfolder's
+// mapping-candidate walk.
+func PruneUCQ(ucq rewrite.UCQ, onto *owl.Ontology) PruneResult {
+	res := PruneResult{}
+	for _, cq := range ucq {
+		if reason := UnsatCQ(cq, onto); reason != "" {
+			res.Dropped++
+			res.Reasons = append(res.Reasons, cq.String()+": "+reason)
+			continue
+		}
+		res.Kept = append(res.Kept, cq)
+	}
+	return res
+}
+
+// UnsatCQ reports why a CQ is statically unsatisfiable, or "" when no
+// contradiction is provable.
+func UnsatCQ(cq *rewrite.CQ, onto *owl.Ontology) string {
+	if c := InferTypes(cq, onto).Conflict(onto); c != nil {
+		return c.String()
+	}
+	if onto == nil {
+		return ""
+	}
+	// Disjoint object properties over the same term pair.
+	for i, a := range cq.Atoms {
+		if a.Kind != rewrite.ObjPropAtom {
+			continue
+		}
+		for _, b := range cq.Atoms[i+1:] {
+			if b.Kind != rewrite.ObjPropAtom {
+				continue
+			}
+			if a.S.String() != b.S.String() || a.O.String() != b.O.String() {
+				continue
+			}
+			if propsDisjoint(onto, a.Pred, b.Pred) {
+				return "disjoint properties " + localName(a.Pred) + " and " + localName(b.Pred) +
+					" asserted over (" + a.S.String() + "," + a.O.String() + ")"
+			}
+		}
+	}
+	return ""
+}
+
+// Bound is a variable/constant comparison extracted from a FILTER
+// conjunction (the same fragment the engine pushes into SQL).
+type Bound struct {
+	Var string
+	Op  string // "=", "!=", "<", "<=", ">", ">="
+	Val rdf.Term
+}
+
+// UnsatisfiableBounds reports a contradiction within a conjunctive set of
+// filter bounds, or "" when the set is satisfiable (as far as static
+// analysis can tell). It proves emptiness of the value range left for a
+// variable: conflicting equalities, an equality excluded by a
+// disequality, an equality outside an inequality bound, and lower bounds
+// exceeding upper bounds (an empty datatype range). Numeric and date
+// literals are compared within their family; bounds mixing families are
+// left to runtime evaluation.
+func UnsatisfiableBounds(bounds []Bound) string {
+	perVar := map[string][]Bound{}
+	order := []string{}
+	for _, b := range bounds {
+		if _, seen := perVar[b.Var]; !seen {
+			order = append(order, b.Var)
+		}
+		perVar[b.Var] = append(perVar[b.Var], b)
+	}
+	for _, v := range order {
+		if reason := unsatVarBounds(perVar[v]); reason != "" {
+			return "?" + v + " " + reason
+		}
+	}
+	return ""
+}
+
+// boundVal is a comparable literal: a family tag plus an ordering key.
+type boundVal struct {
+	family string // "num", "date", "str", "bool"
+	f      float64
+	s      string
+}
+
+func (a boundVal) comparable(b boundVal) bool { return a.family == b.family }
+
+func (a boundVal) cmp(b boundVal) int {
+	if a.family == "num" {
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	}
+	// dates order lexically in ISO form; strings and booleans use the
+	// lexical order too (only equality conclusions are drawn from them).
+	switch {
+	case a.s < b.s:
+		return -1
+	case a.s > b.s:
+		return 1
+	}
+	return 0
+}
+
+func literalBound(t rdf.Term) (boundVal, bool) {
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return boundVal{}, false
+		}
+		return boundVal{family: "num", f: f}, true
+	case rdf.XSDDate:
+		return boundVal{family: "date", s: t.Value}, true
+	case rdf.XSDBoolean:
+		return boundVal{family: "bool", s: t.Value}, true
+	case "", rdf.XSDString:
+		return boundVal{family: "str", s: t.Value}, true
+	}
+	return boundVal{}, false
+}
+
+func unsatVarBounds(bounds []Bound) string {
+	var eq, lo, hi *boundVal
+	var loStrict, hiStrict bool
+	var nes []boundVal
+	for _, b := range bounds {
+		v, ok := literalBound(b.Val)
+		if !ok {
+			continue
+		}
+		switch b.Op {
+		case "=":
+			if eq != nil {
+				if !eq.comparable(v) {
+					continue
+				}
+				if eq.cmp(v) != 0 {
+					return "cannot equal both " + b.Val.Value + " and another constant"
+				}
+			}
+			val := v
+			eq = &val
+		case "!=":
+			nes = append(nes, v)
+		case "<", "<=":
+			// dates compare lexically in ISO form, numbers numerically;
+			// strings are not range-ordered here (collation differences).
+			if v.family == "str" || v.family == "bool" {
+				continue
+			}
+			if hi == nil || v.cmp(*hi) < 0 || (v.cmp(*hi) == 0 && b.Op == "<") {
+				val := v
+				hi, hiStrict = &val, b.Op == "<"
+			}
+		case ">", ">=":
+			if v.family == "str" || v.family == "bool" {
+				continue
+			}
+			if lo == nil || v.cmp(*lo) > 0 || (v.cmp(*lo) == 0 && b.Op == ">") {
+				val := v
+				lo, loStrict = &val, b.Op == ">"
+			}
+		}
+	}
+	if eq != nil {
+		for _, ne := range nes {
+			if eq.comparable(ne) && eq.cmp(ne) == 0 {
+				return "equality contradicts a disequality on the same constant"
+			}
+		}
+		if lo != nil && eq.comparable(*lo) {
+			if c := eq.cmp(*lo); c < 0 || (c == 0 && loStrict) {
+				return "equality lies below the lower bound"
+			}
+		}
+		if hi != nil && eq.comparable(*hi) {
+			if c := eq.cmp(*hi); c > 0 || (c == 0 && hiStrict) {
+				return "equality lies above the upper bound"
+			}
+		}
+	}
+	if lo != nil && hi != nil && lo.comparable(*hi) {
+		if c := lo.cmp(*hi); c > 0 || (c == 0 && (loStrict || hiStrict)) {
+			return "lower bound exceeds upper bound (empty value range)"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,370 @@
+package planck
+
+import (
+	"strings"
+
+	"npdbench/internal/sqldb"
+)
+
+// scopeEntry describes one FROM-clause alias visible to an arm: either a
+// base table with a catalog definition (column provenance is exact) or a
+// derived table with an output column list (exact when known).
+type scopeEntry struct {
+	table string          // base-table name, "" for derived tables
+	def   *sqldb.TableDef // catalog definition, nil when unknown
+	cols  map[string]bool // lower-cased output columns; nil = unknown
+}
+
+// CheckSQL verifies an unfolded SQL statement against the pipeline's
+// output contract and the relational catalog:
+//
+//   - projection shape: every union arm projects exactly the (v, v_t,
+//     v_dt) column triple per answer variable, under the canonical
+//     aliases and in the canonical order;
+//   - scoping: FROM aliases are unique per arm and every column reference
+//     resolves to a visible alias;
+//   - column provenance: references into base tables name existing
+//     catalog columns (recursively inside derived tables);
+//   - type consistency: comparisons whose operand types are statically
+//     known must be executable (numeric/date families are mutually
+//     comparable, anything else requires equal kinds);
+//   - NOT NULL accounting: every base-table column feeding a projected
+//     term carries an IS NOT NULL guard unless the constraints artifact
+//     proves the catalog already forbids NULL (validating the unfolder's
+//     guard elision).
+func (v *Verifier) CheckSQL(stage string, stmt *sqldb.SelectStmt, vars []string) error {
+	if stmt == nil {
+		return violate(stage, "stmt-nil", "nil statement")
+	}
+	armNo := 0
+	for arm := stmt; arm != nil; arm = arm.Union {
+		if err := v.checkArm(stage, arm, vars, armNo); err != nil {
+			return err
+		}
+		armNo++
+	}
+	return nil
+}
+
+func (v *Verifier) checkArm(stage string, arm *sqldb.SelectStmt, vars []string, armNo int) error {
+	// Projection shape: 3 columns per answer variable, canonical aliases.
+	if len(arm.Items) != 3*len(vars) {
+		return violate(stage, "projection-shape",
+			"arm %d projects %d columns, want %d (3 per variable)", armNo, len(arm.Items), 3*len(vars))
+	}
+	for i, varName := range vars {
+		want := [3]string{"v_" + varName, "v_" + varName + "_t", "v_" + varName + "_dt"}
+		for k := 0; k < 3; k++ {
+			it := arm.Items[3*i+k]
+			if it.Star {
+				return violate(stage, "projection-shape", "arm %d projects a star item", armNo)
+			}
+			if it.Alias != want[k] {
+				return violate(stage, "projection-shape",
+					"arm %d column %d is aliased %q, want %q", armNo, 3*i+k, it.Alias, want[k])
+			}
+		}
+	}
+	scope, err := v.collectScope(stage, arm, armNo)
+	if err != nil {
+		return err
+	}
+	// Every column reference must resolve within the arm's scope.
+	var exprs []sqldb.Expr
+	for _, it := range arm.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	if arm.Where != nil {
+		exprs = append(exprs, arm.Where)
+	}
+	exprs = append(exprs, arm.GroupBy...)
+	if arm.Having != nil {
+		exprs = append(exprs, arm.Having)
+	}
+	for _, o := range arm.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if err := v.checkExpr(stage, e, scope, armNo); err != nil {
+			return err
+		}
+	}
+	return v.checkGuards(stage, arm, scope, armNo)
+}
+
+// collectScope walks the FROM clause, registering aliases and recursively
+// checking derived tables, and validates ON conditions in the arm scope.
+func (v *Verifier) collectScope(stage string, arm *sqldb.SelectStmt, armNo int) (map[string]scopeEntry, error) {
+	scope := map[string]scopeEntry{}
+	var ons []sqldb.Expr
+	var walk func(tr sqldb.TableRef) error
+	walk = func(tr sqldb.TableRef) error {
+		switch t := tr.(type) {
+		case *sqldb.BaseTable:
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			key := strings.ToLower(alias)
+			if _, dup := scope[key]; dup {
+				return violate(stage, "alias-unique", "arm %d declares alias %q twice", armNo, alias)
+			}
+			entry := scopeEntry{table: t.Name}
+			if v.DB != nil {
+				tbl := v.DB.Table(t.Name)
+				if tbl == nil {
+					return violate(stage, "table-exists", "arm %d references unknown table %q", armNo, t.Name)
+				}
+				entry.def = tbl.Def
+				entry.cols = map[string]bool{}
+				for _, c := range tbl.Def.Columns {
+					entry.cols[strings.ToLower(c.Name)] = true
+				}
+			}
+			scope[key] = entry
+		case *sqldb.SubqueryTable:
+			key := strings.ToLower(t.Alias)
+			if t.Alias == "" {
+				return violate(stage, "alias-unique", "arm %d has an unaliased derived table", armNo)
+			}
+			if _, dup := scope[key]; dup {
+				return violate(stage, "alias-unique", "arm %d declares alias %q twice", armNo, t.Alias)
+			}
+			entry, err := v.checkDerived(stage, t.Query, armNo)
+			if err != nil {
+				return err
+			}
+			scope[key] = entry
+		case *sqldb.JoinRef:
+			if err := walk(t.L); err != nil {
+				return err
+			}
+			if err := walk(t.R); err != nil {
+				return err
+			}
+			if t.On != nil {
+				ons = append(ons, t.On)
+			}
+		}
+		return nil
+	}
+	for _, tr := range arm.From {
+		if err := walk(tr); err != nil {
+			return nil, err
+		}
+	}
+	for _, on := range ons {
+		if err := v.checkExpr(stage, on, scope, armNo); err != nil {
+			return nil, err
+		}
+	}
+	return scope, nil
+}
+
+// checkDerived validates a derived table (an R2RML view) in its own scope
+// and returns its scope entry: the output column set (nil when it cannot
+// be determined, e.g. SELECT * from an uncataloged table) plus the
+// underlying base table's identity when every output column is a plain
+// column of a single base table under its own name — the provenance that
+// lets NOT NULL guard accounting and type checks see through the view.
+func (v *Verifier) checkDerived(stage string, q *sqldb.SelectStmt, armNo int) (scopeEntry, error) {
+	scope, err := v.collectScope(stage, q, armNo)
+	if err != nil {
+		return scopeEntry{}, err
+	}
+	// Column provenance: a single-base-table view whose items are plain
+	// (possibly starred) column references preserves the base columns'
+	// catalog properties, whatever WHERE/DISTINCT/GROUP BY it applies.
+	transparent := q.Union == nil && len(scope) == 1
+	var base scopeEntry
+	for _, e := range scope {
+		if e.def == nil {
+			transparent = false
+		}
+		base = e
+	}
+	var exprs []sqldb.Expr
+	out := map[string]bool{}
+	known := true
+	for _, it := range q.Items {
+		if it.Star {
+			// output is the (qualified) scope's column set
+			for key, e := range scope {
+				if it.Table != "" && strings.ToLower(it.Table) != key {
+					continue
+				}
+				if e.cols == nil {
+					known = false
+					continue
+				}
+				for c := range e.cols {
+					out[c] = true
+				}
+			}
+			continue
+		}
+		exprs = append(exprs, it.Expr)
+		c, isCol := it.Expr.(*sqldb.ColRef)
+		if !isCol || (it.Alias != "" && !strings.EqualFold(it.Alias, c.Name)) {
+			transparent = false
+		}
+		switch {
+		case it.Alias != "":
+			out[strings.ToLower(it.Alias)] = true
+		default:
+			if isCol {
+				out[strings.ToLower(c.Name)] = true
+			} else {
+				known = false
+			}
+		}
+	}
+	if q.Where != nil {
+		exprs = append(exprs, q.Where)
+	}
+	for _, e := range exprs {
+		if err := v.checkExpr(stage, e, scope, armNo); err != nil {
+			return scopeEntry{}, err
+		}
+	}
+	for u := q.Union; u != nil; u = u.Union {
+		if _, err := v.checkDerived(stage, u, armNo); err != nil {
+			return scopeEntry{}, err
+		}
+	}
+	if !known {
+		out = nil
+	}
+	entry := scopeEntry{cols: out}
+	if transparent {
+		entry.table = base.table
+		entry.def = base.def
+	}
+	return entry, nil
+}
+
+// checkExpr resolves every column reference in the expression against the
+// scope and checks comparison type consistency.
+func (v *Verifier) checkExpr(stage string, e sqldb.Expr, scope map[string]scopeEntry, armNo int) error {
+	var fail error
+	sqldb.WalkExpr(e, func(x sqldb.Expr) {
+		if fail != nil {
+			return
+		}
+		switch n := x.(type) {
+		case *sqldb.ColRef:
+			if err := resolveCol(stage, n, scope, armNo); err != nil {
+				fail = err
+			}
+		case *sqldb.BinOp:
+			switch n.Op {
+			case sqldb.OpEq, sqldb.OpNe, sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe:
+				lk, lok := staticKind(n.L, scope)
+				rk, rok := staticKind(n.R, scope)
+				if lok && rok && !kindsComparable(lk, rk) {
+					fail = violate(stage, "comparison-types",
+						"arm %d compares %s with %s in %s", armNo, lk, rk, n)
+				}
+			}
+		}
+	})
+	return fail
+}
+
+func resolveCol(stage string, c *sqldb.ColRef, scope map[string]scopeEntry, armNo int) error {
+	if c.Table == "" {
+		// Unqualified: must exist in at least one scope entry with a known
+		// column set, or some entry must have an unknown set.
+		anyUnknown := false
+		for _, e := range scope {
+			if e.cols == nil {
+				anyUnknown = true
+				continue
+			}
+			if e.cols[strings.ToLower(c.Name)] {
+				return nil
+			}
+		}
+		if anyUnknown {
+			return nil
+		}
+		return violate(stage, "column-exists", "arm %d references unknown column %q", armNo, c.Name)
+	}
+	e, ok := scope[strings.ToLower(c.Table)]
+	if !ok {
+		return violate(stage, "alias-resolves", "arm %d references undeclared alias %q (%s)", armNo, c.Table, c)
+	}
+	if e.cols != nil && !e.cols[strings.ToLower(c.Name)] {
+		return violate(stage, "column-exists", "arm %d references column %s absent from its source", armNo, c)
+	}
+	return nil
+}
+
+// staticKind computes the value kind of an expression when statically
+// known: literals carry their kind, column references take the catalog
+// type, string concatenation yields a string.
+func staticKind(e sqldb.Expr, scope map[string]scopeEntry) (sqldb.Kind, bool) {
+	switch n := e.(type) {
+	case *sqldb.Lit:
+		if n.Val.IsNull() {
+			return 0, false
+		}
+		return n.Val.Kind, true
+	case *sqldb.ColRef:
+		se, ok := scope[strings.ToLower(n.Table)]
+		if !ok || se.def == nil {
+			return 0, false
+		}
+		i := se.def.ColIndex(n.Name)
+		if i < 0 {
+			return 0, false
+		}
+		return se.def.Columns[i].Type.Kind(), true
+	case *sqldb.BinOp:
+		if n.Op == sqldb.OpConcat {
+			return sqldb.KindString, true
+		}
+	}
+	return 0, false
+}
+
+// kindsComparable mirrors sqldb.Compare: int, float and date coerce to a
+// common numeric axis; every other comparison requires equal kinds.
+func kindsComparable(a, b sqldb.Kind) bool {
+	num := func(k sqldb.Kind) bool {
+		return k == sqldb.KindInt || k == sqldb.KindFloat || k == sqldb.KindDate
+	}
+	if num(a) && num(b) {
+		return true
+	}
+	return a == b
+}
+
+// checkGuards verifies the NOT NULL accounting of an arm: every base-table
+// column feeding a projected term must either carry an IS NOT NULL guard
+// in the WHERE conjunction or be provably NOT NULL per the constraints
+// artifact (the only condition under which the unfolder elides the guard).
+func (v *Verifier) checkGuards(stage string, arm *sqldb.SelectStmt, scope map[string]scopeEntry, armNo int) error {
+	guarded := map[string]bool{}
+	for _, cj := range sqldb.Conjuncts(arm.Where) {
+		if g, ok := cj.(*sqldb.IsNullExpr); ok && g.Negate {
+			if c, okc := g.E.(*sqldb.ColRef); okc {
+				guarded[strings.ToLower(c.Table+"."+c.Name)] = true
+			}
+		}
+	}
+	for _, it := range arm.Items {
+		for _, c := range sqldb.ColumnRefs(it.Expr) {
+			if guarded[strings.ToLower(c.Table+"."+c.Name)] {
+				continue
+			}
+			e, ok := scope[strings.ToLower(c.Table)]
+			if ok && e.def != nil && v.Cons != nil && v.Cons.IsNotNull(e.table, c.Name) {
+				continue
+			}
+			return violate(stage, "notnull-guard",
+				"arm %d projects %s without an IS NOT NULL guard or catalog NOT NULL proof", armNo, c)
+		}
+	}
+	return nil
+}

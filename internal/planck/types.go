@@ -1,0 +1,158 @@
+package planck
+
+import (
+	"sort"
+	"strings"
+
+	"npdbench/internal/owl"
+	"npdbench/internal/rewrite"
+)
+
+// VarType aggregates what the ontology lets us conclude about one CQ
+// variable: whether it must denote an IRI (subject positions, object
+// properties) or a literal (data-property objects), and the conjunction of
+// concepts it is certainly an instance of.
+type VarType struct {
+	// IRI is true when some atom forces the variable to denote an IRI.
+	IRI bool
+	// Literal is true when some atom forces the variable to denote a
+	// literal (it appears as the object of a data property).
+	Literal bool
+	// Concepts is the conjunction of entailed memberships: named classes
+	// from class atoms, ∃P / ∃P⁻ / ∃U from property atoms. Domain and
+	// range axioms are SubClass axioms over these concepts, so disjointness
+	// checks through owl.Ontology.DisjointWith see them transitively.
+	Concepts []owl.Concept
+}
+
+// TypeEnv maps variable names to their inferred types.
+type TypeEnv map[string]*VarType
+
+// InferTypes derives the type environment of a CQ. Every atom contributes
+// membership constraints to its variable terms:
+//
+//	C(x)      ⇒ x : IRI, x ∈ C
+//	P(x,y)    ⇒ x : IRI, x ∈ ∃P;  y : IRI, y ∈ ∃P⁻
+//	U(x,v)    ⇒ x : IRI, x ∈ ∃U;  v : literal
+//
+// Constants contribute nothing (their types are their own).
+func InferTypes(cq *rewrite.CQ, onto *owl.Ontology) TypeEnv {
+	env := TypeEnv{}
+	at := func(name string) *VarType {
+		t := env[name]
+		if t == nil {
+			t = &VarType{}
+			env[name] = t
+		}
+		return t
+	}
+	for _, a := range cq.Atoms {
+		if a.S.IsVar() {
+			s := at(a.S.Var)
+			s.IRI = true
+			switch a.Kind {
+			case rewrite.ClassAtom:
+				s.addConcept(owl.NamedConcept(a.Pred))
+			case rewrite.ObjPropAtom:
+				s.addConcept(owl.SomeValues(a.Pred, false))
+			case rewrite.DataPropAtom:
+				s.addConcept(owl.SomeData(a.Pred))
+			}
+		}
+		if a.Kind == rewrite.ClassAtom || !a.O.IsVar() {
+			continue
+		}
+		o := at(a.O.Var)
+		if a.Kind == rewrite.ObjPropAtom {
+			o.IRI = true
+			o.addConcept(owl.SomeValues(a.Pred, true))
+		} else {
+			o.Literal = true
+		}
+	}
+	_ = onto // the ontology interprets the concepts at check time
+	return env
+}
+
+func (t *VarType) addConcept(c owl.Concept) {
+	for _, have := range t.Concepts {
+		if have == c {
+			return
+		}
+	}
+	t.Concepts = append(t.Concepts, c)
+}
+
+// Conflict describes why a type environment is unsatisfiable.
+type Conflict struct {
+	Var    string
+	Reason string
+}
+
+// Conflict reports the first type contradiction in the environment, or nil
+// when every variable is satisfiable: a variable cannot be both an IRI and
+// a literal, and it cannot be an instance of two disjoint concepts
+// (including a single concept that is itself unsatisfiable).
+func (env TypeEnv) Conflict(onto *owl.Ontology) *Conflict {
+	names := make([]string, 0, len(env))
+	for v := range env {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		t := env[v]
+		if t.IRI && t.Literal {
+			return &Conflict{Var: v, Reason: "used as both IRI and literal"}
+		}
+		if onto == nil {
+			continue
+		}
+		for i := 0; i < len(t.Concepts); i++ {
+			for j := i; j < len(t.Concepts); j++ {
+				if onto.DisjointWith(t.Concepts[i], t.Concepts[j]) {
+					return &Conflict{
+						Var:    v,
+						Reason: "member of disjoint concepts " + t.Concepts[i].String() + " and " + t.Concepts[j].String(),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Conflict) String() string {
+	if c == nil {
+		return ""
+	}
+	return "?" + c.Var + " " + c.Reason
+}
+
+// propsDisjoint reports whether two object properties are entailed
+// disjoint: some declared disjoint-property axiom (A,B) has p ⊑ A and
+// q ⊑ B (or vice versa).
+func propsDisjoint(onto *owl.Ontology, p, q string) bool {
+	below := func(sub, sup owl.PropRef) bool {
+		for _, s := range onto.SubPropertiesOf(sup) {
+			if s == sub {
+				return true
+			}
+		}
+		return false
+	}
+	pr, qr := owl.PropRef{Prop: p}, owl.PropRef{Prop: q}
+	for _, d := range onto.DisjointProps {
+		if (below(pr, d.A) && below(qr, d.B)) || (below(pr, d.B) && below(qr, d.A)) {
+			return true
+		}
+	}
+	return false
+}
+
+// localName trims an IRI to its fragment/last path segment for diagnostics.
+func localName(iri string) string {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}

@@ -1,0 +1,92 @@
+package r2rml
+
+import (
+	"testing"
+)
+
+// FuzzParseTemplate drives the IRI/literal template parser with arbitrary
+// placeholder syntax and exercises the downstream template algebra on
+// every successfully parsed value: Skeleton/String reconstruction, Match
+// against the template's own rendering, and the structural comparisons
+// the unfolder's pruning relies on (SameStructure, DisjointWith). None of
+// it may panic, and Match(t.String()) must not reject a template without
+// placeholders adjacent to each other.
+func FuzzParseTemplate(f *testing.F) {
+	seeds := []string{
+		"http://npd#wellbore/{id}",
+		"http://npd#well/{quadrant}-{num}",
+		"{id}",
+		"{a}{b}",
+		"plain-constant",
+		"",
+		"pre{col}post",
+		"http://npd#x/{id}/y/{id}",
+		"{unterminated",
+		"}stray",
+		"{}",
+		"a{b}c{d}e{f}g",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, err := ParseTemplate(src)
+		if err != nil {
+			return
+		}
+		parts, cols := tm.Skeleton()
+		if len(parts) != len(cols)+1 {
+			t.Fatalf("skeleton shape: %d parts, %d cols", len(parts), len(cols))
+		}
+		rendered := tm.String()
+		// A template must agree with itself structurally.
+		if !tm.SameStructure(tm) {
+			t.Fatalf("template %q not SameStructure with itself", rendered)
+		}
+		if tm.DisjointWith(tm) {
+			t.Fatalf("template %q disjoint with itself", rendered)
+		}
+		// Matching is exercised for totality; success depends on the
+		// template's fixture structure, so only panics are failures.
+		_, _ = tm.Match(rendered)
+		_, _ = tm.Match(src)
+		_, _ = tm.Match("")
+	})
+}
+
+// FuzzParseMapping drives the compact mapping-declaration parser.
+func FuzzParseMapping(f *testing.F) {
+	seeds := []string{
+		`[PrefixDeclaration]
+t: http://t/
+
+[MappingDeclaration]
+mappingId m1
+target    t:emp/{id} a t:Employee ; t:name {name} .
+source    SELECT id, name FROM emp
+`,
+		`[MappingDeclaration]
+mappingId broken
+target    t:emp/{id a t:Employee .
+source    SELECT id FROM emp
+`,
+		"mappingId only",
+		"",
+		"[PrefixDeclaration]\nbad prefix line",
+		// Regression: a subject token whose prefix expansion has a stray '}'
+		// used to panic in MustParseTemplate instead of returning an error.
+		"[PrefixDeclaration]\nt: 0\n[MappingDeclaration]\nmappingId \ntarget t:}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		mp, err := ParseMapping(src)
+		if err != nil {
+			return
+		}
+		for _, m := range mp.Maps {
+			_ = m.SourceDescription()
+		}
+	})
+}

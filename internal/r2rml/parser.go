@@ -277,7 +277,13 @@ func parseTermToken(mp *Mapping, tok string, subject bool) (TermMap, error) {
 		}
 		if !strings.Contains(iri, "{") {
 			if subject {
-				return TermMap{Kind: IRITemplate, Template: MustParseTemplate(iri)}, nil
+				// Still run through ParseTemplate: a stray '}' must surface
+				// as a parse error, not a panic.
+				tmpl, err := ParseTemplate(iri)
+				if err != nil {
+					return TermMap{}, err
+				}
+				return TermMap{Kind: IRITemplate, Template: tmpl}, nil
 			}
 			return ConstantMap(rdf.NewIRI(iri)), nil
 		}

@@ -65,6 +65,15 @@ type Unfolded struct {
 	// SubsumedArms counts arms dropped because another arm provably
 	// returns a superset (constraint-driven, requires UnfoldWith).
 	SubsumedArms int
+	// StaticPrunedCands counts mapping-assertion candidates deleted by the
+	// pre-walk static analysis (own-constant and arc-consistency proofs)
+	// before the combinatorial candidate walk ran (requires
+	// Opts.StaticPrune).
+	StaticPrunedCands int
+	// StaticContradictions counts arms whose compiled WHERE conjunction was
+	// proved unsatisfiable (contradictory exact predicates hoisted from
+	// merged fragment views) and deleted (requires Opts.StaticPrune).
+	StaticContradictions int
 	// FiltersPushed[i] reports whether filters[i] was translated into SQL
 	// in every emitted arm. Callers that skip re-checking filters on the
 	// translated results (e.g. aggregate pushdown) must require true.
@@ -136,7 +145,20 @@ type candidate struct {
 
 // Unfold translates the UCQ into SQL over the mapping.
 func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded, error) {
-	return UnfoldWith(ucq, mp, filters, nil)
+	return UnfoldOpts(ucq, mp, filters, Opts{})
+}
+
+// Opts configures the unfolding.
+type Opts struct {
+	// Cons enables the constraint-driven semantic query optimizations (see
+	// UnfoldWith). Nil disables them.
+	Cons *analyze.Constraints
+	// StaticPrune enables the pre-walk static candidate deletion
+	// (own-constant and arc-consistency proofs over IRI-template structure)
+	// and the post-compilation contradictory-condition arm deletion. Both
+	// are pure strength reductions: they remove only work the candidate
+	// walk or the database would discard anyway.
+	StaticPrune bool
 }
 
 // UnfoldWith additionally applies the constraint-driven semantic query
@@ -156,6 +178,12 @@ func Unfold(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter) (*Unfolded
 //
 // A nil cons reproduces Unfold exactly.
 func UnfoldWith(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter, cons *analyze.Constraints) (*Unfolded, error) {
+	return UnfoldOpts(ucq, mp, filters, Opts{Cons: cons})
+}
+
+// UnfoldOpts is the fully configurable unfolding entry point.
+func UnfoldOpts(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter, o Opts) (*Unfolded, error) {
+	cons := o.Cons
 	res := &Unfolded{}
 	if len(ucq) == 0 {
 		return nil, fmt.Errorf("unfold: empty UCQ")
@@ -167,13 +195,15 @@ func UnfoldWith(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter, cons *
 	}
 	var arms []*sqldb.SelectStmt
 	for _, cq := range ucq {
-		cqArms, pruned, selfJoins, pushed, err := unfoldCQ(cq, mp, filters, cons)
+		cqArms, st, pushed, err := unfoldCQ(cq, mp, filters, o)
 		if err != nil {
 			return nil, err
 		}
 		arms = append(arms, cqArms...)
-		res.PrunedArms += pruned
-		res.SelfJoinsEliminated += selfJoins
+		res.PrunedArms += st.pruned
+		res.SelfJoinsEliminated += st.selfJoins
+		res.StaticPrunedCands += st.staticCands
+		res.StaticContradictions += st.contradictions
 		for i := range res.FiltersPushed {
 			res.FiltersPushed[i] = res.FiltersPushed[i] && pushed[i]
 		}
@@ -206,9 +236,18 @@ func UnfoldWith(ucq rewrite.UCQ, mp *r2rml.Mapping, filters []PushFilter, cons *
 	return res, nil
 }
 
+// cqStats aggregates the per-CQ unfolding counters.
+type cqStats struct {
+	pruned         int // walk-time template-compatibility prunes
+	selfJoins      int
+	staticCands    int // pre-walk statically deleted candidates
+	contradictions int // arms deleted for contradictory WHERE conjunctions
+}
+
 // unfoldCQ enumerates mapping-assertion combinations for the CQ's atoms and
 // compiles each viable combination into one SPJ arm.
-func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *analyze.Constraints) (arms []*sqldb.SelectStmt, pruned, selfJoins int, pushedAll []bool, err error) {
+func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, o Opts) (arms []*sqldb.SelectStmt, st cqStats, pushedAll []bool, err error) {
+	cons := o.Cons
 	pushedAll = make([]bool, len(filters))
 	for i := range pushedAll {
 		pushedAll[i] = true
@@ -217,7 +256,14 @@ func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *ana
 	for i, atom := range cq.Atoms {
 		cands[i] = candidatesFor(atom, mp)
 		if len(cands[i]) == 0 {
-			return nil, 0, 0, pushedAll, nil // some atom has no mapping: CQ is empty
+			return nil, st, pushedAll, nil // some atom has no mapping: CQ is empty
+		}
+	}
+	if o.StaticPrune {
+		dropped, empty := pruneCandidatesStatic(cq, cands)
+		st.staticCands += dropped
+		if empty {
+			return nil, st, pushedAll, nil // statically empty CQ
 		}
 	}
 	pick := make([]candidate, len(cq.Atoms))
@@ -229,10 +275,14 @@ func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *ana
 				return err
 			}
 			if !ok {
-				pruned++
+				st.pruned++
 				return nil
 			}
-			selfJoins += merged
+			if o.StaticPrune && arm.Where != nil && contradictoryConds(sqldb.Conjuncts(arm.Where)) {
+				st.contradictions++
+				return nil
+			}
+			st.selfJoins += merged
 			arms = append(arms, arm)
 			for fi := range pushedAll {
 				pushedAll[fi] = pushedAll[fi] && pushed[fi]
@@ -244,7 +294,7 @@ func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *ana
 			// candidate as soon as a shared variable cannot unify with an
 			// earlier pick (cuts the combinatorial walk exponentially).
 			if !compatibleWithPicks(cq, pick[:i], c, i) {
-				pruned++
+				st.pruned++
 				continue
 			}
 			pick[i] = c
@@ -255,9 +305,9 @@ func unfoldCQ(cq *rewrite.CQ, mp *r2rml.Mapping, filters []PushFilter, cons *ana
 		return nil
 	}
 	if err := walk(0); err != nil {
-		return nil, 0, 0, pushedAll, err
+		return nil, cqStats{}, pushedAll, err
 	}
-	return arms, pruned, selfJoins, pushedAll, nil
+	return arms, st, pushedAll, nil
 }
 
 // termMapsOf lists the (term, map) pairs a candidate contributes for its atom.

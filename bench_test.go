@@ -23,6 +23,7 @@ import (
 	"npdbench/internal/core"
 	"npdbench/internal/mixer"
 	"npdbench/internal/npd"
+	"npdbench/internal/obs"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
 	"npdbench/internal/sparql"
@@ -416,6 +417,46 @@ func BenchmarkVerifyOverhead(b *testing.B) {
 					if _, err := eng.Answer(p); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on q6:
+// "off" is the production default (Obs nil — one nil check per stage), "on"
+// enables tracing plus the metrics registry. The acceptance bar is that the
+// disabled path stays within 2% of an unobserved pipeline, so the observer
+// can ship enabled-by-flag without a tax on benchmarks. Plan verification
+// is forced off in both modes so it cannot mask the delta.
+func BenchmarkObsOverhead(b *testing.B) {
+	db, _, err := mixer.BuildInstance(1, benchSeedScale, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	for _, mode := range []struct {
+		name string
+		obs  *obs.Observer
+	}{
+		{"off", nil},
+		{"on", &obs.Observer{Tracing: true, Metrics: obs.NewRegistry()}},
+	} {
+		opts := core.DefaultOptions()
+		opts.VerifyPlans = core.VerifyOff
+		opts.Obs = mode.obs
+		eng, err := core.NewEngine(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := eng.ParseQuery(npd.QueryByID("q6").SPARQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Answer(parsed); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

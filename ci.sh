@@ -18,3 +18,11 @@ go vet ./...
 go run ./cmd/repolint internal cmd
 go test -race ./...
 go run ./cmd/obdalint -strict -quiet
+
+# Instrumented smoke run: one client, one small mix, with the JSONL run log
+# on; the validator fails the gate when the log is empty or malformed.
+RUNLOG=$(mktemp)
+trap 'rm -f "$RUNLOG"' EXIT
+go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
+    -triples=false -clients 1 -queries q2,q3 -jsonl "$RUNLOG" > /dev/null
+go run ./cmd/mixer -validatejsonl "$RUNLOG"

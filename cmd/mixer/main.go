@@ -14,16 +14,25 @@
 //	mixer -breakdown -scales 1,5   # per-query phase measures
 //
 // Common flags: -scales, -seedscale, -runs, -warmup, -seed, -existential.
+//
+// Observability:
+//
+//	mixer -breakdown -jsonl run.jsonl   # one JSONL record per execution
+//	mixer -validatejsonl run.jsonl      # check a run log (the ci.sh gate)
+//	mixer -breakdown -http :6060        # serve /metrics + net/http/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	"npdbench/internal/mixer"
+	"npdbench/internal/obs"
 	"npdbench/internal/sqldb"
 )
 
@@ -42,8 +51,25 @@ func main() {
 		queries     = flag.String("queries", "", "comma-separated query ids (default: all 21)")
 		triples     = flag.Bool("triples", true, "count virtual triples per scale")
 		clients     = flag.Int("clients", 1, "concurrent query streams")
+		jsonl       = flag.String("jsonl", "", "write a JSONL run log (one record per query execution)")
+		validate    = flag.String("validatejsonl", "", "validate a JSONL run log and exit")
+		httpAddr    = flag.String("http", "", "serve /metrics and net/http/pprof on this address while running")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := obs.ValidateRunLog(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: %d records OK\n", *validate, n)
+		return
+	}
 
 	cfg := mixer.DefaultConfig()
 	cfg.SeedScale = *seedScale
@@ -60,6 +86,33 @@ func main() {
 	}
 	if *queries != "" {
 		cfg.QueryIDs = strings.Split(*queries, ",")
+	}
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.RunLog = obs.NewRunLog(f)
+		defer func() {
+			if err := cfg.RunLog.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("run log: %d records written to %s\n", cfg.RunLog.Count(), *jsonl)
+		}()
+	}
+	if *httpAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		// net/http/pprof registers on DefaultServeMux via its import.
+		http.Handle("/metrics", cfg.Metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mixer: http:", err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/pprof on %s\n", *httpAddr)
 	}
 
 	switch {

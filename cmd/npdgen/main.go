@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"npdbench/internal/npd"
+	"npdbench/internal/obs"
 	"npdbench/internal/rdf"
 	"npdbench/internal/sqldb"
 	"npdbench/internal/triplestore"
@@ -32,15 +33,15 @@ func main() {
 	)
 	flag.Parse()
 
-	start := time.Now()
+	start := obs.Now()
 	db, err := npd.NewSeededDatabase(npd.SeedConfig{Scale: *seedScale, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("seeded %d rows in %d tables (%v)\n", db.TotalRows(), npd.TableCount(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("seeded %d rows in %d tables (%v)\n", db.TotalRows(), npd.TableCount(), obs.Since(start).Round(time.Millisecond))
 
 	if *scale > 1 {
-		start = time.Now()
+		start = obs.Now()
 		var rep *vig.Report
 		if *random {
 			rep, err = vig.NewRandom(*seed).Generate(db, *scale-1)
@@ -54,7 +55,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pumped to NPD%g: +%d rows (%v)\n", *scale, rep.TotalInserted(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("pumped to NPD%g: +%d rows (%v)\n", *scale, rep.TotalInserted(), obs.Since(start).Round(time.Millisecond))
 	}
 
 	if *verify {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,11 @@ func main() {
 
 	switch {
 	case *asJSON:
-		b, err := res.Report.JSON()
+		payload := struct {
+			analyze.ReportJSON
+			Constraints analyze.ConstraintStats `json:"constraints"`
+		}{res.Report.Payload(), res.Constraints.Stats()}
+		b, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "obdalint:", err)
 			os.Exit(2)

@@ -5,6 +5,9 @@
 //	obdaq -q q6                          # run benchmark query q6
 //	obdaq 'SELECT ?w WHERE { ?w a npdv:Wellbore } LIMIT 5'
 //	obdaq -q q1 -scale 5 -sql            # also print the unfolded SQL
+//	obdaq -q q6 -explain                 # pipeline span tree + EXPLAIN ANALYZE
+//	obdaq -q q6 -trace                   # pipeline span tree only
+//	obdaq -q q6 -metrics                 # Prometheus metric exposition
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"npdbench/internal/core"
 	"npdbench/internal/mixer"
 	"npdbench/internal/npd"
+	"npdbench/internal/obs"
 	"npdbench/internal/sqldb"
 )
 
@@ -30,7 +34,9 @@ func main() {
 		verify      = flag.Bool("verify", false, "verify every intermediate plan against the invariant catalog (planck)")
 		staticPrune = flag.Bool("staticprune", true, "statically delete unsatisfiable CQs, candidates, and arms before execution")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
-		explain     = flag.Bool("explain", false, "print the SQL planner decisions (EXPLAIN ANALYZE)")
+		explain     = flag.Bool("explain", false, "print the pipeline span tree and the EXPLAIN ANALYZE operator tree")
+		trace       = flag.Bool("trace", false, "print the pipeline span tree (stage timings and attributes)")
+		metrics     = flag.Bool("metrics", false, "print the Prometheus metric exposition after the query")
 		maxRows     = flag.Int("rows", 20, "result rows to print (0 = all)")
 		useStore    = flag.Bool("storebaseline", false, "answer over the materialized triple store instead")
 	)
@@ -68,6 +74,7 @@ func main() {
 
 	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
 	var ans *core.Answer
+	var observer *obs.Observer
 	if *useStore {
 		store, err := core.NewStoreEngine(spec, core.StoreOptions{Reasoning: *existential})
 		if err != nil {
@@ -83,12 +90,22 @@ func main() {
 		if *verify {
 			mode = core.VerifyOn
 		}
+		if *explain || *trace || *metrics {
+			observer = &obs.Observer{
+				Tracing:     *explain || *trace,
+				ExecProfile: *explain,
+			}
+			if *metrics {
+				observer.Metrics = obs.NewRegistry()
+			}
+		}
 		eng, err := core.NewEngine(spec, core.Options{
 			TMappings:   true,
 			Existential: *existential,
 			Constraints: *constraints,
 			VerifyPlans: mode,
 			StaticPrune: *staticPrune,
+			Obs:         observer,
 		})
 		if err != nil {
 			fatal(err)
@@ -116,22 +133,19 @@ func main() {
 	if *showSQL && st.UnfoldedSQL != "" {
 		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)
 	}
-	if *explain && st.UnfoldedSQL != "" {
-		stmt, err := sqldb.Parse(st.UnfoldedSQL)
-		if err == nil {
-			notes, err := db.ExplainSelect(stmt)
-			if err == nil {
-				fmt.Println("\nplanner decisions:")
-				max := 40
-				for i, n := range notes {
-					if i >= max {
-						fmt.Printf("  ... (%d more)\n", len(notes)-max)
-						break
-					}
-					fmt.Println("  " + n)
-				}
-			}
+	if (*trace || *explain) && ans.Trace != nil {
+		fmt.Printf("\npipeline trace:\n%s", ans.Trace.Render())
+	}
+	if *explain {
+		for i, prof := range ans.Profiles {
+			fmt.Printf("\nEXPLAIN ANALYZE (statement %d of %d):\n%s", i+1, len(ans.Profiles), prof.Render())
 		}
+		if len(ans.Profiles) == 0 {
+			fmt.Println("\nEXPLAIN ANALYZE: no SQL executed (query statically answered)")
+		}
+	}
+	if *metrics && observer != nil && observer.Metrics != nil {
+		fmt.Printf("\nmetrics:\n%s", observer.Metrics.PrometheusText())
 	}
 
 	fmt.Printf("\n%d solutions\n", ans.Len())

@@ -5,7 +5,12 @@
 //     call must be Closed (directly or deferred) within the same function,
 //     or returned/assigned onward for the caller to close;
 //   - no discarded errors: `_ = err` silently swallows a value that was
-//     important enough to assign a name to.
+//     important enough to assign a name to;
+//   - timing funnel: raw time.Now()/time.Since() calls are reserved to
+//     internal/obs (the clock funnel) and internal/mixer (the measurement
+//     harness); everything else must go through obs.Now/obs.Since so the
+//     observability layer stays the single timing authority. Test files are
+//     exempt.
 //
 // Usage: repolint [dirs...]   (default: internal)
 // Exits 1 when any finding is reported, making it suitable as a ci.sh gate.
@@ -57,7 +62,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			findings = append(findings, lintFile(fset, file)...)
+			findings = append(findings, lintFile(fset, path, file)...)
 			return nil
 		})
 		if err != nil {
@@ -75,8 +80,9 @@ func main() {
 }
 
 // lintFile runs every check over one parsed file.
-func lintFile(fset *token.FileSet, file *ast.File) []finding {
+func lintFile(fset *token.FileSet, path string, file *ast.File) []finding {
 	var out []finding
+	timingExempt := timingExemptPath(path)
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
@@ -85,10 +91,45 @@ func lintFile(fset *token.FileSet, file *ast.File) []finding {
 			}
 		case *ast.AssignStmt:
 			out = append(out, checkDiscardedError(fset, fn)...)
+		case *ast.CallExpr:
+			if !timingExempt {
+				out = append(out, checkTimeNow(fset, fn)...)
+			}
 		}
 		return true
 	})
 	return out
+}
+
+// timingExemptPath reports whether a file may call time.Now/time.Since
+// directly: the obs clock funnel itself, the mixer measurement harness, and
+// test files (fixtures time whatever they like).
+func timingExemptPath(path string) bool {
+	p := filepath.ToSlash(path)
+	return strings.HasSuffix(p, "_test.go") ||
+		strings.Contains(p, "internal/obs/") ||
+		strings.Contains(p, "internal/mixer/")
+}
+
+// checkTimeNow flags raw time.Now()/time.Since() calls outside the exempt
+// packages: ad-hoc timing bypasses the observability clock funnel.
+func checkTimeNow(fset *token.FileSet, call *ast.CallExpr) []finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "time" {
+		return nil
+	}
+	if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+		return nil
+	}
+	return []finding{{
+		pos: fset.Position(call.Pos()),
+		msg: fmt.Sprintf("raw time.%s call: use obs.%s so timing stays behind the observability funnel",
+			sel.Sel.Name, sel.Sel.Name),
+	}}
 }
 
 // checkDiscardedError flags `_ = err`: every left-hand side is blank and

@@ -8,13 +8,17 @@ import (
 )
 
 func lintSource(t *testing.T, src string) []finding {
+	return lintPath(t, "internal/pkg/fixture.go", src)
+}
+
+func lintPath(t *testing.T, path, src string) []finding {
 	t.Helper()
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lintFile(fset, file)
+	return lintFile(fset, path, file)
 }
 
 func TestDiscardedError(t *testing.T) {
@@ -128,5 +132,52 @@ func f() {
 `)
 	if len(findings) != 3 {
 		t.Fatalf("want 3 findings (a, b, c), got %v", findings)
+	}
+}
+
+func TestRawTimeNowFlagged(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`
+	findings := lintPath(t, "internal/core/engine.go", src)
+	if len(findings) != 2 {
+		t.Fatalf("findings: %v", findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.msg, "obs.") {
+			t.Fatalf("message should point at the obs funnel: %v", f)
+		}
+	}
+	if findings[0].pos.Line != 4 || findings[1].pos.Line != 5 {
+		t.Fatalf("lines: %v", findings)
+	}
+}
+
+func TestRawTimeNowExemptions(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Time { return time.Now() }
+`
+	for _, path := range []string{
+		"internal/obs/clock.go",
+		"internal/mixer/mixer.go",
+		"internal/core/engine_test.go",
+	} {
+		if findings := lintPath(t, path, src); len(findings) != 0 {
+			t.Errorf("%s should be exempt: %v", path, findings)
+		}
+	}
+	// Unrelated time package members stay legal everywhere.
+	other := `package p
+import "time"
+func f() time.Duration { return 5 * time.Millisecond }
+func g() { time.Sleep(time.Millisecond) }
+`
+	if findings := lintPath(t, "internal/core/x.go", other); len(findings) != 0 {
+		t.Errorf("non-Now/Since time calls flagged: %v", findings)
 	}
 }

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -247,5 +248,35 @@ func TestReportOrderingAndSummary(t *testing.T) {
 	}
 	if got := rep.Summary(); got != "1 errors, 1 warnings, 1 infos" {
 		t.Errorf("summary = %q", got)
+	}
+}
+
+func TestReportJSONPayload(t *testing.T) {
+	rep := &Report{}
+	rep.add(Diagnostic{Code: "missing-table", Severity: SevError, Detail: "x"})
+	rep.add(Diagnostic{Code: "missing-table", Severity: SevError, Detail: "y"})
+	rep.add(Diagnostic{Code: "dead-mapping", Severity: SevWarning, Detail: "z"})
+	p := rep.Payload()
+	if p.Summary != rep.Summary() {
+		t.Errorf("payload summary = %q", p.Summary)
+	}
+	if p.Counts["error"] != 2 || p.Counts["warning"] != 1 || p.Counts["info"] != 0 {
+		t.Errorf("payload counts = %v", p.Counts)
+	}
+	if p.ByCode["missing-table"] != 2 || p.ByCode["dead-mapping"] != 1 {
+		t.Errorf("payload by_code = %v", p.ByCode)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	for _, key := range []string{"summary", "diagnostics", "counts", "by_code"} {
+		if _, ok := round[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
 	}
 }

@@ -155,18 +155,31 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// JSON renders the report (diagnostics + per-severity counts) as
-// indented JSON for machine consumers.
-func (r *Report) JSON() ([]byte, error) {
-	return json.MarshalIndent(struct {
-		Diagnostics []Diagnostic   `json:"diagnostics"`
-		Counts      map[string]int `json:"counts"`
-	}{
+// ReportJSON is the machine-readable shape of a Report: the diagnostics
+// plus the summary line, per-severity counts, and per-code counts, so a CI
+// consumer never has to re-derive them.
+type ReportJSON struct {
+	Summary     string         `json:"summary"`
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Counts      map[string]int `json:"counts"`
+	ByCode      map[string]int `json:"by_code"`
+}
+
+// Payload builds the machine-readable report structure.
+func (r *Report) Payload() ReportJSON {
+	return ReportJSON{
+		Summary:     r.Summary(),
 		Diagnostics: r.Diagnostics,
 		Counts: map[string]int{
 			"error":   r.Count(SevError),
 			"warning": r.Count(SevWarning),
 			"info":    r.Count(SevInfo),
 		},
-	}, "", "  ")
+		ByCode: r.ByCode(),
+	}
+}
+
+// JSON renders the report as indented JSON for machine consumers.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Payload(), "", "  ")
 }

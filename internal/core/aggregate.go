@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
-	"time"
 
+	"npdbench/internal/obs"
 	"npdbench/internal/planck"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
@@ -27,8 +27,11 @@ import (
 // the translated bindings.
 
 // tryAggregatePushdown attempts the SQL compilation; ok=false means the
-// query is outside the pushable fragment.
-func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.ResultSet, bool, error) {
+// query is outside the pushable fragment. Its pipeline stages are traced as
+// children of an "aggregate-pushdown" span so a fallback attempt stays
+// distinguishable from the regular BGP stages that follow it.
+func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.ResultSet, bool, error) {
+	st := qc.st
 	if !q.HasAggregates() || q.Having != nil {
 		return nil, false, nil
 	}
@@ -95,6 +98,8 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	}
 
 	// Rewrite + unfold the BGP as usual.
+	ag := qc.tr.StartSpan("aggregate-pushdown")
+	defer ag.End()
 	var answerVars []string
 	for _, v := range sparql.PatternVars(bgp) {
 		if !strings.HasPrefix(v, "_bn") {
@@ -115,22 +120,29 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 		}
 	}
 	protected := append([]string{}, answerVars...)
-	rwStart := time.Now()
+	rwSpan := ag.StartChild("rewrite")
+	rwStart := obs.Now()
 	rres, err := e.rewriter.Rewrite(cq, protected)
+	rwSpan.End()
 	if err != nil {
 		return nil, false, err
 	}
-	st.RewriteTime += time.Since(rwStart)
+	st.RewriteTime += obs.Since(rwStart)
 	st.TreeWitnesses += rres.TreeWitnesses
 	st.CQCount += rres.CQCount
+	rwSpan.SetInt("cqs", rres.CQCount)
 	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
 		return nil, false, err
 	}
 	ucq := rres.UCQ
 	if e.opts.StaticPrune {
+		spSpan := ag.StartChild("static-prune")
+		spSpan.SetInt("ucq_before", len(ucq))
 		pr := planck.PruneUCQ(ucq, e.spec.Onto)
 		st.StaticPrunedCQs += pr.Dropped
 		ucq = pr.Kept
+		spSpan.SetInt("ucq_after", len(ucq))
+		spSpan.End()
 		if len(ucq) == 0 {
 			return emptyAggregate(q), true, nil
 		}
@@ -139,12 +151,14 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 		}
 	}
 
-	unStart := time.Now()
+	unSpan := ag.StartChild("unfold")
+	unStart := obs.Now()
 	un, err := unfold.UnfoldOpts(ucq, e.mapping, filters, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
+	unSpan.End()
 	if err != nil {
 		return nil, false, err
 	}
-	st.UnfoldTime += time.Since(unStart)
+	st.UnfoldTime += obs.Since(unStart)
 	st.UnionArms += un.Arms
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
@@ -222,15 +236,27 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 		outer.Items = append(outer.Items, sqldb.SelectItem{Expr: f, Alias: fmt.Sprintf("agg_%d", i)})
 	}
 
-	exStart := time.Now()
-	res, err := e.spec.DB.ExecSelect(outer)
+	exSpan := ag.StartChild("execute")
+	exStart := obs.Now()
+	var res *sqldb.Result
+	if e.opts.Obs.Profiling() {
+		var prof *sqldb.OpProfile
+		res, prof, err = e.spec.DB.ProfileSelect(outer)
+		if err == nil && prof != nil {
+			qc.profiles = append(qc.profiles, prof)
+		}
+	} else {
+		res, err = e.spec.DB.ExecSelect(outer)
+	}
+	exSpan.End()
 	if err != nil {
 		// e.g. SUM over a non-numeric literal column: SQL raises a type
 		// error where SPARQL semantics silently unbinds — fall back to the
 		// in-memory path, which implements the SPARQL behaviour.
 		return nil, false, nil
 	}
-	st.ExecTime += time.Since(exStart)
+	st.ExecTime += obs.Since(exStart)
+	exSpan.SetInt("rows", len(res.Rows))
 	st.UnfoldedSQL = outer.String()
 	m := outer.Metrics()
 	st.SQL.Joins += m.Joins
@@ -238,7 +264,9 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 	st.SQL.InnerQueries += m.InnerQueries
 
 	// Translate rows to bindings: 3 columns per group var, then one per agg.
-	trStart := time.Now()
+	asSpan := ag.StartChild("assemble")
+	defer asSpan.End()
+	trStart := obs.Now()
 	bindings := make([]sparql.Binding, 0, len(res.Rows))
 	for _, row := range res.Rows {
 		b := make(sparql.Binding, len(q.GroupBy)+len(aggs))
@@ -261,7 +289,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, st *PhaseStats) (*sparql.
 		}
 		bindings = append(bindings, b)
 	}
-	st.TranslateTime += time.Since(trStart)
+	st.TranslateTime += obs.Since(trStart)
 
 	// Finalize with the aggregation stripped (it already happened in SQL).
 	flat := *q

@@ -15,8 +15,7 @@ func answerWithoutPushdown(t *testing.T, e *Engine, src string) *sparql.ResultSe
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := &PhaseStats{}
-	bindings, err := e.evalPattern(q.Pattern, st)
+	bindings, err := e.evalPattern(q.Pattern, &queryCtx{st: &PhaseStats{}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"npdbench/internal/obs"
 	"npdbench/internal/owl"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
@@ -46,7 +47,7 @@ func (e *Engine) CheckConsistency(maxWitnesses int) (*ConsistencyReport, error) 
 	if maxWitnesses <= 0 {
 		maxWitnesses = 1
 	}
-	start := time.Now()
+	start := obs.Now()
 	rep := &ConsistencyReport{Consistent: true}
 
 	askBoth := func(a, b owl.Concept) ([]sparql.Binding, error) {
@@ -135,6 +136,6 @@ func (e *Engine) CheckConsistency(maxWitnesses int) (*ConsistencyReport, error) 
 			})
 		}
 	}
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = obs.Since(start)
 	return rep, nil
 }

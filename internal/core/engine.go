@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"npdbench/internal/analyze"
+	"npdbench/internal/obs"
 	"npdbench/internal/owl"
 	"npdbench/internal/planck"
 	"npdbench/internal/r2rml"
@@ -66,6 +67,10 @@ type Options struct {
 	// disjoint concepts, mapping candidates with no arc-consistent
 	// partner, and union arms with contradictory WHERE conjunctions.
 	StaticPrune bool
+	// Obs enables observability: per-query span traces, operator-level
+	// execution profiles, and process metrics. nil means fully off — the
+	// pipeline then pays a single nil check per stage.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the configuration the paper uses for the main
@@ -102,7 +107,7 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	if spec.Onto == nil || spec.Mapping == nil || spec.DB == nil {
 		return nil, fmt.Errorf("core: spec needs ontology, mapping, and database")
 	}
-	start := time.Now()
+	start := obs.Now()
 	e := &Engine{spec: spec, opts: opts}
 	e.load.MappingAssertions = spec.Mapping.AssertionCount()
 	stats := spec.Onto.Stats()
@@ -128,7 +133,7 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		Existential:     opts.Existential,
 		MaxCQs:          opts.MaxCQs,
 	}
-	e.load.LoadTime = time.Since(start)
+	e.load.LoadTime = obs.Since(start)
 	return e, nil
 }
 
@@ -179,10 +184,26 @@ func (p PhaseStats) WeightRU() float64 {
 	return float64(p.RewriteTime+p.UnfoldTime) / float64(p.TotalTime)
 }
 
-// Answer is a query result with its phase statistics.
+// Answer is a query result with its phase statistics and, when the engine's
+// observer enables them, the span trace and operator-level execution
+// profiles of the run.
 type Answer struct {
 	*sparql.ResultSet
 	Stats PhaseStats
+	// Trace is the hierarchical span tree of this query (nil unless
+	// Options.Obs.Tracing).
+	Trace *obs.Trace
+	// Profiles holds one EXPLAIN ANALYZE operator tree per SQL statement
+	// executed (nil unless Options.Obs.ExecProfile).
+	Profiles []*sqldb.OpProfile
+}
+
+// queryCtx carries the per-query observability state alongside the phase
+// statistics through the pattern evaluator.
+type queryCtx struct {
+	st       *PhaseStats
+	tr       *obs.Trace
+	profiles []*sqldb.OpProfile
 }
 
 // ParseQuery parses SPARQL with the spec's prefix bindings.
@@ -192,61 +213,120 @@ func (e *Engine) ParseQuery(src string) (*sparql.Query, error) {
 
 // Query parses and answers a SPARQL query.
 func (e *Engine) Query(src string) (*Answer, error) {
+	tr := e.opts.Obs.StartTrace("query")
+	ps := tr.StartSpan("parse")
 	q, err := e.ParseQuery(src)
+	ps.End()
 	if err != nil {
+		e.countQuery(true)
 		return nil, err
 	}
-	return e.Answer(q)
+	return e.answer(q, tr)
 }
 
-// Answer runs the full query-answering pipeline.
+// Answer runs the full query-answering pipeline on a pre-parsed query. The
+// parse stage still appears in the trace (marked cached) so every trace
+// carries the complete taxonomy.
 func (e *Engine) Answer(q *sparql.Query) (*Answer, error) {
-	start := time.Now()
-	st := &PhaseStats{}
+	tr := e.opts.Obs.StartTrace("query")
+	ps := tr.StartSpan("parse")
+	ps.SetStr("cached", "true")
+	ps.End()
+	return e.answer(q, tr)
+}
+
+func (e *Engine) answer(q *sparql.Query, tr *obs.Trace) (*Answer, error) {
+	start := obs.Now()
+	qc := &queryCtx{st: &PhaseStats{}, tr: tr}
+	st := qc.st
 	if q.HasAggregates() {
-		rs, ok, err := e.tryAggregatePushdown(q, st)
+		rs, ok, err := e.tryAggregatePushdown(q, qc)
 		if err != nil {
+			e.countQuery(true)
 			return nil, err
 		}
 		if ok {
-			st.TotalTime = time.Since(start)
-			return &Answer{ResultSet: rs, Stats: *st}, nil
+			st.TotalTime = obs.Since(start)
+			tr.Finish()
+			e.recordMetrics(st)
+			return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles}, nil
 		}
 		// fall through: in-memory aggregation over translated bindings
 		*st = PhaseStats{}
+		qc.profiles = nil
 	}
-	bindings, err := e.evalPattern(q.Pattern, st)
+	bindings, err := e.evalPattern(q.Pattern, qc)
 	if err != nil {
+		e.countQuery(true)
 		return nil, err
 	}
-	tStart := time.Now()
+	tStart := obs.Now()
 	rs, err := sparql.Finalize(q, bindings)
 	if err != nil {
+		e.countQuery(true)
 		return nil, err
 	}
-	st.TranslateTime += time.Since(tStart)
-	st.TotalTime = time.Since(start)
-	return &Answer{ResultSet: rs, Stats: *st}, nil
+	st.TranslateTime += obs.Since(tStart)
+	st.TotalTime = obs.Since(start)
+	tr.Finish()
+	e.recordMetrics(st)
+	return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles}, nil
+}
+
+// countQuery bumps the query counters; failed runs skip the latency
+// histograms (their timings are partial).
+func (e *Engine) countQuery(failed bool) {
+	reg := e.opts.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("npdbench_queries_total").Inc()
+	if failed {
+		reg.Counter("npdbench_query_errors_total").Inc()
+	}
+}
+
+// recordMetrics publishes the per-query phase timings to the registry.
+func (e *Engine) recordMetrics(st *PhaseStats) {
+	reg := e.opts.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	e.countQuery(false)
+	reg.Histogram("npdbench_query_seconds", obs.DefDurationBuckets).
+		Observe(st.TotalTime.Seconds())
+	for _, s := range []struct {
+		stage string
+		d     time.Duration
+	}{
+		{"rewrite", st.RewriteTime},
+		{"unfold", st.UnfoldTime},
+		{"execute", st.ExecTime},
+		{"assemble", st.TranslateTime},
+	} {
+		reg.Histogram(fmt.Sprintf("npdbench_stage_seconds{stage=%q}", s.stage), obs.DefDurationBuckets).
+			Observe(s.d.Seconds())
+	}
 }
 
 // evalPattern evaluates the SPARQL algebra; BGP leaves go through the
 // rewrite → unfold → execute pipeline, non-leaf operators combine binding
 // sets (the way OBDA engines stage OPTIONAL/UNION around SQL fragments).
-func (e *Engine) evalPattern(p sparql.GraphPattern, st *PhaseStats) ([]sparql.Binding, error) {
+func (e *Engine) evalPattern(p sparql.GraphPattern, qc *queryCtx) ([]sparql.Binding, error) {
 	switch x := p.(type) {
 	case *sparql.BGP:
-		return e.answerBGP(x, nil, st)
+		return e.answerBGP(x, nil, qc)
 	case *sparql.Filter:
 		// Push simple comparisons into the leaf when it is a BGP.
 		if bgp, ok := x.Inner.(*sparql.BGP); ok {
 			push := pushableFilters(x.Cond)
-			bindings, err := e.answerBGP(bgp, push, st)
+			bindings, err := e.answerBGP(bgp, push, qc)
 			if err != nil {
 				return nil, err
 			}
 			return filterBindings(bindings, x.Cond), nil
 		}
-		inner, err := e.evalPattern(x.Inner, st)
+		inner, err := e.evalPattern(x.Inner, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +334,7 @@ func (e *Engine) evalPattern(p sparql.GraphPattern, st *PhaseStats) ([]sparql.Bi
 	case *sparql.Group:
 		cur := []sparql.Binding{{}}
 		for _, part := range x.Parts {
-			next, err := e.evalPattern(part, st)
+			next, err := e.evalPattern(part, qc)
 			if err != nil {
 				return nil, err
 			}
@@ -262,21 +342,21 @@ func (e *Engine) evalPattern(p sparql.GraphPattern, st *PhaseStats) ([]sparql.Bi
 		}
 		return cur, nil
 	case *sparql.Optional:
-		left, err := e.evalPattern(x.Left, st)
+		left, err := e.evalPattern(x.Left, qc)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.evalPattern(x.Right, st)
+		right, err := e.evalPattern(x.Right, qc)
 		if err != nil {
 			return nil, err
 		}
 		return sparql.LeftJoinBindings(left, right), nil
 	case *sparql.Union:
-		left, err := e.evalPattern(x.Left, st)
+		left, err := e.evalPattern(x.Left, qc)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.evalPattern(x.Right, st)
+		right, err := e.evalPattern(x.Right, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -343,8 +423,11 @@ func flipOp(op string) string {
 	return op
 }
 
-// answerBGP runs the rewrite/unfold/execute pipeline for one BGP.
-func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseStats) ([]sparql.Binding, error) {
+// answerBGP runs the rewrite/unfold/execute pipeline for one BGP. When
+// tracing is on it emits one span per pipeline stage (rewrite,
+// static-prune, unfold, plan, execute, assemble) under the query trace.
+func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryCtx) ([]sparql.Binding, error) {
+	st := qc.st
 	if len(bgp.Triples) == 0 {
 		return []sparql.Binding{{}}, nil
 	}
@@ -379,45 +462,68 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 		protected = append(protected, f.Var)
 	}
 
-	rwStart := time.Now()
+	rwSpan := qc.tr.StartSpan("rewrite")
+	rwStart := obs.Now()
 	rres, err := e.rewriter.Rewrite(cq, protected)
 	if err != nil {
+		rwSpan.End()
 		return nil, err
 	}
-	st.RewriteTime += time.Since(rwStart)
+	st.RewriteTime += obs.Since(rwStart)
 	st.TreeWitnesses += rres.TreeWitnesses
 	st.CQCount += rres.CQCount
+	rwSpan.SetInt("cqs", rres.CQCount)
+	rwSpan.SetInt("tree_witnesses", rres.TreeWitnesses)
+	rwSpan.End()
 	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
 		return nil, err
 	}
 	ucq := rres.UCQ
+	spSpan := qc.tr.StartSpan("static-prune")
+	spSpan.SetInt("ucq_before", len(ucq))
 	if e.opts.StaticPrune {
 		pr := planck.PruneUCQ(ucq, e.spec.Onto)
 		st.StaticPrunedCQs += pr.Dropped
 		ucq = pr.Kept
+		spSpan.SetInt("ucq_after", len(ucq))
+		spSpan.End()
 		if len(ucq) == 0 {
 			return nil, nil // every disjunct statically unsatisfiable
 		}
 		if err := e.verifyUCQ("static-prune", ucq, cq.Answer); err != nil {
 			return nil, err
 		}
+	} else {
+		spSpan.SetStr("skipped", "true")
+		spSpan.SetInt("ucq_after", len(ucq))
+		spSpan.End()
 	}
 
-	unStart := time.Now()
+	unSpan := qc.tr.StartSpan("unfold")
+	unStart := obs.Now()
 	un, err := unfold.UnfoldOpts(ucq, e.mapping, push, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
 	if err != nil {
+		unSpan.End()
 		return nil, err
 	}
-	st.UnfoldTime += time.Since(unStart)
+	st.UnfoldTime += obs.Since(unStart)
 	st.UnionArms += un.Arms
 	st.PrunedArms += un.PrunedArms
 	st.SelfJoinsEliminated += un.SelfJoinsEliminated
 	st.SubsumedArms += un.SubsumedArms
 	st.StaticPrunedArms += un.StaticPrunedCands + un.StaticContradictions
+	unSpan.SetInt("union_arms", un.Arms)
+	unSpan.SetInt("pruned_arms", un.PrunedArms)
+	unSpan.End()
 	if un.Stmt == nil {
 		return nil, nil // provably empty
 	}
+
+	// The plan stage covers everything between unfolding and running the
+	// SQL: invariant verification, plan-shape metrics, statement text.
+	plSpan := qc.tr.StartSpan("plan")
 	if err := e.verifySQL("unfold", un.Stmt, un.Vars); err != nil {
+		plSpan.End()
 		return nil, err
 	}
 	m := un.Metrics()
@@ -428,21 +534,42 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, st *PhaseS
 	if st.UnfoldedSQL == "" {
 		st.UnfoldedSQL = un.Stmt.String()
 	}
+	plSpan.SetInt("sql_joins", m.Joins)
+	plSpan.SetInt("sql_unions", m.Unions)
+	plSpan.SetInt("sql_len", len(st.UnfoldedSQL))
+	plSpan.End()
 
-	exStart := time.Now()
-	res, err := e.spec.DB.ExecSelect(un.Stmt)
+	exSpan := qc.tr.StartSpan("execute")
+	exStart := obs.Now()
+	var res *sqldb.Result
+	if e.opts.Obs.Profiling() {
+		var prof *sqldb.OpProfile
+		res, prof, err = e.spec.DB.ProfileSelect(un.Stmt)
+		if prof != nil {
+			qc.profiles = append(qc.profiles, prof)
+		}
+	} else {
+		res, err = e.spec.DB.ExecSelect(un.Stmt)
+	}
 	if err != nil {
+		exSpan.End()
 		return nil, fmt.Errorf("core: executing unfolded SQL: %w", err)
 	}
-	st.ExecTime += time.Since(exStart)
+	st.ExecTime += obs.Since(exStart)
+	exSpan.SetInt("rows", len(res.Rows))
+	exSpan.End()
 
-	trStart := time.Now()
+	asSpan := qc.tr.StartSpan("assemble")
+	trStart := obs.Now()
 	bindings := translateRows(un.Vars, res)
-	st.TranslateTime += time.Since(trStart)
+	st.TranslateTime += obs.Since(trStart)
 	// Distinct at the BGP level: SQL UNION ALL plus multiple mapping
 	// assertions can produce duplicate RDF solutions that a virtual graph
 	// (an RDF *set*) must not expose twice.
 	bindings = dedupeBindings(bindings, un.Vars)
+	asSpan.SetInt("bindings_in", len(res.Rows))
+	asSpan.SetInt("bindings_out", len(bindings))
+	asSpan.End()
 	return bindings, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"npdbench/internal/obs"
 	"npdbench/internal/rdf"
 	"npdbench/internal/rewrite"
 	"npdbench/internal/sparql"
@@ -43,7 +44,7 @@ func NewStoreEngine(spec Spec, opts StoreOptions) (*StoreEngine, error) {
 	if spec.Onto == nil || spec.Mapping == nil || spec.DB == nil {
 		return nil, fmt.Errorf("core: spec needs ontology, mapping, and database")
 	}
-	start := time.Now()
+	start := obs.Now()
 	st := triplestore.New()
 	if err := spec.Mapping.Materialize(spec.DB, func(t rdf.Triple) { st.Add(t) }); err != nil {
 		return nil, err
@@ -59,7 +60,7 @@ func NewStoreEngine(spec Spec, opts StoreOptions) (*StoreEngine, error) {
 			MaxCQs:      opts.MaxCQs,
 		}
 	}
-	se.load = StoreLoadStats{LoadTime: time.Since(start), Triples: st.Len()}
+	se.load = StoreLoadStats{LoadTime: obs.Since(start), Triples: st.Len()}
 	return se, nil
 }
 
@@ -86,19 +87,19 @@ func (se *StoreEngine) Query(src string) (*Answer, error) {
 // Answer evaluates the query; when reasoning is on, each BGP is first
 // rewritten into a union of BGPs embedding the TBox inferences.
 func (se *StoreEngine) Answer(q *sparql.Query) (*Answer, error) {
-	start := time.Now()
+	start := obs.Now()
 	st := PhaseStats{}
 	pattern := q.Pattern
 	if se.rewriter != nil {
-		rwStart := time.Now()
+		rwStart := obs.Now()
 		var err error
 		pattern, err = se.rewritePattern(pattern, &st)
 		if err != nil {
 			return nil, err
 		}
-		st.RewriteTime = time.Since(rwStart)
+		st.RewriteTime = obs.Since(rwStart)
 	}
-	exStart := time.Now()
+	exStart := obs.Now()
 	bindings, err := sparql.EvalPattern(pattern, se.store)
 	if err != nil {
 		return nil, err
@@ -113,8 +114,8 @@ func (se *StoreEngine) Answer(q *sparql.Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.ExecTime = time.Since(exStart)
-	st.TotalTime = time.Since(start)
+	st.ExecTime = obs.Since(exStart)
+	st.TotalTime = obs.Since(start)
 	return &Answer{ResultSet: rs, Stats: st}, nil
 }
 

@@ -7,11 +7,13 @@ package mixer
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"npdbench/internal/core"
 	"npdbench/internal/npd"
+	"npdbench/internal/obs"
 	"npdbench/internal/sqldb"
 	"npdbench/internal/vig"
 )
@@ -45,6 +47,13 @@ type Config struct {
 	// paper presents single-client results "due to space constraints";
 	// this knob restores the multi-client dimension). 0 or 1 = one client.
 	Clients int
+	// RunLog, when non-nil, receives one JSONL record per measured query
+	// execution (trace id, stage timings, row counts). Enabling it turns on
+	// engine tracing so each record carries a real trace id.
+	RunLog *obs.RunLog
+	// Metrics, when non-nil, receives the engine's process-wide counters
+	// and histograms (served by cmd/mixer -http).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a laptop-friendly configuration.
@@ -61,7 +70,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// QueryMeasure aggregates one query's runs (Table 1 measures).
+// QueryMeasure aggregates one query's runs (Table 1 measures). Besides the
+// means it keeps the total-latency distribution: stddev plus the p50/p95/p99
+// percentiles interpolated from the recorded per-run samples.
 type QueryMeasure struct {
 	QueryID       string
 	Runs          int
@@ -70,6 +81,10 @@ type QueryMeasure struct {
 	AvgExec       time.Duration
 	AvgTranslate  time.Duration // the paper's "out_time" (result translation)
 	AvgTotal      time.Duration
+	StddevTotal   time.Duration
+	P50Total      time.Duration
+	P95Total      time.Duration
+	P99Total      time.Duration
 	AvgRows       float64
 	TreeWitnesses int
 	CQs           int
@@ -134,9 +149,14 @@ func Run(cfg Config) (*Report, error) {
 		}
 		db.Profile = cfg.Profile
 		spec := core.Spec{Onto: onto, Mapping: mapping, DB: db, Prefixes: npd.Prefixes()}
+		var observer *obs.Observer
+		if cfg.RunLog != nil || cfg.Metrics != nil {
+			observer = &obs.Observer{Tracing: cfg.RunLog != nil, Metrics: cfg.Metrics}
+		}
 		eng, err := core.NewEngine(spec, core.Options{
 			TMappings:   true,
 			Existential: cfg.Existential,
+			Obs:         observer,
 		})
 		if err != nil {
 			return nil, err
@@ -158,7 +178,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		var mixTime time.Duration
 		for _, q := range queries {
-			qm, err := measureQuery(eng, q, cfg)
+			qm, err := measureQuery(eng, q, cfg, k)
 			if err != nil {
 				return nil, fmt.Errorf("mixer: NPD%g %s: %w", k, q.ID, err)
 			}
@@ -196,7 +216,7 @@ func contains(xs []string, x string) bool {
 	return false
 }
 
-func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config) (QueryMeasure, error) {
+func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64) (QueryMeasure, error) {
 	parsed, err := eng.ParseQuery(q.SPARQL)
 	if err != nil {
 		return QueryMeasure{}, err
@@ -227,10 +247,12 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config) (QueryMeasure,
 				slot := &results[client*cfg.Runs+i]
 				if err != nil {
 					slot.err = err
+					logRun(cfg, q.ID, scale, client, i, nil, err)
 					return
 				}
 				slot.stats = ans.Stats
 				slot.rows = ans.Len()
+				logRun(cfg, q.ID, scale, client, i, ans, nil)
 			}
 		}(c)
 	}
@@ -238,6 +260,7 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config) (QueryMeasure,
 	var totRewrite, totUnfold, totExec, totTranslate, totTotal time.Duration
 	var rows int
 	var weight float64
+	samples := make([]float64, 0, len(results))
 	for _, r := range results {
 		if r.err != nil {
 			return QueryMeasure{}, r.err
@@ -247,6 +270,7 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config) (QueryMeasure,
 		totExec += r.stats.ExecTime
 		totTranslate += r.stats.TranslateTime
 		totTotal += r.stats.TotalTime
+		samples = append(samples, float64(r.stats.TotalTime))
 		rows += r.rows
 		weight += r.stats.WeightRU()
 		qm.TreeWitnesses = r.stats.TreeWitnesses
@@ -261,5 +285,48 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config) (QueryMeasure,
 	qm.AvgTotal = totTotal / n
 	qm.AvgRows = float64(rows) / float64(qm.Runs)
 	qm.WeightRU = weight / float64(qm.Runs)
+	mean := float64(qm.AvgTotal)
+	var varSum float64
+	for _, s := range samples {
+		varSum += (s - mean) * (s - mean)
+	}
+	qm.StddevTotal = time.Duration(math.Sqrt(varSum / float64(len(samples))))
+	qm.P50Total = time.Duration(obs.Percentile(samples, 50))
+	qm.P95Total = time.Duration(obs.Percentile(samples, 95))
+	qm.P99Total = time.Duration(obs.Percentile(samples, 99))
 	return qm, nil
+}
+
+// logRun appends one execution to the configured JSONL run log.
+func logRun(cfg Config, queryID string, scale float64, client, run int, ans *core.Answer, runErr error) {
+	if cfg.RunLog == nil {
+		return
+	}
+	rec := obs.RunRecord{
+		TraceID: "untraced",
+		Query:   queryID,
+		Scale:   scale,
+		Profile: cfg.Profile.String(),
+		Client:  client,
+		Run:     run,
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	if ans != nil {
+		if ans.Trace != nil {
+			rec.TraceID = ans.Trace.ID
+		}
+		rec.RewriteUS = ans.Stats.RewriteTime.Microseconds()
+		rec.UnfoldUS = ans.Stats.UnfoldTime.Microseconds()
+		rec.ExecUS = ans.Stats.ExecTime.Microseconds()
+		rec.TranslateUS = ans.Stats.TranslateTime.Microseconds()
+		rec.TotalUS = ans.Stats.TotalTime.Microseconds()
+		rec.Rows = ans.Len()
+		rec.CQs = ans.Stats.CQCount
+		rec.UnionArms = ans.Stats.UnionArms
+	}
+	// Write failures must not abort a measurement run; the validator in
+	// ci.sh catches a truncated log.
+	_ = cfg.RunLog.Write(rec)
 }

@@ -1,9 +1,12 @@
 package mixer
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"npdbench/internal/obs"
 	"npdbench/internal/sqldb"
 )
 
@@ -184,5 +187,66 @@ func TestTable3AndTable7Render(t *testing.T) {
 	}
 	if !strings.Contains(t7, "q21") {
 		t.Fatalf("table 7 incomplete:\n%s", t7)
+	}
+}
+
+func TestRunLogAndPercentiles(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig()
+	cfg.Scales = []float64{1}
+	cfg.Runs = 4
+	cfg.QueryIDs = []string{"q2", "q3"}
+	cfg.RunLog = obs.NewRunLog(&buf)
+	cfg.Metrics = obs.NewRegistry()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.RunLog.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateRunLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("run log invalid: %v\n%s", err, buf.String())
+	}
+	if n != 2*4 {
+		t.Fatalf("run log has %d records, want 8", n)
+	}
+	// Records carry real trace ids and distinct ones per run.
+	ids := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec obs.RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.TraceID == "untraced" {
+			t.Fatalf("record missing trace id: %s", line)
+		}
+		ids[rec.TraceID] = true
+		if rec.Scale != 1 || rec.Profile == "" {
+			t.Fatalf("record missing scale/profile: %s", line)
+		}
+	}
+	if len(ids) != n {
+		t.Fatalf("trace ids not unique: %d ids over %d records", len(ids), n)
+	}
+	// Percentile columns are populated and ordered.
+	qm := rep.Scales[0].Queries[0]
+	if qm.P50Total <= 0 || qm.P95Total < qm.P50Total || qm.P99Total < qm.P95Total {
+		t.Fatalf("percentiles inconsistent: p50=%v p95=%v p99=%v", qm.P50Total, qm.P95Total, qm.P99Total)
+	}
+	if qm.P99Total > 4*qm.AvgTotal+qm.StddevTotal*8 {
+		t.Logf("note: long tail p99=%v avg=%v", qm.P99Total, qm.AvgTotal)
+	}
+	// The metrics registry saw every measured (and warmup) execution.
+	if cfg.Metrics.Counter("npdbench_queries_total").Value() < 8 {
+		t.Fatalf("metrics registry missed runs: %d", cfg.Metrics.Counter("npdbench_queries_total").Value())
+	}
+	// Breakdown renders the new distribution columns.
+	out := QueryBreakdown(rep.Scales[0])
+	for _, col := range []string{"stddev", "p50", "p95", "p99"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("breakdown missing %q column:\n%s", col, out)
+		}
 	}
 }

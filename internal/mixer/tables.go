@@ -269,13 +269,15 @@ func Figure1(cfg Config) (string, error) {
 }
 
 // QueryBreakdown renders the per-query measures for one scale (the Table 1
-// measures of the paper).
+// measures of the paper), with the total-latency distribution (stddev and
+// p50/p95/p99 over the recorded per-run samples) next to the means.
 func QueryBreakdown(sm ScaleMeasure) string {
-	tw := newTextTable("query", "rewrite", "unfold", "exec", "translate", "total", "rows", "tw", "#cq", "arms", "W(R+U)")
+	tw := newTextTable("query", "rewrite", "unfold", "exec", "translate", "total", "stddev", "p50", "p95", "p99", "rows", "tw", "#cq", "arms", "W(R+U)")
 	for _, q := range sm.Queries {
 		tw.add(q.QueryID,
 			fmtDur(q.AvgRewrite), fmtDur(q.AvgUnfold), fmtDur(q.AvgExec),
 			fmtDur(q.AvgTranslate), fmtDur(q.AvgTotal),
+			fmtDur(q.StddevTotal), fmtDur(q.P50Total), fmtDur(q.P95Total), fmtDur(q.P99Total),
 			fmt.Sprintf("%.0f", q.AvgRows),
 			fmt.Sprint(q.TreeWitnesses), fmt.Sprint(q.CQs), fmt.Sprint(q.UnionArms),
 			fmt.Sprintf("%.2f", q.WeightRU))

@@ -1,0 +1,13 @@
+package obs
+
+import "time"
+
+// Now and Since are the repository's only sanctioned clock reads: repolint
+// forbids raw time.Now()/time.Since() timing outside internal/obs and
+// internal/mixer, so that every duration measured anywhere in the stack
+// funnels through the observability layer (and can later be redirected to a
+// fake clock in one place).
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall time since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

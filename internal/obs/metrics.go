@@ -1,0 +1,443 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus cumulative ("le")
+// semantics: counts[i] counts observations v <= bounds[i]; the final slot
+// is the +Inf overflow bucket. Nil-safe.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefDurationBuckets are the default latency buckets, in seconds, spanning
+// the sub-millisecond unfoldings to the multi-second full-mix runs.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the given upper bounds (sorted
+// ascending; the +Inf bucket is implicit). Empty bounds fall back to
+// DefDurationBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefDurationBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound admits v (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the finite upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket that holds the target rank, the standard Prometheus
+// histogram_quantile estimator. Values in the overflow bucket clamp to the
+// highest finite bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// overflow bucket: clamp to the largest finite bound
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*((rank-cum)/n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Percentile computes the exact p-percentile (0-100) of raw samples with
+// linear interpolation between closest ranks (the spreadsheet/NumPy
+// "linear" method). The input need not be sorted; it is not modified.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo] + (s[hi]-s[lo])*frac
+}
+
+// metricKind tags registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	help string
+}
+
+// Registry is a process-wide named collection of metrics. Get-or-create
+// accessors make call sites declaration-free; every accessor is nil-safe
+// and returns a nil metric (whose methods no-op) on a nil registry, so the
+// disabled path costs one pointer comparison.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*metricEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+func (r *Registry) entry(name string, mk func() *metricEntry) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = mk()
+		r.entries[name] = e
+	}
+	return e
+}
+
+// Counter returns the named counter, creating it on first use. The name may
+// carry Prometheus labels: `queries_total{stage="rewrite"}`.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.entry(name, func() *metricEntry { return &metricEntry{kind: kindCounter, c: &Counter{}} })
+	return e.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.entry(name, func() *metricEntry { return &metricEntry{kind: kindGauge, g: &Gauge{}} })
+	return e.g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (nil bounds = DefDurationBuckets). Later calls ignore the
+// bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.entry(name, func() *metricEntry { return &metricEntry{kind: kindHistogram, h: NewHistogram(bounds)} })
+	return e.h
+}
+
+// Help attaches a HELP string to a metric name (base name, without labels).
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		e.help = help
+	}
+}
+
+// splitName separates `base{label="x"}` into base and the label body
+// (`label="x"`, no braces). No labels → empty body.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+func promName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// PrometheusText renders every metric in the Prometheus text exposition
+// format (sorted by name, so output is diffable).
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	snapshot := make(map[string]*metricEntry, len(r.entries))
+	for n, e := range r.entries {
+		snapshot[n] = e
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var sb strings.Builder
+	typed := map[string]bool{} // base names that already emitted # TYPE
+	for _, name := range names {
+		e := snapshot[name]
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			if e.help != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", base, e.help)
+			}
+			kind := "counter"
+			switch e.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", base, kind)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(&sb, "%s %d\n", promName(base, labels), e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&sb, "%s %d\n", promName(base, labels), e.g.Value())
+		case kindHistogram:
+			h := e.h
+			counts := h.BucketCounts()
+			var cum int64
+			for i, b := range h.bounds {
+				cum += counts[i]
+				le := joinLabels(labels, fmt.Sprintf("le=%q", fmtBound(b)))
+				fmt.Fprintf(&sb, "%s_bucket{%s} %d\n", base, le, cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(&sb, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="+Inf"`), cum)
+			fmt.Fprintf(&sb, "%s %g\n", promName(base+"_sum", labels), h.Sum())
+			fmt.Fprintf(&sb, "%s %d\n", promName(base+"_count", labels), h.Count())
+		}
+	}
+	return sb.String()
+}
+
+// fmtBound renders a bucket bound the way Prometheus clients do: the
+// shortest representation that round-trips.
+func fmtBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// metricJSON is the JSON shape of one metric.
+type metricJSON struct {
+	Type    string    `json:"type"`
+	Value   *int64    `json:"value,omitempty"`
+	Count   *int64    `json:"count,omitempty"`
+	Sum     *float64  `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+	P50     *float64  `json:"p50,omitempty"`
+	P95     *float64  `json:"p95,omitempty"`
+	P99     *float64  `json:"p99,omitempty"`
+}
+
+// JSON renders the registry as an indented name→metric object.
+func (r *Registry) JSON() ([]byte, error) {
+	if r == nil {
+		return []byte("{}"), nil
+	}
+	r.mu.Lock()
+	snapshot := make(map[string]*metricEntry, len(r.entries))
+	for n, e := range r.entries {
+		snapshot[n] = e
+	}
+	r.mu.Unlock()
+	out := make(map[string]metricJSON, len(snapshot))
+	for name, e := range snapshot {
+		switch e.kind {
+		case kindCounter:
+			v := e.c.Value()
+			out[name] = metricJSON{Type: "counter", Value: &v}
+		case kindGauge:
+			v := e.g.Value()
+			out[name] = metricJSON{Type: "gauge", Value: &v}
+		case kindHistogram:
+			h := e.h
+			c, s := h.Count(), h.Sum()
+			p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+			out[name] = metricJSON{
+				Type: "histogram", Count: &c, Sum: &s,
+				Bounds: h.Bounds(), Buckets: h.BucketCounts(),
+				P50: &p50, P95: &p95, P99: &p99,
+			}
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Handler serves the registry in Prometheus text format (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, r.PrometheusText())
+	})
+}

@@ -1,0 +1,36 @@
+package obs
+
+// Observer bundles the observability switches a pipeline component accepts.
+// A nil *Observer means "off": every accessor below degrades to the
+// zero-cost path, so instrumented code never branches on more than one nil
+// check.
+type Observer struct {
+	// Tracing records a hierarchical span tree per query (obdaq -trace).
+	Tracing bool
+	// ExecProfile collects the operator-level execution profile of every
+	// SQL statement run (obdaq -explain: rows in/out, join algorithms,
+	// build sizes, probe counts).
+	ExecProfile bool
+	// Metrics, when non-nil, receives process-wide counters and histograms.
+	Metrics *Registry
+}
+
+// StartTrace opens a query trace when tracing is on; otherwise returns nil
+// (all Trace/Span methods no-op on nil).
+func (o *Observer) StartTrace(name string) *Trace {
+	if o == nil || !o.Tracing {
+		return nil
+	}
+	return NewTrace(name)
+}
+
+// Profiling reports whether operator profiles should be collected.
+func (o *Observer) Profiling() bool { return o != nil && o.ExecProfile }
+
+// Registry returns the metrics registry (nil when off).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

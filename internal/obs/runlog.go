@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// RunRecord is one measured query execution — the JSONL schema the mixer
+// writes next to its text report (one line per record). Durations are
+// microseconds so the log stays numeric and language-neutral.
+type RunRecord struct {
+	TraceID     string  `json:"trace_id"`
+	Query       string  `json:"query"`
+	Scale       float64 `json:"scale"`
+	Profile     string  `json:"profile"`
+	Client      int     `json:"client"`
+	Run         int     `json:"run"`
+	RewriteUS   int64   `json:"rewrite_us"`
+	UnfoldUS    int64   `json:"unfold_us"`
+	ExecUS      int64   `json:"exec_us"`
+	TranslateUS int64   `json:"translate_us"`
+	TotalUS     int64   `json:"total_us"`
+	Rows        int     `json:"rows"`
+	CQs         int     `json:"cqs"`
+	UnionArms   int     `json:"union_arms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// RunLog writes RunRecords as JSON Lines. Safe for concurrent use; nil-safe
+// (a nil log swallows writes), so callers thread it unconditionally.
+type RunLog struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	n  int
+}
+
+// NewRunLog wraps w. Call Flush (or Close on the underlying writer) when
+// done.
+func NewRunLog(w io.Writer) *RunLog {
+	return &RunLog{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record as a JSON line.
+func (l *RunLog) Write(rec RunRecord) error {
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return err
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (l *RunLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Flush drains the buffer to the underlying writer.
+func (l *RunLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// ValidateRunLog checks a JSONL run log: at least one record, every line
+// valid JSON carrying a non-empty trace_id and query and a non-negative
+// total_us. It returns the record count. This is the ci.sh smoke gate.
+func ValidateRunLog(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		var rec RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return n, fmt.Errorf("line %d: malformed JSON: %w", n, err)
+		}
+		if rec.TraceID == "" {
+			return n, fmt.Errorf("line %d: missing trace_id", n)
+		}
+		if rec.Query == "" {
+			return n, fmt.Errorf("line %d: missing query", n)
+		}
+		if rec.TotalUS < 0 {
+			return n, fmt.Errorf("line %d: negative total_us", n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("run log is empty")
+	}
+	return n, nil
+}

@@ -215,6 +215,18 @@ const (
 	JoinNatural
 )
 
+func (k JoinKind) String() string {
+	switch k {
+	case JoinLeft:
+		return "LEFT"
+	case JoinCross:
+		return "CROSS"
+	case JoinNatural:
+		return "NATURAL"
+	}
+	return "INNER"
+}
+
 // TableRef is a FROM-clause item.
 type TableRef interface{ tableRefNode() }
 

@@ -62,6 +62,10 @@ type execCtx struct {
 	// statement, not once per union arm (what a real server's indexes
 	// amortize).
 	sortOrders map[sortKey][]int
+	// prof, when non-nil, is the operator-profile node currently being
+	// built (EXPLAIN ANALYZE collection; see ProfileSelect). Operators
+	// append children via addOp/pushOp, which no-op when prof is nil.
+	prof *OpProfile
 }
 
 type sortKey struct {
@@ -89,40 +93,68 @@ func (ctx *execCtx) note(format string, args ...any) {
 }
 
 func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, error) {
+	if s.Union == nil {
+		return db.evalSelect(ctx, s)
+	}
+	op := "union all"
+	if !s.UnionAll {
+		op = "union"
+	}
+	node, restore := ctx.pushOp(op, "")
 	head, err := db.evalSelect(ctx, s)
 	if err != nil {
+		restore()
 		return nil, err
 	}
-	if s.Union == nil {
-		return head, nil
-	}
+	arms := 1
 	for u := s.Union; u != nil; u = u.Union {
 		arm, err := db.evalSelect(ctx, u)
 		if err != nil {
+			restore()
 			return nil, err
 		}
 		if len(arm.cols) != len(head.cols) {
+			restore()
 			return nil, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(arm.cols))
 		}
 		head.rows = append(head.rows, arm.rows...)
+		arms++
 	}
+	restore()
+	node.SetDetail(fmt.Sprintf("%d arms", arms))
+	node.SetRows(len(head.rows))
 	if !s.UnionAll {
+		before := len(head.rows)
 		head = distinctRows(head)
+		ctx.addOp("distinct", "").SetInOut(before, len(head.rows))
 	}
 	return head, nil
 }
 
 // evalSelect executes a single SELECT block (no union chaining).
 func (db *Database) evalSelect(ctx *execCtx, s *SelectStmt) (*relation, error) {
+	node, restore := ctx.pushOp("select", "")
+	out, err := db.evalSelectBody(ctx, s)
+	restore()
+	if err != nil {
+		return nil, err
+	}
+	node.SetRows(len(out.rows))
+	return out, nil
+}
+
+func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, error) {
 	input, remaining, err := db.buildFrom(ctx, s.From, splitConjuncts(s.Where))
 	if err != nil {
 		return nil, err
 	}
 	if rest := andAll(remaining); rest != nil {
+		before := len(input.rows)
 		input, err = filterRelation(input, rest)
 		if err != nil {
 			return nil, err
 		}
+		ctx.addOp("filter", rest.String()).SetInOut(before, len(input.rows))
 	}
 
 	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
@@ -139,33 +171,42 @@ func (db *Database) evalSelect(ctx *execCtx, s *SelectStmt) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.addOp("aggregate", fmt.Sprintf("%d groups", len(out.rows))).SetInOut(len(input.rows), len(out.rows))
 	} else {
 		out, inputAligned, err = projectItems(s.Items, input)
 		if err != nil {
 			return nil, err
 		}
+		ctx.addOp("project", fmt.Sprintf("%d columns", len(out.cols))).SetRows(len(out.rows))
 	}
 
 	if s.Distinct {
+		before := len(out.rows)
 		out = distinctRows(out)
 		inputAligned = nil
+		ctx.addOp("distinct", "").SetInOut(before, len(out.rows))
 	}
 
 	if len(s.OrderBy) > 0 {
 		if err := orderRelation(s.OrderBy, out, input.cols, inputAligned); err != nil {
 			return nil, err
 		}
+		ctx.addOp("sort", fmt.Sprintf("%d keys", len(s.OrderBy))).SetRows(len(out.rows))
 	}
 
-	if s.Offset > 0 {
-		if s.Offset >= len(out.rows) {
-			out.rows = nil
-		} else {
-			out.rows = out.rows[s.Offset:]
+	if s.Offset > 0 || (s.Limit >= 0 && s.Limit < len(out.rows)) {
+		before := len(out.rows)
+		if s.Offset > 0 {
+			if s.Offset >= len(out.rows) {
+				out.rows = nil
+			} else {
+				out.rows = out.rows[s.Offset:]
+			}
 		}
-	}
-	if s.Limit >= 0 && s.Limit < len(out.rows) {
-		out.rows = out.rows[:s.Limit]
+		if s.Limit >= 0 && s.Limit < len(out.rows) {
+			out.rows = out.rows[:s.Limit]
+		}
+		ctx.addOp("limit", "").SetInOut(before, len(out.rows))
 	}
 	return out, nil
 }
@@ -197,6 +238,7 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 					return nil, nil, err
 				}
 				ctx.note("pushdown %s: %d -> %d rows", c, before, len(fr.rows))
+				ctx.addOp("filter", fmt.Sprintf("pushdown %s", c)).SetInOut(before, len(fr.rows))
 				rels[i] = fr
 				placed = true
 				break
@@ -248,9 +290,43 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 			return nil, nil, err
 		}
 		ctx.note("%s (%d equi keys): %d x %d -> %d rows", algo, len(eq), lrows, rrows, len(cur.rows))
+		ctx.addOp(algo, fmt.Sprintf("%d equi keys", len(eq))).
+			SetJoin(lrows, rrows, len(cur.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
 		pending = stillPending
 	}
 	return cur, pending, nil
+}
+
+// joinBuildRows reports the rows fed into a join's build structure: the
+// smaller side for a hash join (its hash table is an ephemeral index),
+// both sides for a merge join (sorted orders), none for a nested loop.
+func joinBuildRows(algo string, lrows, rrows int) int {
+	switch algo {
+	case "hash join":
+		if lrows < rrows {
+			return lrows
+		}
+		return rrows
+	case "merge join":
+		return lrows + rrows
+	}
+	return 0
+}
+
+// joinProbes reports point lookups against the build structure (hash join:
+// one probe per probe-side row) or, for a nested loop, the row pairs
+// examined — the scan-versus-probe measure of the profile.
+func joinProbes(algo string, lrows, rrows int) int {
+	switch algo {
+	case "hash join":
+		if lrows < rrows {
+			return rrows
+		}
+		return lrows
+	case "nested loop":
+		return lrows * rrows
+	}
+	return 0
 }
 
 // greedyOrder returns a join order for the sort-merge profile: smallest
@@ -335,17 +411,23 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		for i, c := range tab.Def.Columns {
 			cols[i] = colMeta{table: alias, name: strings.ToLower(c.Name)}
 		}
+		ctx.addOp("scan", t.Name).SetRows(len(tab.Rows))
 		return &relation{cols: cols, rows: tab.Rows}, nil
 	case *SubqueryTable:
 		key := t.Query.String()
 		inner, cached := ctx.subqueries[key]
 		if !cached {
+			node, restore := ctx.pushOp("subquery", t.Alias)
 			var err error
 			inner, err = db.evalSelectChain(ctx, t.Query)
+			restore()
 			if err != nil {
 				return nil, err
 			}
+			node.SetRows(len(inner.rows))
 			ctx.subqueries[key] = inner
+		} else {
+			ctx.addOp("subquery", t.Alias+" (cached)").SetRows(len(inner.rows))
 		}
 		alias := strings.ToLower(t.Alias)
 		cols := make([]colMeta, len(inner.cols))
@@ -362,23 +444,42 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		lrows, rrows := len(l.rows), len(r.rows)
+		record := func(algo string, out *relation, err error) (*relation, error) {
+			if err != nil {
+				return nil, err
+			}
+			ctx.addOp(algo, strings.ToLower(t.Kind.String())).
+				SetJoin(lrows, rrows, len(out.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+			return out, nil
+		}
 		switch t.Kind {
 		case JoinCross:
-			return nestedLoopJoin(l, r, nil)
+			out, err := nestedLoopJoin(l, r, nil)
+			return record("nested loop", out, err)
 		case JoinNatural:
-			return naturalJoin(l, r, db.Profile)
+			algo := "hash join"
+			if db.Profile == ProfileSortMerge {
+				algo = "merge join"
+			}
+			out, err := naturalJoin(l, r, db.Profile)
+			return record(algo, out, err)
 		case JoinLeft:
-			return leftJoin(l, r, t.On)
+			out, err := leftJoin(l, r, t.On)
+			return record("left join", out, err)
 		default: // inner
 			conj := splitConjuncts(t.On)
 			eq, residual := extractEquiKeys(conj, l, r)
 			if len(eq) == 0 {
-				return nestedLoopJoin(l, r, t.On)
+				out, err := nestedLoopJoin(l, r, t.On)
+				return record("nested loop", out, err)
 			}
 			if db.Profile == ProfileSortMerge {
-				return mergeJoinCtx(ctx, l, r, eq, andAll(residual))
+				out, err := mergeJoinCtx(ctx, l, r, eq, andAll(residual))
+				return record("merge join", out, err)
 			}
-			return hashJoin(l, r, eq, andAll(residual))
+			out, err := hashJoin(l, r, eq, andAll(residual))
+			return record("hash join", out, err)
 		}
 	}
 	return nil, fmt.Errorf("sqldb: unsupported table reference %T", tr)

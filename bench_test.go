@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"npdbench/internal/core"
 	"npdbench/internal/mixer"
@@ -380,6 +381,66 @@ func BenchmarkAblation_StaticPrune(b *testing.B) {
 				b.ReportMetric(float64(st.PrunedArms), "walkpruned")
 			})
 		}
+	}
+}
+
+// BenchmarkPlanCache measures the steady-state effect of the compiled-query
+// cache over all 21 NPD queries: with the cache on, every iteration after
+// the first serves memoized plans and pays execute/translate only; with it
+// off, every iteration recompiles (rewrite + static-prune + unfold + plan).
+func BenchmarkPlanCache(b *testing.B) {
+	// A small instance keeps execution cheap so the compile fraction —
+	// the part the cache removes — is visible in ns/op; compileus/op
+	// reports the saved work directly (near zero when cached).
+	db, _, err := mixer.BuildInstance(1, 0.05, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	for _, mode := range []struct {
+		name  string
+		cache bool
+	}{{"cache-on", true}, {"cache-off", false}} {
+		opts := core.DefaultOptions()
+		opts.PlanCache = mode.cache
+		opts.VerifyPlans = core.VerifyOff
+		eng, err := core.NewEngine(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := npd.Queries()
+		parsed := make([]*sparql.Query, len(queries))
+		for i, q := range queries {
+			parsed[i], err = eng.ParseQuery(q.SPARQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Warm pass so cache-on measures the steady state, not the cold
+		// compile; the same pass is run for cache-off to keep modes even.
+		for _, p := range parsed {
+			if _, err := eng.Answer(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			var hits, misses int
+			var compile time.Duration
+			for i := 0; i < b.N; i++ {
+				for _, p := range parsed {
+					ans, err := eng.Answer(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits += ans.Stats.PlanCacheHits
+					misses += ans.Stats.PlanCacheMisses
+					compile += ans.Stats.RewriteTime + ans.Stats.UnfoldTime
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+			b.ReportMetric(float64(misses)/float64(b.N), "cachemisses/op")
+			b.ReportMetric(float64(compile.Microseconds())/float64(b.N), "compileus/op")
+		})
 	}
 }
 

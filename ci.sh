@@ -22,7 +22,21 @@ go run ./cmd/obdalint -strict -quiet
 # Instrumented smoke run: one client, one small mix, with the JSONL run log
 # on; the validator fails the gate when the log is empty or malformed.
 RUNLOG=$(mktemp)
-trap 'rm -f "$RUNLOG"' EXIT
+MIXOUT=$(mktemp)
+trap 'rm -f "$RUNLOG" "$MIXOUT"' EXIT
 go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
     -triples=false -clients 1 -queries q2,q3 -jsonl "$RUNLOG" > /dev/null
 go run ./cmd/mixer -validatejsonl "$RUNLOG"
+
+# Plan-cache smoke: repeated runs with concurrent clients and the cache on
+# (the default) must serve warm executions from the compiled-query cache —
+# the metric exposition has to show a nonzero hit count.
+go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 2 -warmup 0 \
+    -triples=false -clients 2 -queries q2,q3 -plancache -metrics \
+    -jsonl "$RUNLOG" > "$MIXOUT"
+go run ./cmd/mixer -validatejsonl "$RUNLOG"
+grep -E 'npdbench_compile_cache_hits_total [1-9]' "$MIXOUT" > /dev/null || {
+    echo "plan-cache smoke: no cache hits in metric exposition" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}

@@ -13,13 +13,15 @@
 //	mixer -store                   # OBDA engine vs triple-store baseline
 //	mixer -breakdown -scales 1,5   # per-query phase measures
 //
-// Common flags: -scales, -seedscale, -runs, -warmup, -seed, -existential.
+// Common flags: -scales, -seedscale, -runs, -warmup, -seed, -existential,
+// -clients, -plancache, -plancachesize.
 //
 // Observability:
 //
 //	mixer -breakdown -jsonl run.jsonl   # one JSONL record per execution
 //	mixer -validatejsonl run.jsonl      # check a run log (the ci.sh gate)
 //	mixer -breakdown -http :6060        # serve /metrics + net/http/pprof
+//	mixer -breakdown -metrics           # print the metric exposition after the run
 package main
 
 import (
@@ -51,9 +53,12 @@ func main() {
 		queries     = flag.String("queries", "", "comma-separated query ids (default: all 21)")
 		triples     = flag.Bool("triples", true, "count virtual triples per scale")
 		clients     = flag.Int("clients", 1, "concurrent query streams")
+		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans across runs and clients")
+		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
 		jsonl       = flag.String("jsonl", "", "write a JSONL run log (one record per query execution)")
 		validate    = flag.String("validatejsonl", "", "validate a JSONL run log and exit")
 		httpAddr    = flag.String("http", "", "serve /metrics and net/http/pprof on this address while running")
+		metrics     = flag.Bool("metrics", false, "print the Prometheus metric exposition after the run")
 	)
 	flag.Parse()
 
@@ -79,6 +84,8 @@ func main() {
 	cfg.Existential = *existential
 	cfg.CountTriples = *triples
 	cfg.Clients = *clients
+	cfg.PlanCache = *planCache
+	cfg.PlanCacheSize = *planCacheSz
 	if s, err := parseScales(*scales); err == nil {
 		cfg.Scales = s
 	} else {
@@ -103,8 +110,16 @@ func main() {
 			fmt.Printf("run log: %d records written to %s\n", cfg.RunLog.Count(), *jsonl)
 		}()
 	}
-	if *httpAddr != "" {
+	if *metrics {
 		cfg.Metrics = obs.NewRegistry()
+		defer func() {
+			fmt.Printf("\nmetrics:\n%s", cfg.Metrics.PrometheusText())
+		}()
+	}
+	if *httpAddr != "" {
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
 		// net/http/pprof registers on DefaultServeMux via its import.
 		http.Handle("/metrics", cfg.Metrics.Handler())
 		go func() {

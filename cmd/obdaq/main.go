@@ -33,6 +33,8 @@ func main() {
 		constraints = flag.Bool("constraints", true, "enable schema-constraint optimizations (self-join merging, arm subsumption)")
 		verify      = flag.Bool("verify", false, "verify every intermediate plan against the invariant catalog (planck)")
 		staticPrune = flag.Bool("staticprune", true, "statically delete unsatisfiable CQs, candidates, and arms before execution")
+		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans (repeated shapes pay execute-only cost)")
+		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the pipeline span tree and the EXPLAIN ANALYZE operator tree")
 		trace       = flag.Bool("trace", false, "print the pipeline span tree (stage timings and attributes)")
@@ -75,6 +77,8 @@ func main() {
 	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
 	var ans *core.Answer
 	var observer *obs.Observer
+	var cacheStats core.PlanCacheStats
+	var cacheOn bool
 	if *useStore {
 		store, err := core.NewStoreEngine(spec, core.StoreOptions{Reasoning: *existential})
 		if err != nil {
@@ -100,12 +104,14 @@ func main() {
 			}
 		}
 		eng, err := core.NewEngine(spec, core.Options{
-			TMappings:   true,
-			Existential: *existential,
-			Constraints: *constraints,
-			VerifyPlans: mode,
-			StaticPrune: *staticPrune,
-			Obs:         observer,
+			TMappings:     true,
+			Existential:   *existential,
+			Constraints:   *constraints,
+			VerifyPlans:   mode,
+			StaticPrune:   *staticPrune,
+			PlanCache:     *planCache,
+			PlanCacheSize: *planCacheSz,
+			Obs:           observer,
 		})
 		if err != nil {
 			fatal(err)
@@ -117,6 +123,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		cacheStats, cacheOn = eng.PlanCacheStats()
 	}
 
 	st := ans.Stats
@@ -130,6 +137,10 @@ func main() {
 			st.StaticPrunedCQs, st.StaticPrunedArms, st.StaticUnsatFilters)
 	}
 	fmt.Printf("weight of R+U: %.3f\n", st.WeightRU())
+	if cacheOn {
+		fmt.Printf("plan cache: %d hits, %d misses this query (%d/%d entries, %d evictions)\n",
+			st.PlanCacheHits, st.PlanCacheMisses, cacheStats.Entries, cacheStats.Capacity, cacheStats.Evictions)
+	}
 	if *showSQL && st.UnfoldedSQL != "" {
 		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)
 	}

@@ -2,12 +2,9 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"npdbench/internal/obs"
-	"npdbench/internal/planck"
 	"npdbench/internal/rdf"
-	"npdbench/internal/rewrite"
 	"npdbench/internal/sparql"
 	"npdbench/internal/sqldb"
 	"npdbench/internal/unfold"
@@ -29,8 +26,10 @@ import (
 // tryAggregatePushdown attempts the SQL compilation; ok=false means the
 // query is outside the pushable fragment. Its pipeline stages are traced as
 // children of an "aggregate-pushdown" span so a fallback attempt stays
-// distinguishable from the regular BGP stages that follow it.
-func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.ResultSet, bool, error) {
+// distinguishable from the regular BGP stages that follow it; an attempt
+// that started compiling but was abandoned tags that span abandoned=true so
+// the trace and the phase stats stay reconcilable.
+func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (rs *sparql.ResultSet, ok bool, err error) {
 	st := qc.st
 	if !q.HasAggregates() || q.Having != nil {
 		return nil, false, nil
@@ -97,92 +96,36 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 		return nil, false, nil
 	}
 
-	// Rewrite + unfold the BGP as usual.
+	// Compile the BGP through the shared (cacheable) pipeline.
 	ag := qc.tr.StartSpan("aggregate-pushdown")
-	defer ag.End()
-	var answerVars []string
-	for _, v := range sparql.PatternVars(bgp) {
-		if !strings.HasPrefix(v, "_bn") {
-			answerVars = append(answerVars, v)
+	defer func() {
+		if !ok && err == nil {
+			ag.SetStr("abandoned", "true")
 		}
-	}
-	cq, err := rewrite.FromBGP(bgp, e.spec.Onto, answerVars)
-	if err != nil {
-		return nil, false, nil // out of fragment: fall back
-	}
-	if err := e.verifyCQ("translate", cq); err != nil {
-		return nil, false, err
-	}
-	if e.opts.StaticPrune && len(filters) > 0 {
-		if reason := planck.UnsatisfiableBounds(staticBounds(filters)); reason != "" {
-			st.StaticUnsatFilters++
-			return emptyAggregate(q), true, nil
-		}
-	}
-	protected := append([]string{}, answerVars...)
-	rwSpan := ag.StartChild("rewrite")
-	rwStart := obs.Now()
-	rres, err := e.rewriter.Rewrite(cq, protected)
-	rwSpan.End()
+		ag.End()
+	}()
+	plan, err := e.compiledPlanFor(bgp, filters, st, ag.StartChild)
 	if err != nil {
 		return nil, false, err
 	}
-	st.RewriteTime += obs.Since(rwStart)
-	st.TreeWitnesses += rres.TreeWitnesses
-	st.CQCount += rres.CQCount
-	rwSpan.SetInt("cqs", rres.CQCount)
-	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
-		return nil, false, err
-	}
-	ucq := rres.UCQ
-	if e.opts.StaticPrune {
-		spSpan := ag.StartChild("static-prune")
-		spSpan.SetInt("ucq_before", len(ucq))
-		pr := planck.PruneUCQ(ucq, e.spec.Onto)
-		st.StaticPrunedCQs += pr.Dropped
-		ucq = pr.Kept
-		spSpan.SetInt("ucq_after", len(ucq))
-		spSpan.End()
-		if len(ucq) == 0 {
-			return emptyAggregate(q), true, nil
-		}
-		if err := e.verifyUCQ("static-prune", ucq, cq.Answer); err != nil {
-			return nil, false, err
-		}
-	}
-
-	unSpan := ag.StartChild("unfold")
-	unStart := obs.Now()
-	un, err := unfold.UnfoldOpts(ucq, e.mapping, filters, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
-	unSpan.End()
-	if err != nil {
-		return nil, false, err
-	}
-	st.UnfoldTime += obs.Since(unStart)
-	st.UnionArms += un.Arms
-	st.PrunedArms += un.PrunedArms
-	st.SelfJoinsEliminated += un.SelfJoinsEliminated
-	st.SubsumedArms += un.SubsumedArms
-	st.StaticPrunedArms += un.StaticPrunedCands + un.StaticContradictions
-	if un.Stmt == nil {
-		// provably empty: aggregate over nothing
+	plan.addTo(st)
+	if plan.stmt == nil {
+		// Unsatisfiable filter bounds, an empty UCQ, or every arm pruned:
+		// aggregate over a provably empty solution set.
 		return emptyAggregate(q), true, nil
-	}
-	if err := e.verifySQL("unfold", un.Stmt, un.Vars); err != nil {
-		return nil, false, err
 	}
 
 	// Every filter conjunct must actually have been compiled into every
 	// arm — a filter silently skipped in SQL would over-count. The
 	// unfolder reports that per filter.
 	if cond != nil {
-		for _, p := range un.FiltersPushed {
+		for _, p := range plan.filtersPushed {
 			if !p {
 				return nil, false, nil
 			}
 		}
 		for _, v := range sparql.ExprVars(cond) {
-			if !containsStr(un.Vars, v) {
+			if !containsStr(plan.vars, v) {
 				return nil, false, nil
 			}
 		}
@@ -191,7 +134,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 	// MIN/MAX/SUM/AVG operate on the lexical column directly, which is only
 	// faithful when the variable never carries IRIs (term-kind would be
 	// lost) — check the arms' constant tag columns.
-	varInfos := un.VarInfos()
+	varInfos := plan.varInfos
 	for _, a := range aggs {
 		if a.name == "COUNT" || a.argVar == "" {
 			continue
@@ -202,7 +145,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 	}
 
 	// distinct-solutions subquery
-	inner := &sqldb.SubqueryTable{Query: un.Stmt, Alias: "u"}
+	inner := &sqldb.SubqueryTable{Query: plan.stmt, Alias: "u"}
 	middle := sqldb.NewSelect()
 	middle.Distinct = true
 	middle.Items = []sqldb.SelectItem{{Star: true}}
@@ -212,7 +155,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 	outer.From = []sqldb.TableRef{&sqldb.SubqueryTable{Query: middle, Alias: "d"}}
 	// group columns: the variable's (lex, tag, dt) triple
 	for _, g := range q.GroupBy {
-		if !containsStr(un.Vars, g) {
+		if !containsStr(plan.vars, g) {
 			return nil, false, nil
 		}
 		for _, suffix := range []string{"", "_t", "_dt"} {
@@ -228,7 +171,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 		if a.argVar == "" {
 			f.Star = true
 		} else {
-			if !containsStr(un.Vars, a.argVar) {
+			if !containsStr(plan.vars, a.argVar) {
 				return nil, false, nil
 			}
 			f.Args = []sqldb.Expr{&sqldb.ColRef{Table: "d", Name: "v_" + a.argVar}}
@@ -300,7 +243,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (*sparql.Re
 		items[i] = sparql.SelectItem{Var: it.Var}
 	}
 	flat.Items = items
-	rs, err := sparql.Finalize(&flat, bindings)
+	rs, err = sparql.Finalize(&flat, bindings)
 	if err != nil {
 		return nil, false, err
 	}

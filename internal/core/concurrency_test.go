@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stressQueries is a mixed workload: class scan, hierarchy reasoning,
+// joins, a filter, an aggregate, and a union — every evaluator path that
+// can observe a shared cached plan.
+var stressQueries = []string{
+	`SELECT ?x WHERE { ?x a :Employee }`,
+	`SELECT DISTINCT ?x WHERE { ?x a :Person }`,
+	`SELECT ?n ?p WHERE { ?x :name ?n . ?x :SellsProduct ?p }`,
+	`SELECT ?n WHERE { ?x :name ?n . FILTER(?n = "John") }`,
+	`SELECT (COUNT(?x) AS ?c) WHERE { ?x a :Employee }`,
+	`SELECT ?x WHERE { { ?x a :Employee } UNION { ?x a :ProductSize } }`,
+	`SELECT ?x ?b WHERE { ?x :WorksFor ?b }`,
+}
+
+// canonicalRows renders an answer order-insensitively for comparison.
+func canonicalRows(a *Answer) string {
+	rows := make([]string, len(a.Rows))
+	for i, r := range a.Rows {
+		parts := make([]string, len(r))
+		for j, term := range r {
+			parts[j] = term.String()
+		}
+		rows[i] = strings.Join(parts, "\t")
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// TestConcurrentAnswerStress runs many goroutines against one shared
+// engine (cache on and cache off) and checks every concurrent answer
+// against a sequential baseline. The -race run in ci.sh is the real
+// assertion: any in-place AST or plan mutation shows up as a data race.
+func TestConcurrentAnswerStress(t *testing.T) {
+	for _, cache := range []bool{true, false} {
+		cache := cache
+		t.Run(fmt.Sprintf("cache=%v", cache), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.PlanCache = cache
+			e, err := NewEngine(exampleSpec(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			baseline := make(map[string]string, len(stressQueries))
+			for _, q := range stressQueries {
+				ans, err := e.Query(q)
+				if err != nil {
+					t.Fatalf("baseline %q: %v", q, err)
+				}
+				baseline[q] = canonicalRows(ans)
+			}
+
+			const goroutines = 8
+			const iters = 25
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						q := stressQueries[(g+i)%len(stressQueries)]
+						ans, err := e.Query(q)
+						if err != nil {
+							errs <- fmt.Errorf("goroutine %d %q: %w", g, q, err)
+							return
+						}
+						if got := canonicalRows(ans); got != baseline[q] {
+							errs <- fmt.Errorf("goroutine %d %q: answer diverged from baseline\ngot:\n%s\nwant:\n%s",
+								g, q, got, baseline[q])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			if cache {
+				st, on := e.PlanCacheStats()
+				if !on || st.Hits == 0 {
+					t.Fatalf("stress run produced no cache hits: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAnswerWithInvalidation interleaves queries with cache
+// invalidations; answers must stay correct throughout (invalidation is
+// the one cache mutation allowed concurrently with traffic).
+func TestConcurrentAnswerWithInvalidation(t *testing.T) {
+	e, err := NewEngine(exampleSpec(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?n ?p WHERE { ?x :name ?n . ?x :SellsProduct ?p }`
+	base, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalRows(base)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ans, err := e.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if canonicalRows(ans) != want {
+					errs <- fmt.Errorf("goroutine %d iter %d: answer diverged", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			e.InvalidatePlans()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -67,6 +67,15 @@ type Options struct {
 	// disjoint concepts, mapping candidates with no arc-consistent
 	// partner, and union arms with contradictory WHERE conjunctions.
 	StaticPrune bool
+	// PlanCache memoizes per-BGP compilation results (rewritten UCQ,
+	// unfolded SQL plan, projection/tag metadata) in a bounded sharded
+	// LRU, so repeated executions of the same BGP+filter shape pay
+	// execute-only cost. Cached plans are immutable and safe to share
+	// across concurrent Answer calls.
+	PlanCache bool
+	// PlanCacheSize bounds the number of cached plans (0 = the
+	// DefaultPlanCacheSize).
+	PlanCacheSize int
 	// Obs enables observability: per-query span traces, operator-level
 	// execution profiles, and process metrics. nil means fully off — the
 	// pipeline then pays a single nil check per stage.
@@ -75,9 +84,9 @@ type Options struct {
 
 // DefaultOptions returns the configuration the paper uses for the main
 // experiments: T-mappings on, existential reasoning on, database
-// constraints on, static pruning on.
+// constraints on, static pruning on, plan cache on.
 func DefaultOptions() Options {
-	return Options{TMappings: true, Existential: true, Constraints: true, StaticPrune: true}
+	return Options{TMappings: true, Existential: true, Constraints: true, StaticPrune: true, PlanCache: true}
 }
 
 // LoadStats reports the starting-phase measures.
@@ -100,6 +109,34 @@ type Engine struct {
 	load     LoadStats
 	verifier *planck.Verifier
 	verify   bool
+	cache    *planCache     // nil when Options.PlanCache is off
+	met      *engineMetrics // nil when the observer has no registry
+}
+
+// engineMetrics holds the per-engine metric handles, resolved once at
+// construction so the per-query hot path never formats a metric name.
+type engineMetrics struct {
+	queries      *obs.Counter
+	errors       *obs.Counter
+	querySeconds *obs.Histogram
+	// stageSeconds is indexed in pipeline order: rewrite, unfold,
+	// execute, assemble.
+	stageSeconds [4]*obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &engineMetrics{
+		queries:      reg.Counter("npdbench_queries_total"),
+		errors:       reg.Counter("npdbench_query_errors_total"),
+		querySeconds: reg.Histogram("npdbench_query_seconds", obs.DefDurationBuckets),
+	}
+	for i, stage := range [4]string{"rewrite", "unfold", "execute", "assemble"} {
+		m.stageSeconds[i] = reg.Histogram(fmt.Sprintf("npdbench_stage_seconds{stage=%q}", stage), obs.DefDurationBuckets)
+	}
+	return m
 }
 
 // NewEngine performs the starting phase and returns a ready engine.
@@ -133,8 +170,64 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 		Existential:     opts.Existential,
 		MaxCQs:          opts.MaxCQs,
 	}
+	if opts.PlanCache {
+		e.cache = newPlanCache(opts.PlanCacheSize, opts.Obs.Registry())
+	}
+	e.met = newEngineMetrics(opts.Obs.Registry())
 	e.load.LoadTime = obs.Since(start)
 	return e, nil
+}
+
+// PlanCacheStats snapshots the compiled-query cache counters; ok is false
+// when the cache is disabled.
+func (e *Engine) PlanCacheStats() (PlanCacheStats, bool) {
+	if e.cache == nil {
+		return PlanCacheStats{}, false
+	}
+	return e.cache.stats(), true
+}
+
+// InvalidatePlans drops every cached compiled plan. Safe to call
+// concurrently with queries: in-flight compilations from before the
+// invalidation cannot repopulate the cache.
+func (e *Engine) InvalidatePlans() {
+	if e.cache != nil {
+		e.cache.invalidate()
+	}
+}
+
+// SetConstraints toggles the constraint-driven unfolding optimizations,
+// re-deriving the schema constraints and invalidating the plan cache
+// (cached plans embed constraint-dependent SQL). Reconfiguration is not
+// synchronized with in-flight queries; callers must quiesce query traffic
+// first, exactly as for swapping the engine itself.
+func (e *Engine) SetConstraints(on bool) {
+	e.opts.Constraints = on
+	if on {
+		e.cons = analyze.DeriveConstraints(e.spec.Mapping, e.spec.Onto, e.spec.DB)
+	} else {
+		e.cons = nil
+	}
+	e.verifier = &planck.Verifier{Onto: e.spec.Onto, Cons: e.cons, DB: e.spec.DB}
+	e.InvalidatePlans()
+}
+
+// SetMapping replaces the engine's R2RML mapping, re-running the starting
+// phase work that depends on it (T-mapping saturation, constraint
+// derivation) and invalidating the plan cache. The same quiescence rule as
+// SetConstraints applies.
+func (e *Engine) SetMapping(mp *r2rml.Mapping) {
+	e.spec.Mapping = mp
+	if e.opts.TMappings {
+		e.mapping = rewrite.Saturate(mp, e.spec.Onto)
+	} else {
+		e.mapping = mp
+	}
+	if e.opts.Constraints {
+		e.cons = analyze.DeriveConstraints(mp, e.spec.Onto, e.spec.DB)
+	}
+	e.verifier = &planck.Verifier{Onto: e.spec.Onto, Cons: e.cons, DB: e.spec.DB}
+	e.InvalidatePlans()
 }
 
 // LoadStats returns the starting-phase statistics.
@@ -169,7 +262,16 @@ type PhaseStats struct {
 	StaticPrunedCQs    int
 	StaticPrunedArms   int
 	StaticUnsatFilters int
-	SQL                sqldb.SQLMetrics
+	// Plan-cache measures: BGP compilations served from, respectively
+	// added to, the compiled-query cache during this query.
+	PlanCacheHits   int
+	PlanCacheMisses int
+	// PushdownAbandoned is the wall time an abandoned aggregate-pushdown
+	// attempt consumed before the query fell back to in-memory
+	// aggregation. It is part of TotalTime but of no per-stage time: the
+	// stage measures describe only the path that produced the answer.
+	PushdownAbandoned time.Duration
+	SQL               sqldb.SQLMetrics
 	// UnfoldedSQL is the translated query text (diagnostics; empty when
 	// all arms were pruned).
 	UnfoldedSQL string
@@ -251,8 +353,13 @@ func (e *Engine) answer(q *sparql.Query, tr *obs.Trace) (*Answer, error) {
 			e.recordMetrics(st)
 			return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles}, nil
 		}
-		// fall through: in-memory aggregation over translated bindings
-		*st = PhaseStats{}
+		// Fall through: in-memory aggregation over translated bindings.
+		// The abandoned attempt keeps its spans in the trace (tagged
+		// abandoned=true) and its wall time stays in TotalTime, but its
+		// stage timings, shape counters, and profiles are dropped so the
+		// per-stage stats describe only the path that answers the query;
+		// the attempt's cost is reported separately as PushdownAbandoned.
+		*st = PhaseStats{PushdownAbandoned: obs.Since(start)}
 		qc.profiles = nil
 	}
 	bindings, err := e.evalPattern(q.Pattern, qc)
@@ -276,36 +383,25 @@ func (e *Engine) answer(q *sparql.Query, tr *obs.Trace) (*Answer, error) {
 // countQuery bumps the query counters; failed runs skip the latency
 // histograms (their timings are partial).
 func (e *Engine) countQuery(failed bool) {
-	reg := e.opts.Obs.Registry()
-	if reg == nil {
+	if e.met == nil {
 		return
 	}
-	reg.Counter("npdbench_queries_total").Inc()
+	e.met.queries.Inc()
 	if failed {
-		reg.Counter("npdbench_query_errors_total").Inc()
+		e.met.errors.Inc()
 	}
 }
 
-// recordMetrics publishes the per-query phase timings to the registry.
+// recordMetrics publishes the per-query phase timings to the registry via
+// the handles resolved at engine construction (no name formatting here).
 func (e *Engine) recordMetrics(st *PhaseStats) {
-	reg := e.opts.Obs.Registry()
-	if reg == nil {
+	if e.met == nil {
 		return
 	}
 	e.countQuery(false)
-	reg.Histogram("npdbench_query_seconds", obs.DefDurationBuckets).
-		Observe(st.TotalTime.Seconds())
-	for _, s := range []struct {
-		stage string
-		d     time.Duration
-	}{
-		{"rewrite", st.RewriteTime},
-		{"unfold", st.UnfoldTime},
-		{"execute", st.ExecTime},
-		{"assemble", st.TranslateTime},
-	} {
-		reg.Histogram(fmt.Sprintf("npdbench_stage_seconds{stage=%q}", s.stage), obs.DefDurationBuckets).
-			Observe(s.d.Seconds())
+	e.met.querySeconds.Observe(st.TotalTime.Seconds())
+	for i, d := range [4]time.Duration{st.RewriteTime, st.UnfoldTime, st.ExecTime, st.TranslateTime} {
+		e.met.stageSeconds[i].Observe(d.Seconds())
 	}
 }
 
@@ -426,130 +522,38 @@ func flipOp(op string) string {
 // answerBGP runs the rewrite/unfold/execute pipeline for one BGP. When
 // tracing is on it emits one span per pipeline stage (rewrite,
 // static-prune, unfold, plan, execute, assemble) under the query trace.
+// The compile half goes through the plan cache when enabled; execution
+// always runs live against the database.
 func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryCtx) ([]sparql.Binding, error) {
 	st := qc.st
 	if len(bgp.Triples) == 0 {
 		return []sparql.Binding{{}}, nil
 	}
-	// Blank-node variables (_bn…) introduced by the parser are local to
-	// the BGP: they are existential, never projected, and are the
-	// tree-witness fold candidates. Everything else is an answer variable
-	// of the leaf and is protected from folding.
-	var answerVars []string
-	for _, v := range sparql.PatternVars(bgp) {
-		if !strings.HasPrefix(v, "_bn") {
-			answerVars = append(answerVars, v)
-		}
-	}
-	cq, err := rewrite.FromBGP(bgp, e.spec.Onto, answerVars)
+	plan, err := e.compiledPlanFor(bgp, push, st, qc.tr.StartSpan)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.verifyCQ("translate", cq); err != nil {
-		return nil, err
+	plan.addTo(st)
+	if plan.stmt == nil {
+		// Unsatisfiable filter bounds, an empty UCQ after static pruning,
+		// or every union arm pruned: provably no answers.
+		return nil, nil
 	}
-	// Contradictory pushed-filter bounds prove the BGP answerless before
-	// any rewriting happens (the filters are conjunctive: every solution
-	// would have to satisfy all of them).
-	if e.opts.StaticPrune && len(push) > 0 {
-		if reason := planck.UnsatisfiableBounds(staticBounds(push)); reason != "" {
-			st.StaticUnsatFilters++
-			return nil, nil
-		}
-	}
-	protected := append([]string{}, answerVars...)
-	for _, f := range push {
-		protected = append(protected, f.Var)
-	}
-
-	rwSpan := qc.tr.StartSpan("rewrite")
-	rwStart := obs.Now()
-	rres, err := e.rewriter.Rewrite(cq, protected)
-	if err != nil {
-		rwSpan.End()
-		return nil, err
-	}
-	st.RewriteTime += obs.Since(rwStart)
-	st.TreeWitnesses += rres.TreeWitnesses
-	st.CQCount += rres.CQCount
-	rwSpan.SetInt("cqs", rres.CQCount)
-	rwSpan.SetInt("tree_witnesses", rres.TreeWitnesses)
-	rwSpan.End()
-	if err := e.verifyUCQ("rewrite", rres.UCQ, cq.Answer); err != nil {
-		return nil, err
-	}
-	ucq := rres.UCQ
-	spSpan := qc.tr.StartSpan("static-prune")
-	spSpan.SetInt("ucq_before", len(ucq))
-	if e.opts.StaticPrune {
-		pr := planck.PruneUCQ(ucq, e.spec.Onto)
-		st.StaticPrunedCQs += pr.Dropped
-		ucq = pr.Kept
-		spSpan.SetInt("ucq_after", len(ucq))
-		spSpan.End()
-		if len(ucq) == 0 {
-			return nil, nil // every disjunct statically unsatisfiable
-		}
-		if err := e.verifyUCQ("static-prune", ucq, cq.Answer); err != nil {
-			return nil, err
-		}
-	} else {
-		spSpan.SetStr("skipped", "true")
-		spSpan.SetInt("ucq_after", len(ucq))
-		spSpan.End()
-	}
-
-	unSpan := qc.tr.StartSpan("unfold")
-	unStart := obs.Now()
-	un, err := unfold.UnfoldOpts(ucq, e.mapping, push, unfold.Opts{Cons: e.cons, StaticPrune: e.opts.StaticPrune})
-	if err != nil {
-		unSpan.End()
-		return nil, err
-	}
-	st.UnfoldTime += obs.Since(unStart)
-	st.UnionArms += un.Arms
-	st.PrunedArms += un.PrunedArms
-	st.SelfJoinsEliminated += un.SelfJoinsEliminated
-	st.SubsumedArms += un.SubsumedArms
-	st.StaticPrunedArms += un.StaticPrunedCands + un.StaticContradictions
-	unSpan.SetInt("union_arms", un.Arms)
-	unSpan.SetInt("pruned_arms", un.PrunedArms)
-	unSpan.End()
-	if un.Stmt == nil {
-		return nil, nil // provably empty
-	}
-
-	// The plan stage covers everything between unfolding and running the
-	// SQL: invariant verification, plan-shape metrics, statement text.
-	plSpan := qc.tr.StartSpan("plan")
-	if err := e.verifySQL("unfold", un.Stmt, un.Vars); err != nil {
-		plSpan.End()
-		return nil, err
-	}
-	m := un.Metrics()
-	st.SQL.Joins += m.Joins
-	st.SQL.LeftJoins += m.LeftJoins
-	st.SQL.Unions += m.Unions
-	st.SQL.InnerQueries += m.InnerQueries
 	if st.UnfoldedSQL == "" {
-		st.UnfoldedSQL = un.Stmt.String()
+		st.UnfoldedSQL = plan.sql
 	}
-	plSpan.SetInt("sql_joins", m.Joins)
-	plSpan.SetInt("sql_unions", m.Unions)
-	plSpan.SetInt("sql_len", len(st.UnfoldedSQL))
-	plSpan.End()
 
 	exSpan := qc.tr.StartSpan("execute")
 	exStart := obs.Now()
 	var res *sqldb.Result
 	if e.opts.Obs.Profiling() {
 		var prof *sqldb.OpProfile
-		res, prof, err = e.spec.DB.ProfileSelect(un.Stmt)
+		res, prof, err = e.spec.DB.ProfileSelect(plan.stmt)
 		if prof != nil {
 			qc.profiles = append(qc.profiles, prof)
 		}
 	} else {
-		res, err = e.spec.DB.ExecSelect(un.Stmt)
+		res, err = e.spec.DB.ExecSelect(plan.stmt)
 	}
 	if err != nil {
 		exSpan.End()
@@ -561,12 +565,12 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryC
 
 	asSpan := qc.tr.StartSpan("assemble")
 	trStart := obs.Now()
-	bindings := translateRows(un.Vars, res)
+	bindings := translateRows(plan.vars, res)
 	st.TranslateTime += obs.Since(trStart)
 	// Distinct at the BGP level: SQL UNION ALL plus multiple mapping
 	// assertions can produce duplicate RDF solutions that a virtual graph
 	// (an RDF *set*) must not expose twice.
-	bindings = dedupeBindings(bindings, un.Vars)
+	bindings = dedupeBindings(bindings, plan.vars)
 	asSpan.SetInt("bindings_in", len(res.Rows))
 	asSpan.SetInt("bindings_out", len(bindings))
 	asSpan.End()

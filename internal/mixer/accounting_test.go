@@ -1,0 +1,91 @@
+package mixer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"npdbench/internal/core"
+)
+
+func okRun(total time.Duration, rows int) runResult {
+	return runResult{
+		stats: core.PhaseStats{
+			RewriteTime:   total / 10,
+			UnfoldTime:    total / 10,
+			ExecTime:      total / 2,
+			TranslateTime: total / 10,
+			TotalTime:     total,
+		},
+		rows: rows,
+		done: true,
+	}
+}
+
+func TestAggregateRunsSkipsNeverRanSlots(t *testing.T) {
+	boom := errors.New("client died")
+	results := []runResult{
+		okRun(10*time.Millisecond, 4),
+		okRun(20*time.Millisecond, 4),
+		{err: boom, done: true}, // failed run
+		{},                      // slot never ran: client aborted earlier
+		{},
+	}
+	qm, err := aggregateRuns("q2", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qm.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2 (only completed successes)", qm.Runs)
+	}
+	if qm.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", qm.Errors)
+	}
+	// Averages divide by completed runs; zero-valued never-ran slots must
+	// not drag them down (5 slots would give 6ms, 2 gives 15ms).
+	if qm.AvgTotal != 15*time.Millisecond {
+		t.Fatalf("AvgTotal = %v, want 15ms", qm.AvgTotal)
+	}
+	if qm.AvgRows != 4 {
+		t.Fatalf("AvgRows = %g, want 4", qm.AvgRows)
+	}
+}
+
+func TestAggregateRunsAllFailed(t *testing.T) {
+	boom := errors.New("client died")
+	if _, err := aggregateRuns("q2", []runResult{{err: boom, done: true}, {}}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the first client error", err)
+	}
+	if _, err := aggregateRuns("q2", []runResult{{}, {}}); err == nil {
+		t.Fatal("all-never-ran slots must yield an error, not a zero measure")
+	}
+}
+
+// TestConcurrentClientsAllQueries pins the shared-parsed-query race: several
+// client goroutines run all 21 NPD queries against one engine. The ci.sh
+// -race run turns any in-place AST mutation into a failure here.
+func TestConcurrentClientsAllQueries(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scales = []float64{1}
+	cfg.QueryIDs = nil // all 21
+	cfg.Clients = 3
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scales) != 1 {
+		t.Fatalf("scales = %d", len(rep.Scales))
+	}
+	qs := rep.Scales[0].Queries
+	if len(qs) != 21 {
+		t.Fatalf("queries = %d, want 21", len(qs))
+	}
+	for _, q := range qs {
+		if q.Runs != cfg.Runs*cfg.Clients {
+			t.Fatalf("%s: Runs = %d, want %d completed", q.QueryID, q.Runs, cfg.Runs*cfg.Clients)
+		}
+		if q.Errors != 0 {
+			t.Fatalf("%s: %d errors", q.QueryID, q.Errors)
+		}
+	}
+}

@@ -47,6 +47,11 @@ type Config struct {
 	// paper presents single-client results "due to space constraints";
 	// this knob restores the multi-client dimension). 0 or 1 = one client.
 	Clients int
+	// PlanCache enables the engine's compiled-query cache so steady-state
+	// runs measure execution, not recompilation.
+	PlanCache bool
+	// PlanCacheSize bounds the cache (0 = engine default).
+	PlanCacheSize int
 	// RunLog, when non-nil, receives one JSONL record per measured query
 	// execution (trace id, stage timings, row counts). Enabling it turns on
 	// engine tracing so each record carries a real trace id.
@@ -67,6 +72,7 @@ func DefaultConfig() Config {
 		Profile:      sqldb.ProfileHashJoin,
 		Existential:  true,
 		CountTriples: true,
+		PlanCache:    true,
 	}
 }
 
@@ -74,8 +80,14 @@ func DefaultConfig() Config {
 // means it keeps the total-latency distribution: stddev plus the p50/p95/p99
 // percentiles interpolated from the recorded per-run samples.
 type QueryMeasure struct {
-	QueryID       string
-	Runs          int
+	QueryID string
+	// Runs counts the executions that actually completed successfully —
+	// when a client errors out, its remaining slots never run and are not
+	// aggregated.
+	Runs int
+	// Errors counts the runs that failed; their partial timings are
+	// excluded from every average.
+	Errors        int
 	AvgRewrite    time.Duration
 	AvgUnfold     time.Duration
 	AvgExec       time.Duration
@@ -154,9 +166,11 @@ func Run(cfg Config) (*Report, error) {
 			observer = &obs.Observer{Tracing: cfg.RunLog != nil, Metrics: cfg.Metrics}
 		}
 		eng, err := core.NewEngine(spec, core.Options{
-			TMappings:   true,
-			Existential: cfg.Existential,
-			Obs:         observer,
+			TMappings:     true,
+			Existential:   cfg.Existential,
+			PlanCache:     cfg.PlanCache,
+			PlanCacheSize: cfg.PlanCacheSize,
+			Obs:           observer,
 		})
 		if err != nil {
 			return nil, err
@@ -216,6 +230,17 @@ func contains(xs []string, x string) bool {
 	return false
 }
 
+// runResult is one measured execution slot. done distinguishes a slot that
+// ran (successfully or not) from one a failing client never reached — only
+// completed runs enter the averages, so a zero-valued never-ran slot can't
+// drag the means down.
+type runResult struct {
+	stats core.PhaseStats
+	rows  int
+	err   error
+	done  bool
+}
+
 func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64) (QueryMeasure, error) {
 	parsed, err := eng.ParseQuery(q.SPARQL)
 	if err != nil {
@@ -230,21 +255,22 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64)
 	if clients < 1 {
 		clients = 1
 	}
-	qm := QueryMeasure{QueryID: q.ID, Runs: cfg.Runs * clients}
-	type runResult struct {
-		stats core.PhaseStats
-		rows  int
-		err   error
-	}
 	results := make([]runResult, cfg.Runs*clients)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
+			// Per-client deep copy: the engine's pipeline stages are
+			// audited mutation-free, but sharing one AST across goroutines
+			// is exactly the kind of latent race a future in-place
+			// transform would turn real. Each client evaluates its own
+			// tree.
+			query := parsed.Clone()
 			for i := 0; i < cfg.Runs; i++ {
-				ans, err := eng.Answer(parsed)
+				ans, err := eng.Answer(query)
 				slot := &results[client*cfg.Runs+i]
+				slot.done = true
 				if err != nil {
 					slot.err = err
 					logRun(cfg, q.ID, scale, client, i, nil, err)
@@ -257,14 +283,31 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64)
 		}(c)
 	}
 	wg.Wait()
+	return aggregateRuns(q.ID, results)
+}
+
+// aggregateRuns folds the per-slot results into the query measure. Slots
+// that never ran are skipped; failed slots count as Errors. The whole
+// measurement errors out only when not a single run completed.
+func aggregateRuns(queryID string, results []runResult) (QueryMeasure, error) {
+	qm := QueryMeasure{QueryID: queryID}
 	var totRewrite, totUnfold, totExec, totTranslate, totTotal time.Duration
 	var rows int
 	var weight float64
+	var firstErr error
 	samples := make([]float64, 0, len(results))
 	for _, r := range results {
-		if r.err != nil {
-			return QueryMeasure{}, r.err
+		if !r.done {
+			continue
 		}
+		if r.err != nil {
+			qm.Errors++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		qm.Runs++
 		totRewrite += r.stats.RewriteTime
 		totUnfold += r.stats.UnfoldTime
 		totExec += r.stats.ExecTime
@@ -276,6 +319,12 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64)
 		qm.TreeWitnesses = r.stats.TreeWitnesses
 		qm.CQs = r.stats.CQCount
 		qm.UnionArms = r.stats.UnionArms
+	}
+	if qm.Runs == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("no runs completed")
+		}
+		return QueryMeasure{}, firstErr
 	}
 	n := time.Duration(qm.Runs)
 	qm.AvgRewrite = totRewrite / n
@@ -322,9 +371,12 @@ func logRun(cfg Config, queryID string, scale float64, client, run int, ans *cor
 		rec.ExecUS = ans.Stats.ExecTime.Microseconds()
 		rec.TranslateUS = ans.Stats.TranslateTime.Microseconds()
 		rec.TotalUS = ans.Stats.TotalTime.Microseconds()
+		rec.AbandonedUS = ans.Stats.PushdownAbandoned.Microseconds()
 		rec.Rows = ans.Len()
 		rec.CQs = ans.Stats.CQCount
 		rec.UnionArms = ans.Stats.UnionArms
+		rec.CacheHits = ans.Stats.PlanCacheHits
+		rec.CacheMisses = ans.Stats.PlanCacheMisses
 	}
 	// Write failures must not abort a measurement run; the validator in
 	// ci.sh catches a truncated log.

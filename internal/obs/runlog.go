@@ -24,10 +24,19 @@ type RunRecord struct {
 	ExecUS      int64   `json:"exec_us"`
 	TranslateUS int64   `json:"translate_us"`
 	TotalUS     int64   `json:"total_us"`
-	Rows        int     `json:"rows"`
-	CQs         int     `json:"cqs"`
-	UnionArms   int     `json:"union_arms"`
-	Error       string  `json:"error,omitempty"`
+	// AbandonedUS is wall time spent on an abandoned aggregate-pushdown
+	// attempt before the fallback path answered; TotalUS includes it but
+	// the stage timings do not.
+	AbandonedUS int64 `json:"abandoned_us,omitempty"`
+	Rows        int   `json:"rows"`
+	CQs         int   `json:"cqs"`
+	UnionArms   int   `json:"union_arms"`
+	// CacheHits/CacheMisses count the BGP compilations this execution
+	// served from / added to the compiled-query plan cache — a cached
+	// execution is visible as hits > 0 with near-zero rewrite_us.
+	CacheHits   int    `json:"cache_hits"`
+	CacheMisses int    `json:"cache_misses"`
+	Error       string `json:"error,omitempty"`
 }
 
 // RunLog writes RunRecords as JSON Lines. Safe for concurrent use; nil-safe
@@ -110,6 +119,12 @@ func ValidateRunLog(r io.Reader) (int, error) {
 		}
 		if rec.TotalUS < 0 {
 			return n, fmt.Errorf("line %d: negative total_us", n)
+		}
+		if rec.AbandonedUS < 0 {
+			return n, fmt.Errorf("line %d: negative abandoned_us", n)
+		}
+		if rec.CacheHits < 0 || rec.CacheMisses < 0 {
+			return n, fmt.Errorf("line %d: negative cache counters", n)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,80 @@
+package sparql
+
+import (
+	"testing"
+
+	"npdbench/internal/rdf"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	prefixes := rdf.StandardPrefixes()
+	prefixes["ex"] = "http://example.org/"
+	src := `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?n (COUNT(?p) AS ?c) WHERE {
+  { ?x ex:name ?n . ?x ex:SellsProduct ?p }
+  UNION
+  { ?x ex:name ?n . OPTIONAL { ?x ex:AssignedTo ?p } }
+  FILTER(?n != "nobody")
+} GROUP BY ?n HAVING (COUNT(?p) > 1) ORDER BY ?n LIMIT 5`
+	q, err := Parse(src, prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := q.String()
+
+	c := q.Clone()
+	if c.String() != before {
+		t.Fatalf("clone renders differently:\n%s\nvs\n%s", c.String(), before)
+	}
+
+	// Mutate every region of the clone; the original must not move.
+	c.Prefixes["ex"] = "http://elsewhere.invalid/"
+	c.Items[0].Var = "mutated"
+	c.GroupBy[0] = "mutated"
+	c.OrderBy[0].Desc = !c.OrderBy[0].Desc
+	c.Limit = 99
+	var walk func(GraphPattern)
+	walk = func(p GraphPattern) {
+		switch x := p.(type) {
+		case *BGP:
+			for i := range x.Triples {
+				x.Triples[i].S = V("mutated")
+			}
+		case *Group:
+			for _, part := range x.Parts {
+				walk(part)
+			}
+		case *Filter:
+			walk(x.Inner)
+			if b, ok := x.Cond.(*BinExpr); ok {
+				if v, ok := b.L.(*VarExpr); ok {
+					v.Name = "mutated"
+				}
+			}
+		case *Optional:
+			walk(x.Left)
+			walk(x.Right)
+		case *Union:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(c.Pattern)
+
+	if q.String() != before {
+		t.Fatalf("mutating the clone changed the original:\n%s\nvs\n%s", q.String(), before)
+	}
+	if q.Prefixes["ex"] != "http://example.org/" {
+		t.Fatal("prefix map is shared between clone and original")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var q *Query
+	if q.Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+	if CloneExpr(nil) != nil || ClonePattern(nil) != nil {
+		t.Fatal("nil-safe clones should return nil")
+	}
+}

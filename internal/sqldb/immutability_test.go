@@ -1,0 +1,101 @@
+package sqldb
+
+import (
+	"sync"
+	"testing"
+)
+
+// Cached, shared query plans mean the same base table can be scanned by
+// many executions at once; the star fast path returns a relation whose row
+// slice aliases table storage, so any in-place reordering or append into
+// that slice would corrupt the table for everyone. These tests pin the
+// copy-before-mutate behavior; the ci.sh -race run makes the concurrent
+// variant a real race detector.
+
+func baseRowsSnapshot(t *testing.T, db *Database, table string) []string {
+	t.Helper()
+	tab := db.Table(table)
+	if tab == nil {
+		t.Fatalf("no table %s", table)
+	}
+	out := make([]string, len(tab.Rows))
+	for i, r := range tab.Rows {
+		s := ""
+		for j, v := range r {
+			if j > 0 {
+				s += "|"
+			}
+			s += v.String()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestOrderByDoesNotReorderBaseTable(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	before := baseRowsSnapshot(t, db, "TProduct")
+	if _, err := db.Query("SELECT * FROM TProduct ORDER BY size, product"); err != nil {
+		t.Fatal(err)
+	}
+	after := baseRowsSnapshot(t, db, "TProduct")
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("ORDER BY reordered base-table storage: row %d was %q, now %q", i, before[i], after[i])
+		}
+	}
+}
+
+func TestUnionDoesNotGrowBaseTable(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	before := baseRowsSnapshot(t, db, "TEmployee")
+	res, err := db.Query("SELECT * FROM TEmployee UNION ALL SELECT * FROM TEmployee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(before) {
+		t.Fatalf("union rows = %d, want %d", len(res.Rows), 2*len(before))
+	}
+	after := baseRowsSnapshot(t, db, "TEmployee")
+	if len(after) != len(before) {
+		t.Fatalf("union grew the base table: %d -> %d rows", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("union mutated base-table row %d: %q -> %q", i, before[i], after[i])
+		}
+	}
+}
+
+func TestConcurrentSelectsShareBaseTables(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	queries := []string{
+		"SELECT * FROM TProduct ORDER BY size, product",
+		"SELECT * FROM TProduct UNION ALL SELECT * FROM TProduct",
+		"SELECT * FROM TEmployee ORDER BY name DESC",
+		"SELECT product FROM TProduct WHERE size = 'big'",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := db.Query(queries[(g+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	rows := baseRowsSnapshot(t, db, "TProduct")
+	if len(rows) != 4 || rows[0] != "p1|big" {
+		t.Fatalf("concurrent reads corrupted TProduct: %v", rows)
+	}
+}

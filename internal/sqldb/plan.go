@@ -106,6 +106,10 @@ func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, err
 		restore()
 		return nil, err
 	}
+	// The head's row slice can alias a base table (star fast path), so
+	// appending the other arms into it would write through to — or race
+	// on — the shared table storage. Concatenate into a fresh slice.
+	head.rows = append(make([]Row, 0, len(head.rows)), head.rows...)
 	arms := 1
 	for u := s.Union; u != nil; u = u.Union {
 		arm, err := db.evalSelect(ctx, u)
@@ -557,6 +561,11 @@ func projectItems(items []SelectItem, input *relation) (*relation, []Row, error)
 // orderRelation sorts out by the ORDER BY items; keys resolve against the
 // output columns first, then against the aligned input rows.
 func orderRelation(order []OrderItem, out *relation, inCols []colMeta, inputAligned []Row) error {
+	// Sorting happens in place, and out can alias a base table's rows
+	// (star fast path): reordering those would corrupt the table for every
+	// other query — and race with concurrent executions of a shared plan.
+	// Sort a copy of the slice instead.
+	out.rows = append(make([]Row, 0, len(out.rows)), out.rows...)
 	keys := make([]evalFn, len(order))
 	desc := make([]bool, len(order))
 	useInput := false

@@ -1,0 +1,81 @@
+package npdbench
+
+import (
+	"testing"
+
+	"npdbench/internal/core"
+	"npdbench/internal/npd"
+)
+
+func cacheEngines(t testing.TB) (cached, uncached *core.Engine) {
+	t.Helper()
+	db, err := npd.NewSeededDatabase(npd.SeedConfig{Scale: 0.15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Spec{
+		Onto: npd.NewOntology(), Mapping: npd.NewMapping(),
+		DB: db, Prefixes: npd.Prefixes(),
+	}
+	withCache := core.DefaultOptions()
+	withCache.VerifyPlans = core.VerifyOn
+	withoutCache := withCache
+	withoutCache.PlanCache = false
+	cached, err = core.NewEngine(spec, withCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err = core.NewEngine(spec, withoutCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cached, uncached
+}
+
+// TestPlanCacheSoundNPD runs every NPD query through two engines that
+// differ only in Options.PlanCache. The cached engine answers each query
+// twice — a cold compile and a warm hit — and all three answer sets must
+// be identical: serving a memoized plan may never change an answer.
+func TestPlanCacheSoundNPD(t *testing.T) {
+	engCache, engPlain := cacheEngines(t)
+	totalHits := 0
+	for _, q := range npd.Queries() {
+		parsed, err := engCache.ParseQuery(q.SPARQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := engCache.Answer(parsed)
+		if err != nil {
+			t.Fatalf("%s (cache, cold): %v", q.ID, err)
+		}
+		warm, err := engCache.Answer(parsed)
+		if err != nil {
+			t.Fatalf("%s (cache, warm): %v", q.ID, err)
+		}
+		plain, err := engPlain.Answer(parsed)
+		if err != nil {
+			t.Fatalf("%s (no cache): %v", q.ID, err)
+		}
+		totalHits += warm.Stats.PlanCacheHits
+		rCold, rWarm, rPlain := renderRows(cold), renderRows(warm), renderRows(plain)
+		if len(rCold) != len(rPlain) || len(rWarm) != len(rPlain) {
+			t.Errorf("%s: answers diverge — cold %d, warm %d, uncached %d rows",
+				q.ID, len(rCold), len(rWarm), len(rPlain))
+			continue
+		}
+		for i := range rPlain {
+			if rCold[i] != rPlain[i] || rWarm[i] != rPlain[i] {
+				t.Errorf("%s: row %d diverges:\ncold:     %s\nwarm:     %s\nuncached: %s",
+					q.ID, i, rCold[i], rWarm[i], rPlain[i])
+				break
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Error("no NPD query hit the plan cache on its warm run; the comparison is vacuous")
+	}
+	st, on := engCache.PlanCacheStats()
+	if !on || st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache stats %+v, want both hits and misses", st)
+	}
+}

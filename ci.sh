@@ -40,3 +40,34 @@ grep -E 'npdbench_compile_cache_hits_total [1-9]' "$MIXOUT" > /dev/null || {
     cat "$MIXOUT" >&2
     exit 1
 }
+
+# Parallel-execution smoke: a mix with intra-query parallelism on must
+# actually fan work out — the npdbench_exec_parallel_* family has to show
+# dispatched tasks and parallel union arms.
+go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
+    -triples=false -clients 2 -parallel 4 -metrics -queries q2,q6,q9 > "$MIXOUT"
+grep -E 'npdbench_exec_parallel_tasks_total [1-9]' "$MIXOUT" > /dev/null || {
+    echo "parallel smoke: no parallel tasks in metric exposition" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+grep -E 'npdbench_exec_parallel_union_arms_total [1-9]' "$MIXOUT" > /dev/null || {
+    echo "parallel smoke: no parallel union arms in metric exposition" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+
+# Determinism under a single OS thread: parallel scheduling interleaves
+# completely differently with GOMAXPROCS=1, and results must still be
+# bit-identical to sequential execution.
+GOMAXPROCS=1 go test -run TestParallelSequentialIdentical .
+
+# Parallel-speedup benchmark: the full 21-query NPD mix at parallelism
+# 1/2/NumCPU. Fails when any parallel level's answers diverge from the
+# sequential baseline; the report (p50/p95 per query, speedup vs
+# sequential) is the repo's BENCH_parallel.json.
+go run ./cmd/mixer -parbench BENCH_parallel.json -seedscale 0.15 -runs 3 -warmup 1 | tee "$MIXOUT"
+if grep -q 'identical=false' "$MIXOUT"; then
+    echo "parbench: parallel results diverge from sequential" >&2
+    exit 1
+fi

@@ -55,6 +55,8 @@ func main() {
 		clients     = flag.Int("clients", 1, "concurrent query streams")
 		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans across runs and clients")
 		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
+		parallel    = flag.Int("parallel", 0, "intra-query parallel workers per engine (0 = NumCPU, 1 = sequential)")
+		parbench    = flag.String("parbench", "", "run the parallel-speedup benchmark and write its JSON report to this file")
 		jsonl       = flag.String("jsonl", "", "write a JSONL run log (one record per query execution)")
 		validate    = flag.String("validatejsonl", "", "validate a JSONL run log and exit")
 		httpAddr    = flag.String("http", "", "serve /metrics and net/http/pprof on this address while running")
@@ -86,6 +88,7 @@ func main() {
 	cfg.Clients = *clients
 	cfg.PlanCache = *planCache
 	cfg.PlanCacheSize = *planCacheSz
+	cfg.Parallelism = *parallel
 	if s, err := parseScales(*scales); err == nil {
 		cfg.Scales = s
 	} else {
@@ -131,6 +134,23 @@ func main() {
 	}
 
 	switch {
+	case *parbench != "":
+		rep, err := mixer.RunParallelBench(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*parbench, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		for _, lvl := range rep.Levels {
+			fmt.Printf("parallelism %d: mix %.1fms, speedup %.2fx, identical=%v\n",
+				lvl.Parallelism, lvl.MixTotalMS, lvl.SpeedupVsSeq, lvl.IdenticalToSequential)
+		}
+		fmt.Printf("parallel benchmark report written to %s (NumCPU=%d)\n", *parbench, rep.NumCPU)
 	case *table == 3:
 		emit(mixer.Table3())
 	case *table == 7:

@@ -35,6 +35,7 @@ func main() {
 		staticPrune = flag.Bool("staticprune", true, "statically delete unsatisfiable CQs, candidates, and arms before execution")
 		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans (repeated shapes pay execute-only cost)")
 		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
+		parallel    = flag.Int("parallel", 0, "intra-query parallel workers (0 = NumCPU, 1 = sequential; results identical)")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the pipeline span tree and the EXPLAIN ANALYZE operator tree")
 		trace       = flag.Bool("trace", false, "print the pipeline span tree (stage timings and attributes)")
@@ -111,6 +112,7 @@ func main() {
 			StaticPrune:   *staticPrune,
 			PlanCache:     *planCache,
 			PlanCacheSize: *planCacheSz,
+			Parallelism:   *parallel,
 			Obs:           observer,
 		})
 		if err != nil {

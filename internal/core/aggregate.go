@@ -181,16 +181,7 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (rs *sparql
 
 	exSpan := ag.StartChild("execute")
 	exStart := obs.Now()
-	var res *sqldb.Result
-	if e.opts.Obs.Profiling() {
-		var prof *sqldb.OpProfile
-		res, prof, err = e.spec.DB.ProfileSelect(outer)
-		if err == nil && prof != nil {
-			qc.profiles = append(qc.profiles, prof)
-		}
-	} else {
-		res, err = e.spec.DB.ExecSelect(outer)
-	}
+	res, err := e.execStmt(outer, qc, exSpan)
 	exSpan.End()
 	if err != nil {
 		// e.g. SUM over a non-numeric literal column: SQL raises a type

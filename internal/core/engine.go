@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -76,6 +77,12 @@ type Options struct {
 	// PlanCacheSize bounds the number of cached plans (0 = the
 	// DefaultPlanCacheSize).
 	PlanCacheSize int
+	// Parallelism caps the intra-query parallel workers each SQL
+	// statement may use (union-arm fan-out, partitioned hash joins,
+	// morsel-parallel scans in sqldb). 0 means runtime.NumCPU(); 1 forces
+	// fully sequential execution (the pre-parallel behaviour). Results
+	// are bit-identical at every setting; only wall time changes.
+	Parallelism int
 	// Obs enables observability: per-query span traces, operator-level
 	// execution profiles, and process metrics. nil means fully off — the
 	// pipeline then pays a single nil check per stage.
@@ -111,6 +118,8 @@ type Engine struct {
 	verify   bool
 	cache    *planCache     // nil when Options.PlanCache is off
 	met      *engineMetrics // nil when the observer has no registry
+	par      int            // resolved Options.Parallelism (>= 1)
+	pool     *sqldb.Pool    // shared worker pool; nil when par == 1
 }
 
 // engineMetrics holds the per-engine metric handles, resolved once at
@@ -122,6 +131,20 @@ type engineMetrics struct {
 	// stageSeconds is indexed in pipeline order: rewrite, unfold,
 	// execute, assemble.
 	stageSeconds [4]*obs.Histogram
+	// parallel counts the intra-query parallel execution work, indexed
+	// like parallelMetricNames: tasks, workers, union arms, join
+	// partitions, morsels.
+	parallel [5]*obs.Counter
+}
+
+// parallelMetricNames is the npdbench_exec_parallel_* family, in the index
+// order engineMetrics.parallel and ParallelStats use.
+var parallelMetricNames = [5]string{
+	"npdbench_exec_parallel_tasks_total",
+	"npdbench_exec_parallel_workers_total",
+	"npdbench_exec_parallel_union_arms_total",
+	"npdbench_exec_parallel_join_partitions_total",
+	"npdbench_exec_parallel_morsels_total",
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -135,6 +158,9 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	}
 	for i, stage := range [4]string{"rewrite", "unfold", "execute", "assemble"} {
 		m.stageSeconds[i] = reg.Histogram(fmt.Sprintf("npdbench_stage_seconds{stage=%q}", stage), obs.DefDurationBuckets)
+	}
+	for i, name := range parallelMetricNames {
+		m.parallel[i] = reg.Counter(name)
 	}
 	return m
 }
@@ -172,6 +198,16 @@ func NewEngine(spec Spec, opts Options) (*Engine, error) {
 	}
 	if opts.PlanCache {
 		e.cache = newPlanCache(opts.PlanCacheSize, opts.Obs.Registry())
+	}
+	e.par = opts.Parallelism
+	if e.par <= 0 {
+		e.par = runtime.NumCPU()
+	}
+	if e.par > 1 {
+		// One pool for the engine's lifetime: concurrent queries share the
+		// same bounded helper supply, so total goroutines stay capped no
+		// matter how many clients fan out.
+		e.pool = sqldb.NewPool(e.par)
 	}
 	e.met = newEngineMetrics(opts.Obs.Registry())
 	e.load.LoadTime = obs.Since(start)
@@ -266,6 +302,10 @@ type PhaseStats struct {
 	// added to, the compiled-query cache during this query.
 	PlanCacheHits   int
 	PlanCacheMisses int
+	// Parallel reports the intra-query parallel execution work of this
+	// query's SQL statements (all zero when Options.Parallelism is 1 or
+	// the statements were too small to fan out).
+	Parallel ParallelStats
 	// PushdownAbandoned is the wall time an abandoned aggregate-pushdown
 	// attempt consumed before the query fell back to in-memory
 	// aggregation. It is part of TotalTime but of no per-stage time: the
@@ -275,6 +315,18 @@ type PhaseStats struct {
 	// UnfoldedSQL is the translated query text (diagnostics; empty when
 	// all arms were pruned).
 	UnfoldedSQL string
+}
+
+// ParallelStats counts the intra-query parallel-operator work of one
+// query: tasks dispatched by the sqldb parallel driver, helper goroutines
+// launched, union arms evaluated in parallel, hash-join partitions built,
+// and scan/filter/probe morsels processed.
+type ParallelStats struct {
+	Tasks          int
+	Workers        int
+	UnionArms      int
+	JoinPartitions int
+	Morsels        int
 }
 
 // WeightRU is the paper's "Weight of R+U": rewriting+unfolding cost over
@@ -545,16 +597,7 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryC
 
 	exSpan := qc.tr.StartSpan("execute")
 	exStart := obs.Now()
-	var res *sqldb.Result
-	if e.opts.Obs.Profiling() {
-		var prof *sqldb.OpProfile
-		res, prof, err = e.spec.DB.ProfileSelect(plan.stmt)
-		if prof != nil {
-			qc.profiles = append(qc.profiles, prof)
-		}
-	} else {
-		res, err = e.spec.DB.ExecSelect(plan.stmt)
-	}
+	res, err := e.execStmt(plan.stmt, qc, exSpan)
 	if err != nil {
 		exSpan.End()
 		return nil, fmt.Errorf("core: executing unfolded SQL: %w", err)
@@ -575,6 +618,61 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryC
 	asSpan.SetInt("bindings_out", len(bindings))
 	asSpan.End()
 	return bindings, nil
+}
+
+// execStmt runs one unfolded SQL statement under the engine's execution
+// options: intra-query parallelism from the shared worker pool, EXPLAIN
+// ANALYZE profile collection when enabled, and per-statement parallel
+// counters folded into the phase stats, the execute span, and the
+// npdbench_exec_parallel_* metric family.
+func (e *Engine) execStmt(stmt *sqldb.SelectStmt, qc *queryCtx, span *obs.Span) (*sqldb.Result, error) {
+	opt := sqldb.ExecOptions{Parallelism: e.par, Pool: e.pool}
+	var stats *sqldb.ExecStats
+	if e.par > 1 {
+		stats = &sqldb.ExecStats{}
+		opt.Stats = stats
+	}
+	var res *sqldb.Result
+	var err error
+	if e.opts.Obs.Profiling() {
+		var prof *sqldb.OpProfile
+		res, prof, err = e.spec.DB.ProfileSelectOpts(stmt, opt)
+		if prof != nil {
+			qc.profiles = append(qc.profiles, prof)
+		}
+	} else {
+		res, err = e.spec.DB.ExecSelectOpts(stmt, opt)
+	}
+	if stats != nil {
+		e.publishParallel(qc.st, span, stats)
+	}
+	return res, err
+}
+
+// publishParallel folds one statement's parallel-execution counters into
+// the query's phase stats, annotates the execute span, and bumps the
+// engine-lifetime npdbench_exec_parallel_* counters.
+func (e *Engine) publishParallel(st *PhaseStats, span *obs.Span, s *sqldb.ExecStats) {
+	vals := [5]int64{
+		s.Tasks.Load(), s.Workers.Load(), s.UnionArms.Load(),
+		s.JoinPartitions.Load(), s.Morsels.Load(),
+	}
+	if st != nil {
+		st.Parallel.Tasks += int(vals[0])
+		st.Parallel.Workers += int(vals[1])
+		st.Parallel.UnionArms += int(vals[2])
+		st.Parallel.JoinPartitions += int(vals[3])
+		st.Parallel.Morsels += int(vals[4])
+	}
+	if span != nil && vals[1] > 0 {
+		span.SetInt("parallel_tasks", int(vals[0]))
+		span.SetInt("parallel_workers", int(vals[1]))
+	}
+	if e.met != nil {
+		for i, v := range vals {
+			e.met.parallel[i].Add(v)
+		}
+	}
 }
 
 // translateRows is phase 4's result translation: SQL rows (lexical, tag,

@@ -52,6 +52,9 @@ type Config struct {
 	PlanCache bool
 	// PlanCacheSize bounds the cache (0 = engine default).
 	PlanCacheSize int
+	// Parallelism is the engine's intra-query worker cap (0 = NumCPU,
+	// 1 = sequential). Results are identical at every setting.
+	Parallelism int
 	// RunLog, when non-nil, receives one JSONL record per measured query
 	// execution (trace id, stage timings, row counts). Enabling it turns on
 	// engine tracing so each record carries a real trace id.
@@ -170,6 +173,7 @@ func Run(cfg Config) (*Report, error) {
 			Existential:   cfg.Existential,
 			PlanCache:     cfg.PlanCache,
 			PlanCacheSize: cfg.PlanCacheSize,
+			Parallelism:   cfg.Parallelism,
 			Obs:           observer,
 		})
 		if err != nil {

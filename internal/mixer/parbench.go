@@ -1,0 +1,176 @@
+package mixer
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"npdbench/internal/core"
+	"npdbench/internal/npd"
+	"npdbench/internal/obs"
+)
+
+// The parallel-speedup benchmark: the full NPD query mix executed on one
+// instance at increasing intra-query parallelism levels (1 = sequential
+// baseline, then 2, then NumCPU), reporting per-query latency percentiles
+// and end-to-end mix speedup versus sequential. Every parallel level's
+// results are checked row-for-row against the sequential rendering, so the
+// report also certifies that parallel execution is answer-preserving.
+
+// ParBenchQuery is one query's measurement at one parallelism level.
+type ParBenchQuery struct {
+	QueryID string  `json:"query_id"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	Rows    int     `json:"rows"`
+	// SpeedupVsSeq is the sequential mean over this level's mean (>1 =
+	// faster than sequential); 1 by definition at level 1.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+}
+
+// ParBenchLevel aggregates the mix at one parallelism level.
+type ParBenchLevel struct {
+	Parallelism int             `json:"parallelism"`
+	Queries     []ParBenchQuery `json:"queries"`
+	// MixTotalMS sums the per-query mean latencies (one full mix).
+	MixTotalMS   float64 `json:"mix_total_ms"`
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	// IdenticalToSequential reports whether every query's result set
+	// rendered identically to the sequential run's (row-for-row).
+	IdenticalToSequential bool `json:"identical_to_sequential"`
+}
+
+// ParBenchReport is the JSON document the -parbench mode writes
+// (BENCH_parallel.json).
+type ParBenchReport struct {
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	SeedScale  float64         `json:"seed_scale"`
+	Seed       int64           `json:"seed"`
+	Warmup     int             `json:"warmup"`
+	Runs       int             `json:"runs"`
+	Levels     []ParBenchLevel `json:"levels"`
+}
+
+// JSON renders the report with stable indentation.
+func (r *ParBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// parBenchLevels is 1 (sequential baseline), 2, and NumCPU, deduplicated
+// and ascending.
+func parBenchLevels() []int {
+	set := map[int]bool{1: true, 2: true, runtime.NumCPU(): true}
+	levels := make([]int, 0, len(set))
+	for l := range set {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+// RunParallelBench executes the parallel-speedup benchmark. The workload,
+// instance sizing, and run counts come from cfg (QueryIDs nil = all 21
+// queries; the instance is the seed at cfg.SeedScale — parallel speedup is
+// a per-query property, so one scale suffices).
+func RunParallelBench(cfg Config) (*ParBenchReport, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.SeedScale <= 0 {
+		cfg.SeedScale = 1
+	}
+	queries := selectQueries(cfg)
+	db, _, err := BuildInstance(1, cfg.SeedScale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("mixer: building parbench instance: %w", err)
+	}
+	db.Profile = cfg.Profile
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	rep := &ParBenchReport{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SeedScale:  cfg.SeedScale,
+		Seed:       cfg.Seed,
+		Warmup:     cfg.Warmup,
+		Runs:       cfg.Runs,
+	}
+	// seqRender holds the sequential level's rendered result set per
+	// query; parallel levels are compared against it row-for-row.
+	seqRender := make(map[string]string)
+	seqMean := make(map[string]float64)
+	var seqMixMS float64
+	for _, par := range parBenchLevels() {
+		eng, err := core.NewEngine(spec, core.Options{
+			TMappings:     true,
+			Existential:   cfg.Existential,
+			PlanCache:     cfg.PlanCache,
+			PlanCacheSize: cfg.PlanCacheSize,
+			Parallelism:   par,
+		})
+		if err != nil {
+			return nil, err
+		}
+		level := ParBenchLevel{Parallelism: par, IdenticalToSequential: true}
+		for _, q := range queries {
+			parsed, err := eng.ParseQuery(q.SPARQL)
+			if err != nil {
+				return nil, fmt.Errorf("mixer: parbench %s: %w", q.ID, err)
+			}
+			var rendered string
+			var rows int
+			for i := 0; i < cfg.Warmup; i++ {
+				if _, err := eng.Answer(parsed); err != nil {
+					return nil, fmt.Errorf("mixer: parbench %s warmup: %w", q.ID, err)
+				}
+			}
+			samples := make([]float64, 0, cfg.Runs)
+			var totalMS float64
+			for i := 0; i < cfg.Runs; i++ {
+				start := time.Now()
+				ans, err := eng.Answer(parsed)
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("mixer: parbench %s at parallelism %d: %w", q.ID, par, err)
+				}
+				ms := float64(elapsed) / float64(time.Millisecond)
+				samples = append(samples, ms)
+				totalMS += ms
+				rendered = ans.String()
+				rows = ans.Len()
+			}
+			qm := ParBenchQuery{
+				QueryID: q.ID,
+				MeanMS:  totalMS / float64(cfg.Runs),
+				P50MS:   obs.Percentile(samples, 50),
+				P95MS:   obs.Percentile(samples, 95),
+				Rows:    rows,
+			}
+			if par == 1 {
+				seqRender[q.ID] = rendered
+				seqMean[q.ID] = qm.MeanMS
+				qm.SpeedupVsSeq = 1
+			} else {
+				if rendered != seqRender[q.ID] {
+					level.IdenticalToSequential = false
+				}
+				if qm.MeanMS > 0 {
+					qm.SpeedupVsSeq = seqMean[q.ID] / qm.MeanMS
+				}
+			}
+			level.Queries = append(level.Queries, qm)
+			level.MixTotalMS += qm.MeanMS
+		}
+		if par == 1 {
+			seqMixMS = level.MixTotalMS
+			level.SpeedupVsSeq = 1
+		} else if level.MixTotalMS > 0 {
+			level.SpeedupVsSeq = seqMixMS / level.MixTotalMS
+		}
+		rep.Levels = append(rep.Levels, level)
+	}
+	return rep, nil
+}

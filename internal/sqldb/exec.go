@@ -3,7 +3,6 @@ package sqldb
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // relation is a materialized intermediate result. Base-table scans share the
@@ -13,11 +12,17 @@ type relation struct {
 	rows []Row
 }
 
-// filterRelation keeps rows where pred evaluates to TRUE.
-func filterRelation(r *relation, pred Expr) (*relation, error) {
+// filterRelation keeps rows where pred evaluates to TRUE. Inputs past the
+// parallel threshold are filtered morsel-wise: workers claim fixed-size
+// row chunks, keep survivors in per-morsel buffers, and the buffers are
+// concatenated in morsel order — bit-identical to the sequential scan.
+func filterRelation(ctx *execCtx, r *relation, pred Expr) (*relation, error) {
 	f, err := bindExpr(pred, r.cols)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.parWorkers() > 1 && len(r.rows) >= minParallelRows {
+		return filterMorsels(ctx, r, f)
 	}
 	out := &relation{cols: r.cols}
 	for _, row := range r.rows {
@@ -29,6 +34,48 @@ func filterRelation(r *relation, pred Expr) (*relation, error) {
 			out.rows = append(out.rows, row)
 		}
 	}
+	return out, nil
+}
+
+// filterMorsels is the parallel arm of filterRelation. evalFns close only
+// over immutable bind-time state, so one bound predicate serves all
+// workers.
+func filterMorsels(ctx *execCtx, r *relation, f evalFn) (*relation, error) {
+	n := len(r.rows)
+	m := (n + morselRows - 1) / morselRows
+	kept := make([][]Row, m)
+	workers, err := ctx.par.run(m, func(i int) error {
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		var buf []Row
+		for _, row := range r.rows[lo:hi] {
+			v, err := f(row)
+			if err != nil {
+				return err
+			}
+			if !v.IsNull() && v.Bool() {
+				buf = append(buf, row)
+			}
+		}
+		kept[i] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.par.stats.Morsels.Add(int64(m))
+	total := 0
+	for _, b := range kept {
+		total += len(b)
+	}
+	out := &relation{cols: r.cols, rows: make([]Row, 0, total)}
+	for _, b := range kept {
+		out.rows = append(out.rows, b...)
+	}
+	ctx.setParNote(fmt.Sprintf(" [morsels=%d workers=%d]", m, workers))
 	return out, nil
 }
 
@@ -98,8 +145,12 @@ func andAll(conjuncts []Expr) Expr {
 }
 
 // hashJoin performs an inner equi-join; residual conjuncts are checked on
-// each candidate pair.
-func hashJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+// each candidate pair. Joins past the parallel threshold run partitioned:
+// the build side is hashed into P disjoint partition tables by parallel
+// workers and the probe side is probed morsel-wise, each morsel writing
+// its own output buffer; build order within a key and probe order across
+// morsels are preserved, so output order is bit-identical to sequential.
+func hashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var resFn evalFn
 	if residual != nil {
@@ -124,6 +175,14 @@ func hashJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) 
 		} else {
 			buildCols[i], probeCols[i] = k.lSlot, k.rSlot
 		}
+	}
+	if ctx.parWorkers() > 1 && len(build.rows)+len(probe.rows) >= minParallelRows {
+		rows, err := partitionedHashJoin(ctx, build, probe, buildCols, probeCols, buildRight, resFn)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = rows
+		return out, nil
 	}
 	ht := make(map[string][]Row, len(build.rows))
 	for _, row := range build.rows {
@@ -159,19 +218,123 @@ func hashJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) 
 	return out, nil
 }
 
-// mergeJoinCtx is mergeJoin with the statement's sort-order cache.
-func mergeJoinCtx(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
-	return mergeJoinImpl(ctx, l, r, keys, residual)
+// partitionedHashJoin is the parallel arm of hashJoin. Three phases, each
+// a parallel fan-out over the statement's worker budget:
+//
+//  1. key extraction — build-side join keys and their hashes, morsel-wise
+//     ("" marks a NULL key, which can never join);
+//  2. partitioned build — P workers each own partition p and insert every
+//     build row with hash%P == p, scanning the build side in row order so
+//     per-key row lists keep build order without any locking;
+//  3. morsel probe — probe rows are hashed to their partition and probed
+//     against it, each morsel appending matches to its own buffer.
+//
+// The buffers concatenate in morsel order, reproducing the sequential
+// probe-order output exactly. A residual error surfaces from the morsel
+// holding the earliest failing probe row — the same error sequential
+// execution reports.
+func partitionedHashJoin(ctx *execCtx, build, probe *relation, buildCols, probeCols []int, buildRight bool, resFn evalFn) ([]Row, error) {
+	parts := ctx.parWorkers()
+	if parts > maxJoinPartitions {
+		parts = maxJoinPartitions
+	}
+	if parts < 2 {
+		parts = 2
+	}
+	nb := len(build.rows)
+	buildKeys := make([]string, nb)
+	buildHash := make([]uint64, nb)
+	mb := (nb + morselRows - 1) / morselRows
+	if _, err := ctx.par.run(mb, func(i int) error {
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > nb {
+			hi = nb
+		}
+		for j := lo; j < hi; j++ {
+			if hasNullAt(build.rows[j], buildCols) {
+				continue // buildKeys[j] stays "", the NULL marker
+			}
+			buildKeys[j] = RowKey(build.rows[j], buildCols)
+			buildHash[j] = hashString(buildKeys[j])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tables := make([]map[string][]Row, parts)
+	if _, err := ctx.par.run(parts, func(p int) error {
+		ht := make(map[string][]Row, nb/parts+1)
+		for j := 0; j < nb; j++ {
+			if buildKeys[j] == "" || int(buildHash[j]%uint64(parts)) != p {
+				continue
+			}
+			ht[buildKeys[j]] = append(ht[buildKeys[j]], build.rows[j])
+		}
+		tables[p] = ht
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	np := len(probe.rows)
+	mp := (np + morselRows - 1) / morselRows
+	outs := make([][]Row, mp)
+	workers, err := ctx.par.run(mp, func(i int) error {
+		lo := i * morselRows
+		hi := lo + morselRows
+		if hi > np {
+			hi = np
+		}
+		var buf []Row
+		for _, prow := range probe.rows[lo:hi] {
+			if hasNullAt(prow, probeCols) {
+				continue
+			}
+			k := RowKey(prow, probeCols)
+			for _, brow := range tables[hashString(k)%uint64(parts)][k] {
+				var joined Row
+				if buildRight {
+					joined = concatRows(prow, brow)
+				} else {
+					joined = concatRows(brow, prow)
+				}
+				if resFn != nil {
+					v, err := resFn(joined)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() || !v.Bool() {
+						continue
+					}
+				}
+				buf = append(buf, joined)
+			}
+		}
+		outs[i] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.par.stats.JoinPartitions.Add(int64(parts))
+	ctx.par.stats.Morsels.Add(int64(mb + mp))
+	total := 0
+	for _, b := range outs {
+		total += len(b)
+	}
+	rows := make([]Row, 0, total)
+	for _, b := range outs {
+		rows = append(rows, b...)
+	}
+	ctx.setParNote(fmt.Sprintf(" [partitions=%d workers=%d]", parts, workers))
+	return rows, nil
 }
 
 // mergeJoin sorts both sides on the first key column and merges; remaining
 // keys and residual conjuncts are verified per pair. It reproduces the
-// "PostgreSQL-like" profile behaviour (sort-merge machinery).
-func mergeJoin(l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
-	return mergeJoinImpl(nil, l, r, keys, residual)
-}
-
-func mergeJoinImpl(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+// "PostgreSQL-like" profile behaviour (sort-merge machinery). ctx may be
+// nil (standalone join without a statement's sort-order cache).
+func mergeJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
 	if len(keys) == 0 {
 		return nestedLoopJoin(l, r, residual)
 	}
@@ -194,14 +357,8 @@ func mergeJoinImpl(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) 
 		}
 	}
 	k0 := keys[0]
-	var li, ri []int
-	if ctx != nil {
-		li = ctx.sortedOrder(l, k0.lSlot)
-		ri = ctx.sortedOrder(r, k0.rSlot)
-	} else {
-		li = sortedOrder(l, k0.lSlot)
-		ri = sortedOrder(r, k0.rSlot)
-	}
+	li := ctx.sortedOrder(l, k0.lSlot)
+	ri := ctx.sortedOrder(r, k0.rSlot)
 	i, j := 0, 0
 	for i < len(li) && j < len(ri) {
 		lv := l.rows[li[i]][k0.lSlot]
@@ -273,7 +430,10 @@ func mergeJoinImpl(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) 
 	return out, nil
 }
 
-func sortedOrder(r *relation, slot int) []int {
+// computeSortedOrder materializes the row order of r sorted by column
+// slot. Callers go through execCtx.sortedOrder, the context-aware wrapper
+// that caches per statement; this is the single underlying implementation.
+func computeSortedOrder(r *relation, slot int) []int {
 	idx := make([]int, len(r.rows))
 	for i := range idx {
 		idx[i] = i
@@ -401,7 +561,7 @@ func leftJoin(l, r *relation, on Expr) (*relation, error) {
 
 // naturalJoin joins on all same-named columns and keeps the shared columns
 // once (from the left side), per SQL NATURAL JOIN semantics.
-func naturalJoin(l, r *relation, profile Profile) (*relation, error) {
+func naturalJoin(ctx *execCtx, l, r *relation, profile Profile) (*relation, error) {
 	type shared struct{ lSlot, rSlot int }
 	var commons []shared
 	rUsed := make(map[int]bool)
@@ -426,9 +586,9 @@ func naturalJoin(l, r *relation, profile Profile) (*relation, error) {
 	if len(keys) == 0 {
 		joined, err = nestedLoopJoin(l, r, nil)
 	} else if profile == ProfileSortMerge {
-		joined, err = mergeJoin(l, r, keys, nil)
+		joined, err = mergeJoin(ctx, l, r, keys, nil)
 	} else {
-		joined, err = hashJoin(l, r, keys, nil)
+		joined, err = hashJoin(ctx, l, r, keys, nil)
 	}
 	if err != nil {
 		return nil, err
@@ -459,19 +619,28 @@ func naturalJoin(l, r *relation, profile Profile) (*relation, error) {
 }
 
 // distinctRows removes duplicate rows, preserving first occurrence order.
+// Rows are keyed by a hash computed into one reusable buffer — no per-row
+// key string — with hash collisions resolved by semantic key comparison,
+// so the dedup path allocates only the surviving-row slice and the bucket
+// map (see BenchmarkDistinct for the before/after).
 func distinctRows(r *relation) *relation {
-	all := make([]int, len(r.cols))
-	for i := range all {
-		all[i] = i
-	}
-	seen := make(map[string]bool, len(r.rows))
 	out := &relation{cols: r.cols, rows: make([]Row, 0, len(r.rows))}
+	buckets := make(map[uint64][]int, len(r.rows))
+	var buf []byte
 	for _, row := range r.rows {
-		k := RowKey(row, all)
-		if seen[k] {
+		buf = appendRowKey(buf[:0], row, nil)
+		h := hashBytes(buf)
+		dup := false
+		for _, i := range buckets[h] {
+			if rowKeyEq(out.rows[i], row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = true
+		buckets[h] = append(buckets[h], len(out.rows))
 		out.rows = append(out.rows, row)
 	}
 	return out
@@ -517,18 +686,18 @@ func sortRelation(r *relation, keys []evalFn, desc []bool) error {
 	return nil
 }
 
-// relationFingerprint renders a stable textual digest of a relation (tests).
+// relationFingerprint digests a relation order-insensitively (tests use it
+// for multiset equality between profiles): per-row key hashes encoded into
+// one reusable buffer are combined commutatively, so no per-row strings
+// and no sort are needed.
 func relationFingerprint(r *relation) string {
-	lines := make([]string, len(r.rows))
-	for i, row := range r.rows {
-		parts := make([]string, len(row))
-		for j, v := range row {
-			parts[j] = v.String()
-		}
-		lines[i] = strings.Join(parts, "|")
+	var buf []byte
+	var sum, xor uint64
+	for _, row := range r.rows {
+		buf = appendRowKey(buf[:0], row, nil)
+		h := hashBytes(buf)
+		sum += h
+		xor ^= h
 	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
+	return fmt.Sprintf("%d:%016x:%016x", len(r.rows), sum, xor)
 }
-
-var _ = fmt.Sprintf // keep fmt import if unused paths get pruned

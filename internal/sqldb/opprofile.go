@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // OpProfile is one node of the EXPLAIN ANALYZE operator tree: the executor
@@ -35,6 +36,10 @@ type OpProfile struct {
 	// probe-side rows) or, for a nested loop, the row pairs examined — the
 	// executor's "index probe vs scan" measure.
 	Probes int `json:"probes,omitempty"`
+	// TimeUS is the operator's wall time in microseconds, recorded only
+	// where the executor times work explicitly (parallel union arms); 0
+	// means not measured.
+	TimeUS int64 `json:"time_us,omitempty"`
 
 	Children []*OpProfile `json:"children,omitempty"`
 }
@@ -62,6 +67,13 @@ func (p *OpProfile) SetJoin(left, right, out, build, probes int) {
 	if p != nil {
 		p.LeftRows, p.RightRows, p.Rows = left, right, out
 		p.BuildRows, p.Probes = build, probes
+	}
+}
+
+// SetTime records the operator's wall time.
+func (p *OpProfile) SetTime(d time.Duration) {
+	if p != nil {
+		p.TimeUS = d.Microseconds()
 	}
 }
 
@@ -129,6 +141,9 @@ func (p *OpProfile) render(sb *strings.Builder, prefix string, last, root bool) 
 		line += " " + p.Detail
 	}
 	line += " (" + p.cardinality() + ")"
+	if p.TimeUS > 0 {
+		line += fmt.Sprintf(" t=%dus", p.TimeUS)
+	}
 	if root {
 		sb.WriteString(line + "\n")
 	} else {
@@ -203,12 +218,15 @@ func (ctx *execCtx) addOp(op, detail string) *OpProfile {
 // collecting the operator-level execution profile (EXPLAIN ANALYZE): per
 // operator, rows in/out, join algorithm, hash-build size and probe count.
 func (db *Database) ProfileSelect(s *SelectStmt) (*Result, *OpProfile, error) {
+	return db.ProfileSelectOpts(s, ExecOptions{})
+}
+
+// ProfileSelectOpts is ProfileSelect under the given execution options;
+// with parallelism enabled the profile additionally carries per-arm wall
+// times and workers=/morsels=/partitions= annotations.
+func (db *Database) ProfileSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, *OpProfile, error) {
 	root := newOp("query", "")
-	ctx := &execCtx{
-		subqueries: make(map[string]*relation),
-		sortOrders: make(map[sortKey][]int),
-		prof:       root,
-	}
+	ctx := newExecCtx(opt, root)
 	rel, err := db.evalSelectChain(ctx, s)
 	if err != nil {
 		return nil, nil, err

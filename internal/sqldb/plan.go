@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"npdbench/internal/obs"
 )
 
 // Result is the output of a query: named columns and rows.
@@ -24,9 +27,11 @@ func (db *Database) Query(sql string) (*Result, error) {
 // ExplainSelect executes the statement and returns the planner decisions
 // taken (EXPLAIN ANALYZE style): pushed-down predicates with their
 // selectivity, join order, join algorithms and intermediate cardinalities.
+// Explain runs are always sequential: the note log is ordered.
 func (db *Database) ExplainSelect(s *SelectStmt) ([]string, error) {
 	var notes []string
-	ctx := &execCtx{subqueries: make(map[string]*relation), explain: &notes, sortOrders: make(map[sortKey][]int)}
+	ctx := newExecCtx(ExecOptions{}, nil)
+	ctx.explain = &notes
 	rel, err := db.evalSelectChain(ctx, s)
 	if err != nil {
 		return nil, err
@@ -36,9 +41,31 @@ func (db *Database) ExplainSelect(s *SelectStmt) ([]string, error) {
 	return notes, nil
 }
 
-// ExecSelect executes a parsed SELECT statement (including UNION chains).
+// ExecOptions configures one statement execution.
+type ExecOptions struct {
+	// Parallelism caps the workers any one operator may fan out to; <= 1
+	// executes fully sequentially on the calling goroutine (the classic
+	// behaviour). Results are bit-identical at any setting.
+	Parallelism int
+	// Pool bounds the helper workers shared across statements and
+	// queries. nil with Parallelism > 1 gives this statement a private
+	// pool of its own.
+	Pool *Pool
+	// Stats, when non-nil, accumulates the parallel-operator counters of
+	// this execution.
+	Stats *ExecStats
+}
+
+// ExecSelect executes a parsed SELECT statement (including UNION chains)
+// sequentially.
 func (db *Database) ExecSelect(s *SelectStmt) (*Result, error) {
-	ctx := &execCtx{subqueries: make(map[string]*relation), sortOrders: make(map[sortKey][]int)}
+	return db.ExecSelectOpts(s, ExecOptions{})
+}
+
+// ExecSelectOpts executes a parsed SELECT statement under the given
+// execution options (intra-query parallelism).
+func (db *Database) ExecSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, error) {
+	ctx := newExecCtx(opt, nil)
 	rel, err := db.evalSelectChain(ctx, s)
 	if err != nil {
 		return nil, err
@@ -50,22 +77,72 @@ func (db *Database) ExecSelect(s *SelectStmt) (*Result, error) {
 	return res, nil
 }
 
-// execCtx carries per-statement execution state: derived tables that occur
-// in many union arms (OBDA unfoldings repeat the same mapping views) are
-// materialized once. When explain is non-nil, the planner records its
-// decisions (join order, algorithms, pushdowns) into it.
+// newExecCtx builds the root context of one statement execution.
+func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
+	ctx := &execCtx{cache: newStmtCache(), prof: prof}
+	if opt.Parallelism > 1 {
+		pool := opt.Pool
+		if pool == nil {
+			pool = NewPool(opt.Parallelism)
+		}
+		stats := opt.Stats
+		if stats == nil {
+			stats = &ExecStats{}
+		}
+		ctx.par = &parState{pool: pool, par: opt.Parallelism, stats: stats}
+	}
+	return ctx
+}
+
+// execCtx carries per-statement execution state. The cache is shared by
+// every child context of the statement (union arms evaluating in parallel
+// included); prof and parNote belong to exactly one goroutine at a time.
+// When explain is non-nil, the planner records its decisions (join order,
+// algorithms, pushdowns) into it and execution stays sequential.
 type execCtx struct {
-	subqueries map[string]*relation
-	explain    *[]string
-	// sortOrders caches sorted row orders per (relation, column) so the
-	// sort-merge profile sorts each shared mapping view once per
-	// statement, not once per union arm (what a real server's indexes
-	// amortize).
-	sortOrders map[sortKey][]int
+	cache   *stmtCache
+	explain *[]string
 	// prof, when non-nil, is the operator-profile node currently being
 	// built (EXPLAIN ANALYZE collection; see ProfileSelect). Operators
 	// append children via addOp/pushOp, which no-op when prof is nil.
 	prof *OpProfile
+	// par is the statement's parallel-execution state; nil = sequential.
+	par *parState
+	// parNote is the pending workers/partitions annotation of the last
+	// parallel operator (see setParNote/takeParNote in pool.go).
+	parNote string
+}
+
+// stmtCache is the state shared across one statement's evaluation: derived
+// tables that occur in many union arms (OBDA unfoldings repeat the same
+// mapping views) are materialized once, and sorted row orders are computed
+// once per (relation, column) so the sort-merge profile sorts each shared
+// mapping view once per statement, not once per union arm (what a real
+// server's indexes amortize). Entries are singleflighted: when parallel
+// union arms race to the same subquery or sort order, one computes and the
+// rest wait.
+type stmtCache struct {
+	mu         sync.Mutex
+	subqueries map[string]*subqueryEntry
+	sortOrders map[sortKey]*sortOrderEntry
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{
+		subqueries: make(map[string]*subqueryEntry),
+		sortOrders: make(map[sortKey]*sortOrderEntry),
+	}
+}
+
+type subqueryEntry struct {
+	once sync.Once
+	rel  *relation
+	err  error
+}
+
+type sortOrderEntry struct {
+	once sync.Once
+	idx  []int
 }
 
 type sortKey struct {
@@ -73,17 +150,22 @@ type sortKey struct {
 	slot int
 }
 
+// sortedOrder is the one context-aware sort-order helper: it serves the
+// statement cache when the context has one and falls back to a direct
+// computation for standalone joins (nil context).
 func (ctx *execCtx) sortedOrder(r *relation, slot int) []int {
-	if ctx.sortOrders == nil {
-		return sortedOrder(r, slot)
+	if ctx == nil || ctx.cache == nil {
+		return computeSortedOrder(r, slot)
 	}
-	k := sortKey{r, slot}
-	if ord, ok := ctx.sortOrders[k]; ok {
-		return ord
+	ctx.cache.mu.Lock()
+	e, ok := ctx.cache.sortOrders[sortKey{r, slot}]
+	if !ok {
+		e = &sortOrderEntry{}
+		ctx.cache.sortOrders[sortKey{r, slot}] = e
 	}
-	ord := sortedOrder(r, slot)
-	ctx.sortOrders[k] = ord
-	return ord
+	ctx.cache.mu.Unlock()
+	e.once.Do(func() { e.idx = computeSortedOrder(r, slot) })
+	return e.idx
 }
 
 func (ctx *execCtx) note(format string, args ...any) {
@@ -100,32 +182,28 @@ func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, err
 	if !s.UnionAll {
 		op = "union"
 	}
-	node, restore := ctx.pushOp(op, "")
-	head, err := db.evalSelect(ctx, s)
-	if err != nil {
-		restore()
-		return nil, err
-	}
-	// The head's row slice can alias a base table (star fast path), so
-	// appending the other arms into it would write through to — or race
-	// on — the shared table storage. Concatenate into a fresh slice.
-	head.rows = append(make([]Row, 0, len(head.rows)), head.rows...)
-	arms := 1
+	arms := []*SelectStmt{s}
 	for u := s.Union; u != nil; u = u.Union {
-		arm, err := db.evalSelect(ctx, u)
-		if err != nil {
-			restore()
-			return nil, err
-		}
-		if len(arm.cols) != len(head.cols) {
-			restore()
-			return nil, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(arm.cols))
-		}
-		head.rows = append(head.rows, arm.rows...)
-		arms++
+		arms = append(arms, u)
+	}
+	node, restore := ctx.pushOp(op, "")
+	var head *relation
+	var err error
+	workers := 1
+	if ctx.par != nil && ctx.explain == nil && len(arms) > 1 {
+		head, workers, err = db.evalUnionArmsParallel(ctx, arms)
+	} else {
+		head, err = db.evalUnionArmsSequential(ctx, arms)
 	}
 	restore()
-	node.SetDetail(fmt.Sprintf("%d arms", arms))
+	if err != nil {
+		return nil, err
+	}
+	detail := fmt.Sprintf("%d arms", len(arms))
+	if workers > 1 {
+		detail += fmt.Sprintf(" [workers=%d]", workers)
+	}
+	node.SetDetail(detail)
 	node.SetRows(len(head.rows))
 	if !s.UnionAll {
 		before := len(head.rows)
@@ -133,6 +211,72 @@ func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, err
 		ctx.addOp("distinct", "").SetInOut(before, len(head.rows))
 	}
 	return head, nil
+}
+
+func (db *Database) evalUnionArmsSequential(ctx *execCtx, arms []*SelectStmt) (*relation, error) {
+	head, err := db.evalSelect(ctx, arms[0])
+	if err != nil {
+		return nil, err
+	}
+	// The head's row slice can alias a base table (star fast path), so
+	// appending the other arms into it would write through to — or race
+	// on — the shared table storage. Concatenate into a fresh slice.
+	head.rows = append(make([]Row, 0, len(head.rows)), head.rows...)
+	for _, u := range arms[1:] {
+		arm, err := db.evalSelect(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		if len(arm.cols) != len(head.cols) {
+			return nil, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(arm.cols))
+		}
+		head.rows = append(head.rows, arm.rows...)
+	}
+	return head, nil
+}
+
+// evalUnionArmsParallel evaluates every arm of a union chain concurrently —
+// the dominant cost of unfolded OBDA queries, whose UCQs have dozens of
+// arms. Arm outputs are concatenated in arm order, so the merged relation
+// is bit-identical to the sequential one. Each arm runs under a child
+// context that shares the statement cache and parallel state but owns its
+// own (pre-created, deterministically ordered) profile node.
+func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*relation, int, error) {
+	rels := make([]*relation, len(arms))
+	nodes := make([]*OpProfile, len(arms))
+	ctxs := make([]*execCtx, len(arms))
+	for i := range arms {
+		nodes[i] = ctx.addOp("arm", fmt.Sprintf("#%d", i+1))
+		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i]}
+	}
+	ctx.par.stats.UnionArms.Add(int64(len(arms)))
+	workers, err := ctx.par.run(len(arms), func(i int) error {
+		start := obs.Now()
+		rel, armErr := db.evalSelect(ctxs[i], arms[i])
+		nodes[i].SetTime(obs.Since(start))
+		if armErr != nil {
+			return armErr
+		}
+		nodes[i].SetRows(len(rel.rows))
+		rels[i] = rel
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	head := rels[0]
+	total := 0
+	for _, r := range rels {
+		total += len(r.rows)
+	}
+	rows := make([]Row, 0, total)
+	for _, r := range rels {
+		if len(r.cols) != len(head.cols) {
+			return nil, 0, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(r.cols))
+		}
+		rows = append(rows, r.rows...)
+	}
+	return &relation{cols: head.cols, rows: rows}, workers, nil
 }
 
 // evalSelect executes a single SELECT block (no union chaining).
@@ -154,11 +298,11 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 	}
 	if rest := andAll(remaining); rest != nil {
 		before := len(input.rows)
-		input, err = filterRelation(input, rest)
+		input, err = filterRelation(ctx, input, rest)
 		if err != nil {
 			return nil, err
 		}
-		ctx.addOp("filter", rest.String()).SetInOut(before, len(input.rows))
+		ctx.addOp("filter", rest.String()+ctx.takeParNote()).SetInOut(before, len(input.rows))
 	}
 
 	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
@@ -237,12 +381,12 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 		for i, r := range rels {
 			if bindable(c, r.cols) {
 				before := len(r.rows)
-				fr, err := filterRelation(r, c)
+				fr, err := filterRelation(ctx, r, c)
 				if err != nil {
 					return nil, nil, err
 				}
 				ctx.note("pushdown %s: %d -> %d rows", c, before, len(fr.rows))
-				ctx.addOp("filter", fmt.Sprintf("pushdown %s", c)).SetInOut(before, len(fr.rows))
+				ctx.addOp("filter", fmt.Sprintf("pushdown %s%s", c, ctx.takeParNote())).SetInOut(before, len(fr.rows))
 				rels[i] = fr
 				placed = true
 				break
@@ -282,10 +426,10 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 		switch {
 		case len(eq) > 0 && db.Profile == ProfileSortMerge:
 			algo = "merge join"
-			cur, err = mergeJoinCtx(ctx, cur, next, eq, andAll(residual))
+			cur, err = mergeJoin(ctx, cur, next, eq, andAll(residual))
 		case len(eq) > 0:
 			algo = "hash join"
-			cur, err = hashJoin(cur, next, eq, andAll(residual))
+			cur, err = hashJoin(ctx, cur, next, eq, andAll(residual))
 		default:
 			algo = "nested loop"
 			cur, err = nestedLoopJoin(cur, next, andAll(residual))
@@ -294,7 +438,7 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 			return nil, nil, err
 		}
 		ctx.note("%s (%d equi keys): %d x %d -> %d rows", algo, len(eq), lrows, rrows, len(cur.rows))
-		ctx.addOp(algo, fmt.Sprintf("%d equi keys", len(eq))).
+		ctx.addOp(algo, fmt.Sprintf("%d equi keys%s", len(eq), ctx.takeParNote())).
 			SetJoin(lrows, rrows, len(cur.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
 		pending = stillPending
 	}
@@ -418,19 +562,33 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		ctx.addOp("scan", t.Name).SetRows(len(tab.Rows))
 		return &relation{cols: cols, rows: tab.Rows}, nil
 	case *SubqueryTable:
+		// Derived tables repeat across the arms of OBDA unfoldings, so
+		// each distinct subquery is materialized once per statement. The
+		// entry is singleflighted: with parallel union arms, the first
+		// arrival computes it and concurrent arrivals wait on the result.
 		key := t.Query.String()
-		inner, cached := ctx.subqueries[key]
-		if !cached {
+		ctx.cache.mu.Lock()
+		e, ok := ctx.cache.subqueries[key]
+		if !ok {
+			e = &subqueryEntry{}
+			ctx.cache.subqueries[key] = e
+		}
+		ctx.cache.mu.Unlock()
+		computed := false
+		e.once.Do(func() {
+			computed = true
 			node, restore := ctx.pushOp("subquery", t.Alias)
-			var err error
-			inner, err = db.evalSelectChain(ctx, t.Query)
+			e.rel, e.err = db.evalSelectChain(ctx, t.Query)
 			restore()
-			if err != nil {
-				return nil, err
+			if e.err == nil {
+				node.SetRows(len(e.rel.rows))
 			}
-			node.SetRows(len(inner.rows))
-			ctx.subqueries[key] = inner
-		} else {
+		})
+		if e.err != nil {
+			return nil, e.err
+		}
+		inner := e.rel
+		if !computed {
 			ctx.addOp("subquery", t.Alias+" (cached)").SetRows(len(inner.rows))
 		}
 		alias := strings.ToLower(t.Alias)
@@ -453,7 +611,7 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			if err != nil {
 				return nil, err
 			}
-			ctx.addOp(algo, strings.ToLower(t.Kind.String())).
+			ctx.addOp(algo, strings.ToLower(t.Kind.String())+ctx.takeParNote()).
 				SetJoin(lrows, rrows, len(out.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
 			return out, nil
 		}
@@ -466,7 +624,7 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			if db.Profile == ProfileSortMerge {
 				algo = "merge join"
 			}
-			out, err := naturalJoin(l, r, db.Profile)
+			out, err := naturalJoin(ctx, l, r, db.Profile)
 			return record(algo, out, err)
 		case JoinLeft:
 			out, err := leftJoin(l, r, t.On)
@@ -479,10 +637,10 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 				return record("nested loop", out, err)
 			}
 			if db.Profile == ProfileSortMerge {
-				out, err := mergeJoinCtx(ctx, l, r, eq, andAll(residual))
+				out, err := mergeJoin(ctx, l, r, eq, andAll(residual))
 				return record("merge join", out, err)
 			}
-			out, err := hashJoin(l, r, eq, andAll(residual))
+			out, err := hashJoin(ctx, l, r, eq, andAll(residual))
 			return record("hash join", out, err)
 		}
 	}

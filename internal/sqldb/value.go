@@ -382,3 +382,134 @@ func RowKey(r Row, cols []int) string {
 	}
 	return sb.String()
 }
+
+// appendKey appends the Key() encoding of v to buf without materializing a
+// string: two values append equal bytes exactly when their Key() strings
+// are equal. The dedup path hashes these bytes out of a reusable buffer
+// instead of building one string per row.
+func (v Value) appendKey(buf []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(buf, 0x00, 'N')
+	case KindInt:
+		return strconv.AppendInt(append(buf, 0x01), v.I, 10)
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return strconv.AppendInt(append(buf, 0x01), int64(v.F), 10)
+		}
+		return strconv.AppendFloat(append(buf, 0x02), v.F, 'g', -1, 64)
+	case KindString:
+		return append(append(buf, 0x03), v.S...)
+	case KindBool:
+		return strconv.AppendInt(append(buf, 0x04), v.I, 10)
+	case KindDate:
+		return strconv.AppendInt(append(buf, 0x05), v.I, 10)
+	case KindGeometry:
+		return append(append(buf, 0x06), v.G.String()...)
+	}
+	return append(buf, 0x07)
+}
+
+// keyEq reports whether two values have equal Key() encodings — the dedup
+// equivalence (NULLs match, 1 and 1.0 match, kinds otherwise separate) —
+// without allocating either key.
+func (v Value) keyEq(o Value) bool {
+	vi, vIsInt := v.intClass()
+	oi, oIsInt := o.intClass()
+	if vIsInt || oIsInt {
+		return vIsInt && oIsInt && vi == oi
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindFloat:
+		// Equal non-integral floats format identically; NaN always
+		// formats as "NaN" so NaNs share a key.
+		return v.F == o.F || (math.IsNaN(v.F) && math.IsNaN(o.F))
+	case KindString:
+		return v.S == o.S
+	case KindBool, KindDate:
+		return v.I == o.I
+	case KindGeometry:
+		return v.G.String() == o.G.String()
+	}
+	return false
+}
+
+// intClass reports whether the value keys into the shared integer class
+// (\x01 prefix): integers, and floats with small integral values.
+func (v Value) intClass() (int64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return int64(v.F), true
+		}
+	}
+	return 0, false
+}
+
+// appendRowKey appends the composite key of row r over cols (all columns
+// when cols is nil) to buf, length-prefixing each column like RowKey.
+func appendRowKey(buf []byte, r Row, cols []int) []byte {
+	if cols == nil {
+		for _, v := range r {
+			buf = appendCell(buf, v)
+		}
+		return buf
+	}
+	for _, c := range cols {
+		buf = appendCell(buf, r[c])
+	}
+	return buf
+}
+
+func appendCell(buf []byte, v Value) []byte {
+	mark := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // key length, fixed 4-byte prefix
+	buf = v.appendKey(buf)
+	n := len(buf) - mark - 4
+	buf[mark] = byte(n >> 24)
+	buf[mark+1] = byte(n >> 16)
+	buf[mark+2] = byte(n >> 8)
+	buf[mark+3] = byte(n)
+	return buf
+}
+
+// rowKeyEq reports RowKey equality of two rows over all columns.
+func rowKeyEq(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].keyEq(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashBytes is 64-bit FNV-1a, inlined so the dedup path needs no
+// hash.Hash allocation.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashString is hashBytes over a string without copying it.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

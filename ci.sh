@@ -15,7 +15,12 @@ fi
 go build ./...
 go build ./cmd/...
 go vet ./...
-go run ./cmd/repolint internal cmd
+# Typed static analysis in strict mode: any unsuppressed finding fails;
+# every //lint:ignore must be in the documented allowlist and must match
+# a diagnostic; the canonical report must equal the committed golden; the
+# typed load + all passes must stay inside the wall-time budget.
+go run ./cmd/repolint -strict -allow testdata/repolint_allow.txt \
+    -golden testdata/repolint.golden -budget 20s
 go test -race ./...
 go run ./cmd/obdalint -strict -quiet
 

@@ -1,275 +1,144 @@
-// Command repolint enforces repository-local coding discipline that go vet
-// does not cover, using nothing but the standard library's go/ast:
+// Command repolint runs the repository's typed static-analysis engine
+// (internal/lint) over the module: the whole tree is loaded through
+// go/parser + go/types + go/importer and an ordered catalog of type-aware
+// passes checks the invariants the engine implementation has to hold —
+// shared-storage aliasing/ownership, guarded-field lock discipline,
+// atomic-access consistency, goroutine hygiene, iterator close, discarded
+// errors, and the observability timing funnel.
 //
-//   - iterator hygiene: a value obtained from an Open*/*Iterator/*Rows
-//     call must be Closed (directly or deferred) within the same function,
-//     or returned/assigned onward for the caller to close;
-//   - no discarded errors: `_ = err` silently swallows a value that was
-//     important enough to assign a name to;
-//   - timing funnel: raw time.Now()/time.Since() calls are reserved to
-//     internal/obs (the clock funnel) and internal/mixer (the measurement
-//     harness); everything else must go through obs.Now/obs.Since so the
-//     observability layer stays the single timing authority. Test files are
-//     exempt.
+//	repolint                   # text report over the whole module
+//	repolint internal cmd      # restrict to directories
+//	repolint -json             # machine-readable report (obdalint shape)
+//	repolint -strict           # any finding fails; suppressions must be
+//	                           # allowlisted and used
+//	repolint -golden FILE      # diff the canonical report against FILE
+//	repolint -allow FILE       # suppression allowlist ("path pass" lines)
+//	repolint -budget DURATION  # fail when load+passes exceed the budget
+//	repolint -quiet            # summary line only
 //
-// Usage: repolint [dirs...]   (default: internal)
-// Exits 1 when any finding is reported, making it suitable as a ci.sh gate.
+// Exits 0 when clean, 1 on findings (or, with -strict, suppression /
+// golden / budget violations), 2 on load errors. ci.sh gates on
+// `repolint -strict` with the golden repo report, the documented
+// suppression allowlist, and the timing budget.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
 	"strings"
+	"time"
+
+	"npdbench/internal/lint"
+	"npdbench/internal/obs"
 )
 
-// finding is one lint diagnostic.
-type finding struct {
-	pos token.Position
-	msg string
-}
-
-func (f finding) String() string {
-	return fmt.Sprintf("%s:%d: %s", f.pos.Filename, f.pos.Line, f.msg)
-}
-
 func main() {
-	dirs := os.Args[1:]
-	if len(dirs) == 0 {
-		dirs = []string{"internal"}
+	var (
+		asJSON = flag.Bool("json", false, "emit the report as JSON")
+		strict = flag.Bool("strict", false, "fail on any finding; check suppressions against the allowlist")
+		quiet  = flag.Bool("quiet", false, "print only the summary line")
+		golden = flag.String("golden", "", "compare the canonical text report against this file")
+		allow  = flag.String("allow", "", "suppression allowlist file")
+		budget = flag.Duration("budget", 0, "fail when typed load + passes exceed this wall time")
+	)
+	flag.Parse()
+
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
 	}
-	fset := token.NewFileSet()
-	var findings []finding
-	for _, dir := range dirs {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				if d.Name() == "testdata" {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if !strings.HasSuffix(path, ".go") {
-				return nil
-			}
-			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-			if err != nil {
-				return err
-			}
-			findings = append(findings, lintFile(fset, path, file)...)
-			return nil
-		})
+	loadStart := obs.Now()
+	mod, err := lint.LoadModule(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	loadTime := obs.Since(loadStart)
+	rep := lint.Run(mod, lint.Catalog())
+	rep.LoadTime = loadTime
+
+	exit := 0
+	if len(rep.Diags) > 0 {
+		exit = 1
+	}
+
+	switch {
+	case *asJSON:
+		b, err := json.MarshalIndent(rep.Payload(), "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "repolint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
-	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-}
-
-// lintFile runs every check over one parsed file.
-func lintFile(fset *token.FileSet, path string, file *ast.File) []finding {
-	var out []finding
-	timingExempt := timingExemptPath(path)
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch fn := n.(type) {
-		case *ast.FuncDecl:
-			if fn.Body != nil {
-				out = append(out, checkIterators(fset, fn.Body)...)
-			}
-		case *ast.AssignStmt:
-			out = append(out, checkDiscardedError(fset, fn)...)
-		case *ast.CallExpr:
-			if !timingExempt {
-				out = append(out, checkTimeNow(fset, fn)...)
-			}
-		}
-		return true
-	})
-	return out
-}
-
-// timingExemptPath reports whether a file may call time.Now/time.Since
-// directly: the obs clock funnel itself, the mixer measurement harness, and
-// test files (fixtures time whatever they like).
-func timingExemptPath(path string) bool {
-	p := filepath.ToSlash(path)
-	return strings.HasSuffix(p, "_test.go") ||
-		strings.Contains(p, "internal/obs/") ||
-		strings.Contains(p, "internal/mixer/")
-}
-
-// checkTimeNow flags raw time.Now()/time.Since() calls outside the exempt
-// packages: ad-hoc timing bypasses the observability clock funnel.
-func checkTimeNow(fset *token.FileSet, call *ast.CallExpr) []finding {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	pkg, ok := sel.X.(*ast.Ident)
-	if !ok || pkg.Name != "time" {
-		return nil
-	}
-	if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
-		return nil
-	}
-	return []finding{{
-		pos: fset.Position(call.Pos()),
-		msg: fmt.Sprintf("raw time.%s call: use obs.%s so timing stays behind the observability funnel",
-			sel.Sel.Name, sel.Sel.Name),
-	}}
-}
-
-// checkDiscardedError flags `_ = err`: every left-hand side is blank and
-// the right-hand side is a bare identifier named err (or *Err-suffixed).
-func checkDiscardedError(fset *token.FileSet, as *ast.AssignStmt) []finding {
-	if len(as.Lhs) != len(as.Rhs) {
-		return nil
-	}
-	allBlank := true
-	for _, l := range as.Lhs {
-		id, ok := l.(*ast.Ident)
-		if !ok || id.Name != "_" {
-			allBlank = false
-			break
-		}
-	}
-	if !allBlank {
-		return nil
-	}
-	var out []finding
-	for _, r := range as.Rhs {
-		id, ok := r.(*ast.Ident)
-		if !ok {
-			continue
-		}
-		if id.Name == "err" || strings.HasSuffix(id.Name, "Err") {
-			out = append(out, finding{
-				pos: fset.Position(as.Pos()),
-				msg: fmt.Sprintf("error value %q discarded with a blank assignment", id.Name),
-			})
-		}
-	}
-	return out
-}
-
-// iteratorCall reports whether a call expression looks like it yields a
-// resource that must be closed: Open*(...), *Iterator(...), *Rows(...).
-func iteratorCall(call *ast.CallExpr) bool {
-	var name string
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		name = f.Name
-	case *ast.SelectorExpr:
-		name = f.Sel.Name
+		fmt.Println(string(b))
+	case *quiet:
+		fmt.Println(rep.Summary())
 	default:
-		return false
+		fmt.Print(rep.String())
 	}
-	return strings.HasPrefix(name, "Open") ||
-		strings.HasSuffix(name, "Iterator") ||
-		strings.HasSuffix(name, "Rows")
+
+	if *strict {
+		if msgs := checkSuppressions(rep, *allow); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "repolint:", m)
+			}
+			exit = 1
+		}
+	}
+	if *golden != "" {
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		if got := rep.String(); got != string(want) {
+			fmt.Fprintf(os.Stderr, "repolint: report differs from golden %s\n--- golden\n%s--- got\n%s", *golden, want, got)
+			exit = 1
+		}
+	}
+	if *budget > 0 {
+		if total := rep.LoadTime + rep.PassTime; total > *budget {
+			fmt.Fprintf(os.Stderr, "repolint: load+passes took %v, over the %v budget\n",
+				total.Round(time.Millisecond), *budget)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
 }
 
-// checkIterators flags variables bound to iterator-yielding calls that are
-// never Closed in the function body. A variable that escapes the function
-// (returned, stored in a field or another variable, passed to a call) is
-// considered handed off and exempt — the discipline travels with the value.
-func checkIterators(fset *token.FileSet, body *ast.BlockStmt) []finding {
-	type obtained struct {
-		name string
-		pos  token.Pos
-	}
-	var opened []obtained
-	ast.Inspect(body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != 1 {
-			return true
+// checkSuppressions enforces the -strict suppression policy: every
+// //lint:ignore in the tree must appear in the allowlist ("<path> <pass>"
+// lines, # comments) and must have matched a diagnostic — a stale
+// suppression hides nothing and has to be deleted.
+func checkSuppressions(rep *lint.Report, allowFile string) []string {
+	allowed := map[string]bool{}
+	if allowFile != "" {
+		b, err := os.ReadFile(allowFile)
+		if err != nil {
+			return []string{err.Error()}
 		}
-		call, ok := as.Rhs[0].(*ast.CallExpr)
-		if !ok || !iteratorCall(call) {
-			return true
-		}
-		for _, l := range as.Lhs {
-			id, okID := l.(*ast.Ident)
-			if !okID || id.Name == "_" || id.Name == "err" {
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
-			opened = append(opened, obtained{name: id.Name, pos: as.Pos()})
-			break // only the first non-blank binding is the iterator
-		}
-		return true
-	})
-	if len(opened) == 0 {
-		return nil
-	}
-	closed := map[string]bool{}
-	escaped := map[string]bool{}
-	markIdent := func(e ast.Expr, set map[string]bool) {
-		if id, ok := e.(*ast.Ident); ok {
-			set[id.Name] = true
+			allowed[strings.Join(strings.Fields(line), " ")] = true
 		}
 	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
-				markIdent(sel.X, closed)
-				return true
-			}
-			for _, arg := range x.Args {
-				markIdent(arg, escaped)
-			}
-		case *ast.ReturnStmt:
-			for _, r := range x.Results {
-				markIdent(r, escaped)
-			}
-		case *ast.AssignStmt:
-			// re-assignment onward (v.field = it, other = it) hands it off
-			for _, r := range x.Rhs {
-				if _, isCall := r.(*ast.CallExpr); !isCall {
-					markIdent(r, escaped)
-				}
-			}
-		case *ast.CompositeLit:
-			for _, el := range x.Elts {
-				if kv, ok := el.(*ast.KeyValueExpr); ok {
-					markIdent(kv.Value, escaped)
-				} else {
-					markIdent(el, escaped)
-				}
-			}
-		case *ast.RangeStmt:
-			// ranged over: a slice or map, not a closable iterator — the
-			// Open*/*Rows naming heuristic misfired
-			markIdent(x.X, escaped)
-		case *ast.BinaryExpr:
-			// compared or computed with: plain data, not a resource
-			markIdent(x.X, escaped)
-			markIdent(x.Y, escaped)
+	var msgs []string
+	for _, s := range rep.Suppressions {
+		key := s.Pos.Filename + " " + s.Pass
+		if !allowed[key] {
+			msgs = append(msgs, fmt.Sprintf("%s:%d: suppression of %s is not in the allowlist (%s)",
+				s.Pos.Filename, s.Pos.Line, s.Pass, key))
 		}
-		return true
-	})
-	var out []finding
-	for _, o := range opened {
-		if closed[o.name] || escaped[o.name] {
-			continue
+		if !s.Used {
+			msgs = append(msgs, fmt.Sprintf("%s:%d: suppression of %s matches no diagnostic; delete it",
+				s.Pos.Filename, s.Pos.Line, s.Pass))
 		}
-		out = append(out, finding{
-			pos: fset.Position(o.pos),
-			msg: fmt.Sprintf("iterator %q is never Closed in this function (and does not escape)", o.name),
-		})
 	}
-	return out
+	return msgs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(2)
 }

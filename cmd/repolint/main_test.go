@@ -1,183 +1,105 @@
 package main
 
 import (
-	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"npdbench/internal/lint"
 )
 
-func lintSource(t *testing.T, src string) []finding {
-	return lintPath(t, "internal/pkg/fixture.go", src)
+// report builds a minimal lint.Report carrying the given suppressions.
+func report(ss ...lint.Suppression) *lint.Report {
+	return &lint.Report{Suppressions: ss}
 }
 
-func lintPath(t *testing.T, path, src string) []finding {
-	t.Helper()
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+func suppression(file string, line int, pass string, used bool) lint.Suppression {
+	return lint.Suppression{
+		Pass: pass, Reason: "test", Used: used,
+		Pos: token.Position{Filename: file, Line: line},
+	}
+}
+
+// TestCheckSuppressionsEmptyAllowlist checks the -strict default: every
+// suppression directive is rejected until it is allowlisted, and unused
+// directives are rejected regardless.
+func TestCheckSuppressionsEmptyAllowlist(t *testing.T) {
+	rep := report(
+		suppression("internal/core/plancache.go", 85, "lockguard", true),
+		suppression("internal/sqldb/plan.go", 10, "sharedmut", false),
+	)
+	msgs := checkSuppressions(rep, "")
+	if len(msgs) != 3 {
+		t.Fatalf("got %d messages, want 3 (2 not-allowed + 1 unused): %v", len(msgs), msgs)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "not in the allowlist") {
+		t.Errorf("missing not-in-allowlist message: %v", msgs)
+	}
+	if !strings.Contains(joined, "matches no diagnostic") {
+		t.Errorf("missing stale-suppression message: %v", msgs)
+	}
+}
+
+// TestCheckSuppressionsAllowlisted checks that an allowlist entry (with
+// comments and extra whitespace tolerated) admits a used suppression.
+func TestCheckSuppressionsAllowlisted(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "allow.txt")
+	content := "# documented suppressions\n\n  internal/core/plancache.go   lockguard  \n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := report(suppression("internal/core/plancache.go", 85, "lockguard", true))
+	if msgs := checkSuppressions(rep, allow); len(msgs) != 0 {
+		t.Errorf("allowlisted used suppression rejected: %v", msgs)
+	}
+
+	// The same entry does not cover a different pass in the same file.
+	rep = report(suppression("internal/core/plancache.go", 85, "sharedmut", true))
+	if msgs := checkSuppressions(rep, allow); len(msgs) != 1 {
+		t.Errorf("got %d messages for a non-allowlisted pass, want 1: %v", len(msgs), msgs)
+	}
+}
+
+// TestCheckSuppressionsStale checks that an allowlisted but unmatched
+// directive is still rejected: stale suppressions hide nothing and must
+// be deleted.
+func TestCheckSuppressionsStale(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "allow.txt")
+	if err := os.WriteFile(allow, []byte("a.go lockguard\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := report(suppression("a.go", 3, "lockguard", false))
+	msgs := checkSuppressions(rep, allow)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "matches no diagnostic") {
+		t.Errorf("stale suppression not rejected: %v", msgs)
+	}
+}
+
+// TestRepoIsStrictClean is the in-tree mirror of the ci gate: the engine
+// over the whole module must report nothing unsuppressed, and every
+// suppression must be documented in the committed allowlist.
+func TestRepoIsStrictClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typed whole-module load is slow; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lintFile(fset, path, file)
-}
-
-func TestDiscardedError(t *testing.T) {
-	findings := lintSource(t, `package p
-func f() {
-	err := g()
-	_ = err
-}
-func g() error { return nil }
-`)
-	if len(findings) != 1 || !strings.Contains(findings[0].msg, "discarded") {
-		t.Fatalf("findings: %v", findings)
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("typed load: %v", err)
 	}
-	if findings[0].pos.Line != 4 {
-		t.Fatalf("line = %d, want 4", findings[0].pos.Line)
+	rep := lint.Run(mod, lint.Catalog())
+	for _, d := range rep.Diags {
+		t.Errorf("unsuppressed finding: %s", d)
 	}
-}
-
-func TestDiscardedErrorIgnoresOtherBlanks(t *testing.T) {
-	findings := lintSource(t, `package p
-func f() {
-	v := 1
-	_ = v
-	_, ok := m["k"]
-	_ = ok
-}
-var m map[string]int
-`)
-	if len(findings) != 0 {
-		t.Fatalf("unexpected findings: %v", findings)
-	}
-}
-
-func TestIteratorNeverClosed(t *testing.T) {
-	findings := lintSource(t, `package p
-func f() {
-	it := OpenRows()
-	for it.Next() {
-	}
-}
-`)
-	if len(findings) != 1 || !strings.Contains(findings[0].msg, "never Closed") {
-		t.Fatalf("findings: %v", findings)
-	}
-}
-
-func TestIteratorClosedDirectly(t *testing.T) {
-	findings := lintSource(t, `package p
-func f() {
-	it := OpenRows()
-	defer it.Close()
-	other := table.NewIterator()
-	other.Close()
-}
-`)
-	if len(findings) != 0 {
-		t.Fatalf("unexpected findings: %v", findings)
-	}
-}
-
-func TestIteratorEscapes(t *testing.T) {
-	findings := lintSource(t, `package p
-func ret() *Rows {
-	it := OpenRows()
-	return it
-}
-func pass() {
-	it := OpenRows()
-	consume(it)
-}
-func store(s *state) {
-	it := OpenRows()
-	s.rows = it
-}
-`)
-	if len(findings) != 0 {
-		t.Fatalf("unexpected findings: %v", findings)
-	}
-}
-
-func TestIteratorUsedAsPlainValue(t *testing.T) {
-	// Values with iterator-like provenance that are ranged over or used in
-	// arithmetic/comparisons are plain data (slices, counts), not
-	// closable resources.
-	findings := lintSource(t, `package p
-func f() {
-	rows := TableRows()
-	for _, r := range rows {
-		use(r)
-	}
-	n := db.TotalRows()
-	if n != 0 {
-		use(n)
-	}
-}
-`)
-	if len(findings) != 0 {
-		t.Fatalf("unexpected findings: %v", findings)
-	}
-}
-
-func TestIteratorNamingHeuristics(t *testing.T) {
-	findings := lintSource(t, `package p
-func f() {
-	a := OpenFile("x")
-	b := db.ScanRows()
-	c := idx.KeyIterator()
-	plain := compute()
-	_ = plain
-}
-`)
-	if len(findings) != 3 {
-		t.Fatalf("want 3 findings (a, b, c), got %v", findings)
-	}
-}
-
-func TestRawTimeNowFlagged(t *testing.T) {
-	src := `package p
-import "time"
-func f() time.Duration {
-	start := time.Now()
-	return time.Since(start)
-}
-`
-	findings := lintPath(t, "internal/core/engine.go", src)
-	if len(findings) != 2 {
-		t.Fatalf("findings: %v", findings)
-	}
-	for _, f := range findings {
-		if !strings.Contains(f.msg, "obs.") {
-			t.Fatalf("message should point at the obs funnel: %v", f)
+	if msgs := checkSuppressions(rep, filepath.Join(root, "testdata", "repolint_allow.txt")); len(msgs) > 0 {
+		for _, m := range msgs {
+			t.Errorf("suppression policy: %s", m)
 		}
-	}
-	if findings[0].pos.Line != 4 || findings[1].pos.Line != 5 {
-		t.Fatalf("lines: %v", findings)
-	}
-}
-
-func TestRawTimeNowExemptions(t *testing.T) {
-	src := `package p
-import "time"
-func f() time.Time { return time.Now() }
-`
-	for _, path := range []string{
-		"internal/obs/clock.go",
-		"internal/mixer/mixer.go",
-		"internal/core/engine_test.go",
-	} {
-		if findings := lintPath(t, path, src); len(findings) != 0 {
-			t.Errorf("%s should be exempt: %v", path, findings)
-		}
-	}
-	// Unrelated time package members stay legal everywhere.
-	other := `package p
-import "time"
-func f() time.Duration { return 5 * time.Millisecond }
-func g() { time.Sleep(time.Millisecond) }
-`
-	if findings := lintPath(t, "internal/core/x.go", other); len(findings) != 0 {
-		t.Errorf("non-Now/Since time calls flagged: %v", findings)
 	}
 }

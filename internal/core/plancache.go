@@ -47,10 +47,10 @@ type planEntry struct {
 // doubly-linked list ordered most- to least-recently used.
 type planShard struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[string]*planEntry
-	head    *planEntry // most recently used
-	tail    *planEntry // least recently used
+	cap     int                   // immutable after construction
+	entries map[string]*planEntry // guarded by mu
+	head    *planEntry            // most recently used; guarded by mu
+	tail    *planEntry            // least recently used; guarded by mu
 }
 
 // planCache is the bounded, sharded LRU. All counters are atomics; the
@@ -82,6 +82,7 @@ func newPlanCache(size int, reg *obs.Registry) *planCache {
 	c := &planCache{}
 	for i := range c.shards {
 		c.shards[i].cap = perShard
+		//lint:ignore lockguard construction happens-before publication of the cache
 		c.shards[i].entries = make(map[string]*planEntry)
 	}
 	if reg != nil {
@@ -195,8 +196,11 @@ func (c *planCache) stats() PlanCacheStats {
 	}
 }
 
-// --- intrusive LRU list (shard mutex held) ---
+// --- intrusive LRU list ---
 
+// pushFront links en as the most-recently-used entry.
+//
+//lint:holds mu
 func (sh *planShard) pushFront(en *planEntry) {
 	en.prev = nil
 	en.next = sh.head
@@ -209,6 +213,9 @@ func (sh *planShard) pushFront(en *planEntry) {
 	}
 }
 
+// unlink removes en from the LRU list.
+//
+//lint:holds mu
 func (sh *planShard) unlink(en *planEntry) {
 	if en.prev != nil {
 		en.prev.next = en.next
@@ -223,6 +230,9 @@ func (sh *planShard) unlink(en *planEntry) {
 	en.prev, en.next = nil, nil
 }
 
+// moveToFront marks en most recently used.
+//
+//lint:holds mu
 func (sh *planShard) moveToFront(en *planEntry) {
 	if sh.head == en {
 		return

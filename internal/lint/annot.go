@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// The annotation grammar (documented in DESIGN.md):
+//
+//	//lint:ignore <pass> <reason>     on or directly above a line: suppress
+//	                                  that pass's diagnostics for the line
+//	// guarded by <mu>                on a struct field: the field may only
+//	                                  be accessed with <mu> (a sibling
+//	                                  mutex field) held  [lockguard]
+//	//lint:shared <prose>             on a slice-typed struct field: values
+//	                                  may alias shared storage; in-place
+//	                                  mutation requires freshening first
+//	                                  [sharedmut]
+//	//lint:mutates <param>            on a function: the function mutates
+//	                                  <param>'s shared backing in place;
+//	                                  callers must pass owned (freshened)
+//	                                  values  [sharedmut]
+//	//lint:holds <mu>                 on a method: callers hold the
+//	                                  receiver's <mu>; guarded fields of
+//	                                  the receiver are accessible, and
+//	                                  call sites are checked instead
+//	                                  [lockguard]
+//	//lint:go-allowed <reason>        anywhere in a file: go statements in
+//	                                  this file are the sanctioned spawn
+//	                                  point (still checked for cooperative
+//	                                  stop)  [gohygiene]
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// annotations is the per-package index of every lint directive and
+// annotation, resolved to type objects where possible.
+type annotations struct {
+	// ignores maps file name -> line -> suppressions declared on that line.
+	ignores map[string]map[int][]*Suppression
+	// guards maps a struct field object to the name of the sibling mutex
+	// field guarding it.
+	guards map[*types.Var]string
+	// shared is the set of struct fields whose values may alias shared
+	// storage (the sharedmut ownership domain).
+	shared map[*types.Var]bool
+	// mutates maps a function object to the parameter/receiver names it
+	// declares in-place mutation of.
+	mutates map[*types.Func][]string
+	// holds maps a method object to the receiver mutex name its callers
+	// must hold.
+	holds map[*types.Func]string
+	// goAllowed is the set of files carrying a go-allowed directive.
+	goAllowed map[*ast.File]bool
+}
+
+// directive splits "//lint:<verb> <args...>"; ok is false for any other
+// comment.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	rest, found := strings.CutPrefix(text, "lint:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// annotate indexes every annotation in the package.
+func annotate(fset *token.FileSet, pkg *Package) *annotations {
+	ann := &annotations{
+		ignores:   map[string]map[int][]*Suppression{},
+		guards:    map[*types.Var]string{},
+		shared:    map[*types.Var]bool{},
+		mutates:   map[*types.Func][]string{},
+		holds:     map[*types.Func]string{},
+		goAllowed: map[*ast.File]bool{},
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := directive(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				switch verb {
+				case "ignore":
+					pass, reason, _ := strings.Cut(args, " ")
+					if pass == "" {
+						continue
+					}
+					byLine := ann.ignores[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*Suppression{}
+						ann.ignores[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &Suppression{
+						Pass: pass, Reason: strings.TrimSpace(reason), Pos: pos,
+					})
+				case "go-allowed":
+					ann.goAllowed[file] = true
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				ann.indexFields(pkg, x)
+			case *ast.FuncDecl:
+				ann.indexFunc(pkg, x)
+			}
+			return true
+		})
+	}
+	return ann
+}
+
+// indexFields records guarded-by and shared annotations on struct fields.
+func (ann *annotations) indexFields(pkg *Package, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		var mu string
+		shared := false
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if m := guardedRe.FindStringSubmatch(c.Text); m != nil {
+					mu = m[1]
+				}
+				if verb, _, ok := directive(c); ok && verb == "shared" {
+					shared = true
+				}
+			}
+		}
+		if mu == "" && !shared {
+			continue
+		}
+		for _, name := range field.Names {
+			obj, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if mu != "" {
+				ann.guards[obj] = mu
+			}
+			if shared {
+				ann.shared[obj] = true
+			}
+		}
+	}
+}
+
+// indexFunc records mutates/holds annotations from a function's doc.
+func (ann *annotations) indexFunc(pkg *Package, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		verb, args, ok := directive(c)
+		if !ok {
+			continue
+		}
+		switch verb {
+		case "mutates":
+			for _, p := range strings.Fields(args) {
+				ann.mutates[obj] = append(ann.mutates[obj], p)
+			}
+		case "holds":
+			if f := strings.Fields(args); len(f) > 0 {
+				ann.holds[obj] = f[0]
+			}
+		}
+	}
+}
+
+// suppressionsFor returns the directives covering a diagnostic: same file,
+// same line or the line directly above.
+func (ann *annotations) suppressionsFor(d Diagnostic) []*Suppression {
+	byLine := ann.ignores[d.Pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	var out []*Suppression
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, s := range byLine[line] {
+			if s.Pass == d.Pass {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// allSuppressions flattens the directive index in deterministic order.
+func (ann *annotations) allSuppressions() []*Suppression {
+	var out []*Suppression
+	for _, byLine := range ann.ignores {
+		for _, ss := range byLine {
+			out = append(out, ss...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package: syntax, type information, and
+// the file names backing it. Test files are excluded — the analyzer guards
+// production code; fixtures and tests time, spawn, and discard whatever
+// they like.
+type Package struct {
+	Path  string // import path ("npdbench/internal/sqldb")
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the loaded closure of repository packages sharing one FileSet.
+type Module struct {
+	Root string
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// loader resolves intra-module imports by type-checking the imported
+// directory on demand (memoized) and delegates everything else to the
+// stdlib source importer, so the engine needs nothing beyond the standard
+// library — no export data, no external driver.
+type loader struct {
+	root    string
+	modpath string
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(root, modpath string, fset *token.FileSet) *loader {
+	return &loader{
+		root:    root,
+		modpath: modpath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer over the union of module and stdlib
+// packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package by import path.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.modpath {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modpath+"/")))
+	}
+	p, err := l.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+// check type-checks the non-test Go files of one directory as the package
+// with the given import path.
+func (l *loader) check(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadModule loads every package found under the given directories
+// (relative to the module root; default the whole module). testdata and
+// hidden directories are skipped. The module path comes from go.mod.
+func LoadModule(root string, dirs ...string) (*Module, error) {
+	modpath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	fset := token.NewFileSet()
+	l := newLoader(root, modpath, fset)
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		start := filepath.Join(root, filepath.FromSlash(d))
+		err := filepath.WalkDir(start, func(p string, de fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if de.IsDir() {
+				name := de.Name()
+				if name == "testdata" || (strings.HasPrefix(name, ".") && p != start) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(p)
+			if seen[dir] {
+				return nil
+			}
+			seen[dir] = true
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			ip := modpath
+			if rel != "." {
+				ip = modpath + "/" + filepath.ToSlash(rel)
+			}
+			_, err = l.load(ip)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l.module(root), nil
+}
+
+// LoadDir type-checks a single directory as a standalone package under the
+// given import path — the fixture loader used by the per-pass golden tests.
+// Fixture packages may import only the standard library.
+func LoadDir(dir, path string) (*Module, error) {
+	fset := token.NewFileSet()
+	l := newLoader(dir, path, fset)
+	p, err := l.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = p
+	return l.module(dir), nil
+}
+
+func (l *loader) module(root string) *Module {
+	m := &Module{Root: root, Fset: l.fset}
+	for _, p := range l.cache {
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m
+}
+
+// modulePath reads the module declaration out of root's go.mod.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}

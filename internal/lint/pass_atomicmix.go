@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// passAtomicMix is the atomic-consistency analysis: a variable or field
+// accessed through sync/atomic anywhere in the package must never be read
+// or written non-atomically anywhere else — mixed access is a data race
+// even when every write happens to be atomic (the pool's ExecStats class
+// of bug, fixed in PR 5 by moving every counter to typed atomics). The
+// pass runs in two phases over the whole package: phase one collects
+// every variable whose address is passed to a sync/atomic operation,
+// phase two flags every other syntactic use of those variables.
+func passAtomicMix() *Pass {
+	return &Pass{
+		Name: "atomicmix",
+		Doc:  "variables accessed both atomically and non-atomically",
+		Sev:  SevError,
+		Run: func(c *Context) {
+			// Phase 1: every `atomic.Op(&x, ...)` argument position.
+			atomicVars := map[*types.Var]string{} // var -> atomic op seen
+			atomicUses := map[token.Pos]bool{}    // idents sanctioned by phase 1
+			for _, file := range c.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := c.ObjectOf(sel.Sel).(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					for _, arg := range call.Args {
+						un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						v, id := resolveVar(c, un.X)
+						if v == nil {
+							continue
+						}
+						atomicVars[v] = fn.Name()
+						atomicUses[id.Pos()] = true
+					}
+					return true
+				})
+			}
+			if len(atomicVars) == 0 {
+				return
+			}
+			// Phase 2: any other use of those variables is a plain access.
+			for _, file := range c.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v, ok := c.ObjectOf(id).(*types.Var)
+					if !ok {
+						return true
+					}
+					op, isAtomic := atomicVars[v]
+					if !isAtomic || atomicUses[id.Pos()] {
+						return true
+					}
+					// The declaration itself is not an access.
+					if c.Pkg.Info.Defs[id] != nil {
+						return true
+					}
+					c.Report(id, fmt.Sprintf(
+						"%q is accessed with sync/atomic.%s elsewhere; this non-atomic access races with it",
+						id.Name, op))
+					return true
+				})
+			}
+		},
+	}
+}
+
+// resolveVar resolves &x or &s.f down to the variable/field object and the
+// identifier naming it.
+func resolveVar(c *Context, e ast.Expr) (*types.Var, *ast.Ident) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.ObjectOf(x).(*types.Var); ok {
+			return v, x
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.Pkg.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, x.Sel
+			}
+		}
+	case *ast.IndexExpr:
+		return resolveVar(c, x.X)
+	}
+	return nil, nil
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// passDiscardErr ports repolint's discarded-error rule onto the typed
+// driver: `_ = x` where x is a bound error value silently swallows a value
+// that was important enough to assign a name to. The old rule matched
+// identifiers *named* err/*Err; the typed rule matches on the static type
+// instead, so misnamed error values are caught and non-error values named
+// err are not. Deliberate call discards (`_ = f()`) stay legal — the
+// author chose to ignore a fresh result, not to drop an already-bound one.
+func passDiscardErr() *Pass {
+	return &Pass{
+		Name: "discarderr",
+		Doc:  "bound error values discarded with a blank assignment",
+		Sev:  SevWarning,
+		Run: func(c *Context) {
+			for _, file := range c.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					as, ok := n.(*ast.AssignStmt)
+					if !ok || len(as.Lhs) != len(as.Rhs) {
+						return true
+					}
+					for _, l := range as.Lhs {
+						if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+							return true
+						}
+					}
+					for _, r := range as.Rhs {
+						switch r.(type) {
+						case *ast.Ident, *ast.SelectorExpr:
+						default:
+							continue
+						}
+						t := c.TypeOf(r)
+						if t == nil || !isErrorType(t) {
+							continue
+						}
+						c.Report(as, fmt.Sprintf(
+							"error value %q discarded with a blank assignment", exprString(r)))
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isErrorType reports whether t is the error interface or implements it.
+func isErrorType(t types.Type) bool {
+	if t == types.Universe.Lookup("error").Type() {
+		return true
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

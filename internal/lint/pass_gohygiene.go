@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// passGoHygiene is the goroutine-hygiene analysis for the engine packages
+// (internal/sqldb and internal/core): no naked `go` statements outside the
+// worker pool — every parallel operator borrows from the bounded Pool so
+// nested operators cannot deadlock and goroutine counts stay bounded under
+// a long-running server — and the sanctioned spawn sites (files carrying
+// //lint:go-allowed) must thread the cooperative-stop signal: the spawned
+// task has to observe an atomic.Bool stop flag, a channel receive, or a
+// context cancellation, directly or through a local function literal it
+// calls, so an error in any sibling task stops the whole fan-out.
+func passGoHygiene() *Pass {
+	return &Pass{
+		Name: "gohygiene",
+		Doc:  "goroutine spawning outside the pool / without a stop signal",
+		Sev:  SevError,
+		Run: func(c *Context) {
+			if !goHygienePkg(c.Pkg.Path) {
+				return
+			}
+			for _, file := range c.Pkg.Files {
+				allowed := c.Ann.goAllowed[file]
+				ast.Inspect(file, func(n ast.Node) bool {
+					fd, ok := n.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						return true
+					}
+					// Local function literals, for one level of expansion:
+					// `work := func() {...}; go func() { work() }()`.
+					locals := localFuncLits(fd.Body)
+					ast.Inspect(fd.Body, func(m ast.Node) bool {
+						gs, ok := m.(*ast.GoStmt)
+						if !ok {
+							return true
+						}
+						if !allowed {
+							c.Report(gs, "naked go statement outside the worker pool; fan work out through Pool (or annotate the file //lint:go-allowed with a reason)")
+							return true
+						}
+						if !spawnObservesStop(c, gs.Call, locals) {
+							c.Report(gs, "spawned goroutine does not observe a cooperative-stop signal (atomic.Bool Load, channel receive, or context.Done)")
+						}
+						return true
+					})
+					return true
+				})
+			}
+		},
+	}
+}
+
+// goHygienePkg reports whether the package is under the engine's goroutine
+// discipline.
+func goHygienePkg(path string) bool {
+	return strings.HasSuffix(path, "internal/sqldb") ||
+		strings.HasSuffix(path, "internal/core")
+}
+
+// localFuncLits maps variable names to the function literals assigned to
+// them within the function body.
+func localFuncLits(body *ast.BlockStmt) map[string]*ast.FuncLit {
+	out := map[string]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if fl, ok := as.Rhs[i].(*ast.FuncLit); ok {
+				out[id.Name] = fl
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// spawnObservesStop reports whether the spawned call's body (expanding one
+// level of local function-literal calls) observes a cooperative-stop
+// signal.
+func spawnObservesStop(c *Context, call *ast.CallExpr, locals map[string]*ast.FuncLit) bool {
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		// `go method()` / `go fn()`: resolve local literals; anything else
+		// is outside the intra-procedural horizon — require the literal
+		// form at sanctioned spawn sites.
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			if lit, found := locals[id.Name]; found {
+				return bodyObservesStop(c, lit.Body, locals, 1)
+			}
+		}
+		return false
+	}
+	return bodyObservesStop(c, fl.Body, locals, 1)
+}
+
+func bodyObservesStop(c *Context, body *ast.BlockStmt, locals map[string]*ast.FuncLit, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			// <-ch: any channel receive counts as observing a signal.
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Load":
+					if isAtomicBool(c.TypeOf(sel.X)) {
+						found = true
+					}
+				case "Done":
+					if isContext(c.TypeOf(sel.X)) {
+						found = true
+					}
+				}
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok && depth > 0 {
+				if lit, isLocal := locals[id.Name]; isLocal && bodyObservesStop(c, lit.Body, locals, depth-1) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAtomicBool reports whether t is sync/atomic.Bool.
+func isAtomicBool(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Bool"
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

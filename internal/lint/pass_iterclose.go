@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// passIterClose ports repolint's iterator-hygiene rule onto the typed
+// driver: a value obtained from an Open*/*Iterator/*Rows call must be
+// Closed (directly or deferred) within the same function, or handed onward
+// (returned, stored, passed) for the caller to close. The typed gate — the
+// bound value's method set must actually contain Close — kills the old
+// rule's known false-positive mode, where any *Rows-suffixed helper
+// returning a plain slice or count tripped the naming heuristic.
+func passIterClose() *Pass {
+	return &Pass{
+		Name: "iterclose",
+		Doc:  "closable values from Open*/*Iterator/*Rows calls never Closed",
+		Sev:  SevWarning,
+		Run: func(c *Context) {
+			for _, file := range c.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					fd, ok := n.(*ast.FuncDecl)
+					if ok && fd.Body != nil {
+						checkIterators(c, fd.Body)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// iteratorCallName reports the callee name when a call looks like it yields
+// a resource that must be closed: Open*(...), *Iterator(...), *Rows(...).
+func iteratorCallName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return "", false
+	}
+	if strings.HasPrefix(name, "Open") ||
+		strings.HasSuffix(name, "Iterator") ||
+		strings.HasSuffix(name, "Rows") {
+		return name, true
+	}
+	return "", false
+}
+
+// checkIterators flags variables bound to closable iterator-yielding calls
+// that are never Closed in the function body and never escape it.
+func checkIterators(c *Context, body *ast.BlockStmt) {
+	type obtained struct {
+		name string
+		node ast.Node
+		from string
+	}
+	var opened []obtained
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := iteratorCallName(call)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, okID := l.(*ast.Ident)
+			if !okID || id.Name == "_" {
+				continue
+			}
+			// The typed gate: only values that can actually be Closed are
+			// tracked; the error half of a (it, err) pair is skipped by it.
+			if !hasCloseMethod(c.TypeOf(as.Lhs[i])) {
+				continue
+			}
+			opened = append(opened, obtained{name: id.Name, node: as, from: callee})
+			break // the first closable binding is the iterator
+		}
+		return true
+	})
+	if len(opened) == 0 {
+		return
+	}
+	closed := map[string]bool{}
+	escaped := map[string]bool{}
+	markIdent := func(e ast.Expr, set map[string]bool) {
+		if id, ok := e.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				markIdent(sel.X, closed)
+				return true
+			}
+			for _, arg := range x.Args {
+				markIdent(arg, escaped)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				markIdent(r, escaped)
+			}
+		case *ast.AssignStmt:
+			// Re-assignment onward (v.field = it, other = it) hands it off.
+			for _, r := range x.Rhs {
+				if _, isCall := r.(*ast.CallExpr); !isCall {
+					markIdent(r, escaped)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					markIdent(kv.Value, escaped)
+				} else {
+					markIdent(el, escaped)
+				}
+			}
+		}
+		return true
+	})
+	for _, o := range opened {
+		if closed[o.name] || escaped[o.name] {
+			continue
+		}
+		c.Report(o.node, fmt.Sprintf(
+			"closable value %q from %s is never Closed in this function (and does not escape)",
+			o.name, o.from))
+	}
+}

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// passLockGuard is the lock-discipline analysis: struct fields annotated
+// `// guarded by <mu>` may only be accessed with that mutex held. The
+// analysis tracks lock state intra-procedurally — `x.mu.Lock()` puts
+// "x.mu" into the held set, `x.mu.Unlock()` removes it, `defer
+// x.mu.Unlock()` keeps it held to the end of the function — and every
+// read or write of a guarded field is checked against the set. Methods
+// whose callers hold the lock declare it with //lint:holds <mu>: inside
+// them the receiver's guarded fields are accessible, and each call site
+// is checked for the lock instead (the plancache's intrusive LRU helpers
+// run under the shard mutex this way).
+//
+// The tracking is best-effort by design: branches are analyzed with a
+// copy of the held set and do not propagate lock-state changes outward,
+// and function literals start from an empty held set. The failure mode is
+// a false positive, never a false negative — an access the analysis
+// cannot prove locked is reported, and a deliberate exception (such as
+// constructor code before the value is published) carries a documented
+// //lint:ignore.
+func passLockGuard() *Pass {
+	return &Pass{
+		Name: "lockguard",
+		Doc:  "guarded-field access without the declared mutex held",
+		Sev:  SevError,
+		Run: func(c *Context) {
+			if len(c.Ann.guards) == 0 {
+				return
+			}
+			lg := &lockGuard{c: c}
+			for _, file := range c.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					fd, ok := n.(*ast.FuncDecl)
+					if ok && fd.Body != nil {
+						lg.checkFunc(fd)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+type lockGuard struct {
+	c *Context
+	// holdsMu is the //lint:holds mutex name of the function under
+	// analysis ("" when none) and holdsRecv its receiver name.
+	holdsMu   string
+	holdsRecv string
+}
+
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func (lg *lockGuard) checkFunc(fd *ast.FuncDecl) {
+	lg.holdsMu, lg.holdsRecv = "", ""
+	if obj, ok := lg.c.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if mu, ok := lg.c.Ann.holds[obj]; ok {
+			lg.holdsMu = mu
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				lg.holdsRecv = fd.Recv.List[0].Names[0].Name
+			}
+		}
+	}
+	held := heldSet{}
+	if lg.holdsMu != "" && lg.holdsRecv != "" {
+		held[lg.holdsRecv+"."+lg.holdsMu] = true
+	}
+	lg.scanStmts(fd.Body.List, held)
+}
+
+// scanStmts threads the held set through a statement list in order.
+func (lg *lockGuard) scanStmts(stmts []ast.Stmt, held heldSet) {
+	for _, s := range stmts {
+		lg.scanStmt(s, held)
+	}
+}
+
+// scanStmt updates held for lock transitions in s and checks every
+// guarded-field access inside it. Nested blocks get a copy of the set so
+// their transitions stay local (best-effort flow handling).
+func (lg *lockGuard) scanStmt(s ast.Stmt, held heldSet) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lg.lockCall(x.X); ok {
+			lg.checkExprs(x.X, held) // the receiver chain itself
+			if op {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		lg.checkExprs(x.X, held)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held for the remainder of the
+		// function; any other deferred call is checked against the current
+		// set (an approximation — it actually runs at return).
+		if _, _, ok := lg.lockCall(x.Call); !ok {
+			lg.checkExprs(x.Call, held)
+		}
+	case *ast.BlockStmt:
+		lg.scanStmts(x.List, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			lg.scanStmt(x.Init, held)
+		}
+		lg.checkExprs(x.Cond, held)
+		lg.scanStmts(x.Body.List, held.clone())
+		if x.Else != nil {
+			lg.scanStmt(x.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			lg.scanStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			lg.checkExprs(x.Cond, held)
+		}
+		body := held.clone()
+		lg.scanStmts(x.Body.List, body)
+		if x.Post != nil {
+			lg.scanStmt(x.Post, body)
+		}
+	case *ast.RangeStmt:
+		lg.checkExprs(x.X, held)
+		lg.scanStmts(x.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			lg.scanStmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			lg.checkExprs(x.Tag, held)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lg.checkExprs(e, held)
+				}
+				lg.scanStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			lg.scanStmt(x.Init, held)
+		}
+		lg.scanStmt(x.Assign, held)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				lg.scanStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lg.scanStmt(cc.Comm, held.clone())
+				}
+				lg.scanStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		lg.scanStmt(x.Stmt, held)
+	default:
+		// Assignments, returns, go/send/incdec statements: plain
+		// expression checks.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch y := n.(type) {
+			case *ast.FuncLit:
+				lg.scanStmts(y.Body.List, heldSet{})
+				return false
+			case *ast.SelectorExpr:
+				lg.checkSelector(y, held)
+			}
+			return true
+		})
+	}
+}
+
+// checkExprs checks guarded accesses in an expression tree; nested
+// function literals start from an empty held set (they may run on another
+// goroutine or after the lock is released).
+func (lg *lockGuard) checkExprs(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lg.scanStmts(x.Body.List, heldSet{})
+			return false
+		case *ast.SelectorExpr:
+			lg.checkSelector(x, held)
+		}
+		return true
+	})
+}
+
+// checkSelector reports a guarded field accessed without its mutex, and
+// checks lint:holds call-site obligations.
+func (lg *lockGuard) checkSelector(sel *ast.SelectorExpr, held heldSet) {
+	s, ok := lg.c.Pkg.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	if f, ok := s.Obj().(*types.Var); ok {
+		mu, guarded := lg.c.Ann.guards[f]
+		if !guarded {
+			return
+		}
+		key := exprString(sel.X) + "." + mu
+		if held[key] {
+			return
+		}
+		lg.c.Report(sel, fmt.Sprintf(
+			"field %s.%s (guarded by %s) accessed without holding %s",
+			exprString(sel.X), f.Name(), mu, key))
+		return
+	}
+	if m, ok := s.Obj().(*types.Func); ok {
+		mu, needs := lg.c.Ann.holds[m]
+		if !needs {
+			return
+		}
+		key := exprString(sel.X) + "." + mu
+		if held[key] {
+			return
+		}
+		lg.c.Report(sel, fmt.Sprintf(
+			"call to %s requires %s held (lint:holds)", m.Name(), key))
+	}
+}
+
+// lockCall decodes `<base>.<mu>.Lock()`-shaped calls on sync.Mutex /
+// sync.RWMutex values; it returns the held-set key, whether the call
+// acquires (true) or releases (false), and ok.
+func (lg *lockGuard) lockCall(e ast.Expr) (key string, acquires, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquires = true
+	case "Unlock", "RUnlock":
+		acquires = false
+	default:
+		return "", false, false
+	}
+	recv := sel.X
+	t := lg.c.TypeOf(recv)
+	if t == nil || !isSyncMutex(t) {
+		return "", false, false
+	}
+	return exprString(recv), acquires, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

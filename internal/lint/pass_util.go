@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprString renders an expression canonically; the aliasing and lock
+// passes key their state on these renderings, so `sh.mu.Lock()` guards a
+// later `sh.entries` access through the shared "sh" spelling.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// hasCloseMethod reports whether t's method set (through a pointer if
+// needed) contains a niladic-or-not Close method — the typed gate of the
+// iterator-close pass.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Close" {
+			return true
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers and aliases down to the *types.Named beneath,
+// nil when there is none.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgFunc reports whether the call's callee is the named function of the
+// named package (matched by import path).
+func isPkgFunc(c *Context, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := c.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}

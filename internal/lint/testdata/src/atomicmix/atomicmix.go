@@ -1,0 +1,24 @@
+// Package atomicmix is the atomic-consistency fixture: hits is accessed
+// both atomically and plainly (the mixed-access race), cold only ever
+// through sync/atomic.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	cold int64
+}
+
+// bad is the seeded violation: hits is bumped atomically but read plainly,
+// which races with the atomic writer.
+func bad(s *stats) int64 {
+	atomic.AddInt64(&s.hits, 1)
+	return s.hits
+}
+
+// good is the near-miss: every access to cold goes through sync/atomic.
+func good(s *stats) int64 {
+	atomic.AddInt64(&s.cold, 1)
+	return atomic.LoadInt64(&s.cold)
+}

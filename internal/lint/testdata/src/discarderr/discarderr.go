@@ -1,0 +1,26 @@
+// Package discarderr is the discarded-error fixture: a bound error value
+// dropped with a blank assignment is a violation; discarding a fresh call
+// result, or a non-error that happens to be named err, is not.
+package discarderr
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// bad is the seeded violation: the error was bound to a name, then
+// silently dropped.
+func bad() {
+	err := work()
+	_ = err
+}
+
+// good is the near-miss: a deliberate discard of a fresh call result.
+func good() {
+	_ = work()
+}
+
+// alsoGood exercises the typed gate: a non-error named err is not flagged.
+func alsoGood() {
+	err := 42
+	_ = err
+}

@@ -1,0 +1,11 @@
+// Package sqldb is the goroutine-hygiene fixture; its import path ends in
+// internal/sqldb, which puts it under the engine's spawn discipline. This
+// file carries no //lint:go-allowed directive, so any go statement in it
+// is a violation.
+package sqldb
+
+// fanOutBad is the seeded violation: a naked go statement outside the
+// sanctioned spawn point.
+func fanOutBad(work func()) {
+	go work()
+}

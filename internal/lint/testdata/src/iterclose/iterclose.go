@@ -1,0 +1,44 @@
+// Package iterclose is the iterator-hygiene fixture: rows is a closable
+// resource yielded by an Open* constructor.
+package iterclose
+
+type rows struct{}
+
+func (r *rows) Next() bool   { return false }
+func (r *rows) Close() error { return nil }
+
+// OpenRows yields a resource the caller must Close.
+func OpenRows() *rows { return &rows{} }
+
+// CountRows matches the *Rows naming heuristic but returns a plain count;
+// the typed gate (no Close method) must keep it silent.
+func CountRows() int { return 0 }
+
+// bad is the seeded violation: the iterator is consumed but never Closed
+// and never escapes the function.
+func bad() int {
+	it := OpenRows()
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}
+
+// good is the near-miss: same shape, closed via defer.
+func good() int {
+	it := OpenRows()
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}
+
+// alsoGood exercises the typed gate: a *Rows-named call binding a plain
+// int must not be tracked.
+func alsoGood() int {
+	n := CountRows()
+	return n
+}

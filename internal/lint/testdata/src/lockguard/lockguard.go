@@ -1,0 +1,22 @@
+// Package lockguard is the lock-discipline fixture: counter declares a
+// field that may only be touched with its sibling mutex held.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// bad is the seeded violation: a guarded field read with no lock held.
+func bad(c *counter) int {
+	return c.n
+}
+
+// good is the near-miss: the same read, under the declared mutex.
+func good(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

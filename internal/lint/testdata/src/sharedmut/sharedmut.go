@@ -1,0 +1,31 @@
+// Package sharedmut is the aliasing/ownership fixture: relation mirrors
+// the engine's result-set shape, whose rows may alias base-table storage
+// through the star fast path.
+package sharedmut
+
+type row []int
+
+type relation struct {
+	rows []row //lint:shared may alias base-table storage
+}
+
+// supply stands in for an operator returning a relation of unknown
+// provenance (possibly the star fast path handing out table storage).
+func supply() relation { return relation{} }
+
+// badAppend is the seeded violation: it appends into the possibly shared
+// backing array of a relation it did not freshen.
+func badAppend(extra row) relation {
+	v := supply()
+	v.rows = append(v.rows, extra)
+	return v
+}
+
+// goodAppend is the near-miss: the same append, legal because the rows
+// slice is reassigned from a fresh copy first (ownership transfer).
+func goodAppend(extra row) relation {
+	v := supply()
+	v.rows = append(make([]row, 0, len(v.rows)+1), v.rows...)
+	v.rows = append(v.rows, extra)
+	return v
+}

@@ -1,0 +1,20 @@
+// Package suppress is the suppression fixture: one lockguard violation is
+// silenced by a documented ignore directive, and a second directive
+// matches nothing (the stale-suppression case -strict mode rejects).
+package suppress
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// peek reads the guarded field bare, under a documented suppression.
+func peek(b *box) int {
+	//lint:ignore lockguard fixture: read happens before the box is shared
+	return b.n
+}
+
+//lint:ignore lockguard stale directive that matches nothing
+func unrelated() int { return 0 }

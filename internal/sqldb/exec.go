@@ -9,7 +9,10 @@ import (
 // table's row storage (rows are never mutated in place by the executor).
 type relation struct {
 	cols []colMeta
-	rows []Row
+	// rows may alias a base table's storage (star fast path) or another
+	// relation's backing array; the sharedmut lint pass enforces that it is
+	// freshened with an owned copy before any in-place mutation.
+	rows []Row //lint:shared may alias base-table storage
 }
 
 // filterRelation keeps rows where pred evaluates to TRUE. Inputs past the
@@ -646,7 +649,12 @@ func distinctRows(r *relation) *relation {
 	return out
 }
 
-// sortRelation sorts rows by the given key functions.
+// sortRelation sorts rows by the given key functions, writing the new
+// order into r's row slice in place: callers own r's backing array
+// (orderRelation freshens it first, exactly because the slice can alias a
+// base table via the star fast path).
+//
+//lint:mutates r
 func sortRelation(r *relation, keys []evalFn, desc []bool) error {
 	type keyed struct {
 		row  Row

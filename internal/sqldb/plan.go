@@ -123,8 +123,8 @@ type execCtx struct {
 // rest wait.
 type stmtCache struct {
 	mu         sync.Mutex
-	subqueries map[string]*subqueryEntry
-	sortOrders map[sortKey]*sortOrderEntry
+	subqueries map[string]*subqueryEntry   // guarded by mu
+	sortOrders map[sortKey]*sortOrderEntry // guarded by mu
 }
 
 func newStmtCache() *stmtCache {

@@ -13,6 +13,13 @@ import (
 // order, so results are bit-identical to sequential execution; the only
 // observable differences are wall time and the workers= annotations in
 // EXPLAIN ANALYZE.
+//
+// This file is the engine's one sanctioned goroutine spawn point: every
+// parallel operator fans out through parState.run, whose workers observe
+// the shared cooperative-stop flag. The gohygiene lint pass forbids naked
+// go statements anywhere else in internal/sqldb and internal/core.
+//
+//lint:go-allowed bounded worker pool; tasks observe the stop flag
 
 const (
 	// morselRows is the chunk size scan, filter, and probe operators hand

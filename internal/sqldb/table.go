@@ -13,12 +13,12 @@ type Table struct {
 	Def  *TableDef
 	Rows []Row
 
-	pkIndex     *HashIndex   // over PrimaryKey columns, nil if no PK
-	uniqueIdx   []*HashIndex // parallel to Def.Uniques
-	mu          sync.Mutex   // guards secondary and the stats cache
-	secondary   map[string]*HashIndex
-	statsDirty  bool
-	cachedStats *TableStats
+	pkIndex     *HashIndex            // over PrimaryKey columns, nil if no PK
+	uniqueIdx   []*HashIndex          // parallel to Def.Uniques
+	mu          sync.Mutex            // guards secondary and the stats cache
+	secondary   map[string]*HashIndex // guarded by mu
+	statsDirty  bool                  // guarded by mu
+	cachedStats *TableStats           // guarded by mu
 }
 
 // NewTable creates an empty table for the given definition.
@@ -97,10 +97,17 @@ func (t *Table) insertUnchecked(row Row) error {
 	for _, idx := range t.uniqueIdx {
 		idx.Add(row, pos)
 	}
+	// The bulk-load contract serializes writes against reads externally,
+	// but the secondary-index map and the stats cache are also maintained
+	// by concurrent readers (EnsureIndex, Stats), so their mutex applies
+	// here too — flagged by the lockguard pass, which found this access
+	// running bare.
+	t.mu.Lock()
 	for _, idx := range t.secondary {
 		idx.Add(row, pos)
 	}
 	t.statsDirty = true
+	t.mu.Unlock()
 	return nil
 }
 

@@ -15,12 +15,15 @@ fi
 go build ./...
 go build ./cmd/...
 go vet ./...
-# Typed static analysis in strict mode: any unsuppressed finding fails;
-# every //lint:ignore must be in the documented allowlist and must match
-# a diagnostic; the canonical report must equal the committed golden; the
-# typed load + all passes must stay inside the wall-time budget.
+# Typed static analysis in strict mode: any unsuppressed error/warning
+# finding fails; every //lint:ignore must be in the documented allowlist
+# and must match a diagnostic; the canonical report must equal the
+# committed golden; the ranked hot-path allocation work list must equal
+# its golden (the list only changes deliberately); and the typed load +
+# call graph + summaries + passes must stay inside the wall-time budget.
 go run ./cmd/repolint -strict -allow testdata/repolint_allow.txt \
-    -golden testdata/repolint.golden -budget 20s
+    -golden testdata/repolint.golden -hotgolden testdata/hotreport.golden \
+    -budget 20s
 go test -race ./...
 go run ./cmd/obdalint -strict -quiet
 

@@ -28,10 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"npdbench/internal/mixer"
 	"npdbench/internal/obs"
@@ -123,10 +124,27 @@ func main() {
 		if cfg.Metrics == nil {
 			cfg.Metrics = obs.NewRegistry()
 		}
-		// net/http/pprof registers on DefaultServeMux via its import.
-		http.Handle("/metrics", cfg.Metrics.Handler())
+		// An explicit mux (pprof is wired by hand rather than through the
+		// DefaultServeMux side effect of importing net/http/pprof) behind
+		// a server with timeouts: a stuck or slow scrape client must not
+		// hold a connection open for the lifetime of the run.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", cfg.Metrics.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{
+			Addr:              *httpAddr,
+			Handler:           mux,
+			ReadTimeout:       10 * time.Second,
+			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      0, // pprof profile/trace streams run long
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "mixer: http:", err)
 			}
 		}()

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// FuzzAnnot fuzzes the //lint: directive grammar: parsing must never
+// panic, only comments whose trimmed text starts with "lint:" may parse,
+// the verb never contains a space, and the args come back trimmed.
+func FuzzAnnot(f *testing.F) {
+	for _, s := range []string{
+		"//lint:ignore lockguard constructor precedes publication",
+		"//lint:shared may alias base-table storage",
+		"//lint:mutates rows aligned",
+		"//lint:holds mu",
+		"//lint:go-allowed pool workers only",
+		"// guarded by mu",
+		"//lint:",
+		"//lint: ",
+		"//lint:holds",
+		"//   lint:holds mu",
+		"//not a directive",
+		"/* lint:holds mu */",
+		"//lint:holds\tmu",
+		"////lint:ignore x y",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		verb, args, ok := directive(&ast.Comment{Text: s})
+		if !ok {
+			if verb != "" || args != "" {
+				t.Errorf("rejected comment %q still returned verb=%q args=%q", s, verb, args)
+			}
+			return
+		}
+		trimmed := strings.TrimSpace(strings.TrimPrefix(s, "//"))
+		if !strings.HasPrefix(trimmed, "lint:") {
+			t.Errorf("accepted %q as a directive without a lint: prefix (verb=%q)", s, verb)
+		}
+		if strings.Contains(verb, " ") {
+			t.Errorf("verb %q contains a space", verb)
+		}
+		if args != strings.TrimSpace(args) {
+			t.Errorf("args %q came back untrimmed", args)
+		}
+	})
+}

@@ -72,17 +72,24 @@ func (s Suppression) String() string {
 }
 
 // Report is the outcome of one engine run: surviving diagnostics, the
-// diagnostics silenced by directives, every directive seen, and the load /
-// analysis wall times (the ci timing budget gates on their sum).
+// diagnostics silenced by directives, every directive seen, the ranked
+// hot-path allocation entries, and the per-phase wall times (the ci timing
+// budget gates on their sum).
 type Report struct {
 	Diags        []Diagnostic
 	Suppressed   []Diagnostic
 	Suppressions []Suppression
 
-	Packages int
-	Files    int
-	LoadTime time.Duration
-	PassTime time.Duration
+	// Hot is the ranked hot-path allocation work list behind
+	// `repolint -hotreport` (nil under RunIntra).
+	Hot []HotEntry
+
+	Packages      int
+	Files         int
+	LoadTime      time.Duration
+	CallgraphTime time.Duration
+	SummaryTime   time.Duration
+	PassTime      time.Duration
 }
 
 // sortDiags orders diagnostics for stable output: file, line, pass, message.
@@ -115,8 +122,8 @@ func (r *Report) Count(sev Severity) int {
 
 // Summary is the one-line human digest (also the JSON summary field).
 func (r *Report) Summary() string {
-	return fmt.Sprintf("repolint: %d package(s), %d file(s): %d error(s), %d warning(s), %d suppressed",
-		r.Packages, r.Files, r.Count(SevError), r.Count(SevWarning), len(r.Suppressed))
+	return fmt.Sprintf("repolint: %d package(s), %d file(s): %d error(s), %d warning(s), %d info, %d suppressed",
+		r.Packages, r.Files, r.Count(SevError), r.Count(SevWarning), r.Count(SevInfo), len(r.Suppressed))
 }
 
 // String renders the full text report: diagnostics, suppression inventory,
@@ -152,10 +159,14 @@ type SuppressionJSON struct {
 	Used   bool   `json:"used"`
 }
 
-// TimingJSON carries the wall times the ci budget gates on.
+// TimingJSON carries the per-phase wall times the ci budget gates on, so a
+// budget overrun is attributable to loading, call-graph construction,
+// summary computation, or the passes themselves.
 type TimingJSON struct {
-	LoadMS int64 `json:"load_ms"`
-	PassMS int64 `json:"pass_ms"`
+	LoadMS      int64 `json:"load_ms"`
+	CallgraphMS int64 `json:"callgraph_ms"`
+	SummaryMS   int64 `json:"summary_ms"`
+	PassMS      int64 `json:"pass_ms"`
 }
 
 // ReportJSON is the machine-readable report: summary line, per-severity
@@ -183,8 +194,10 @@ func (r *Report) Payload() ReportJSON {
 		Packages:     r.Packages,
 		Files:        r.Files,
 		Timing: TimingJSON{
-			LoadMS: r.LoadTime.Milliseconds(),
-			PassMS: r.PassTime.Milliseconds(),
+			LoadMS:      r.LoadTime.Milliseconds(),
+			CallgraphMS: r.CallgraphTime.Milliseconds(),
+			SummaryMS:   r.SummaryTime.Milliseconds(),
+			PassMS:      r.PassTime.Milliseconds(),
 		},
 	}
 	for _, d := range r.Diags {

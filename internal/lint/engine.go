@@ -23,11 +23,15 @@ type Pass struct {
 
 // Context is the per-(pass, package) view handed to a pass: the syntax and
 // type information of the package under analysis plus the resolved
-// annotations.
+// annotations. Interp carries the module-wide interprocedural facts (call
+// graph, per-function summaries, merged annotations); it is nil under
+// RunIntra, and every pass degrades to its intra-procedural behavior when
+// it is.
 type Context struct {
-	Fset *token.FileSet
-	Pkg  *Package
-	Ann  *annotations
+	Fset   *token.FileSet
+	Pkg    *Package
+	Ann    *annotations
+	Interp *Interp
 
 	pass  *Pass
 	diags *[]Diagnostic
@@ -65,6 +69,9 @@ func Catalog() []*Pass {
 		passIterClose(),
 		passDiscardErr(),
 		passTimingFunnel(),
+		passSrvHygiene(),
+		passStopFlow(),
+		passHotAlloc(),
 	}
 }
 
@@ -79,18 +86,49 @@ func PassByName(name string) *Pass {
 }
 
 // Run executes the catalog over every package of the module and folds the
-// results into a report: diagnostics matched by an ignore directive move to
-// the suppressed list, everything is sorted canonically, and the analysis
-// wall time is recorded for the ci budget.
+// results into a report: the call graph and bottom-up summaries are built
+// first (each phase individually timed for the ci budget), then every pass
+// runs per package with the interprocedural context attached; diagnostics
+// matched by an ignore directive move to the suppressed list and everything
+// is sorted canonically.
 func Run(mod *Module, passes []*Pass) *Report {
-	start := obs.Now()
+	return run(mod, passes, true)
+}
+
+// RunIntra executes the catalog without the interprocedural layer — the
+// PR 6 engine, verbatim. It exists so regression tests can prove which
+// findings only the interprocedural engine sees.
+func RunIntra(mod *Module, passes []*Pass) *Report {
+	return run(mod, passes, false)
+}
+
+func run(mod *Module, passes []*Pass, interp bool) *Report {
 	rep := &Report{Packages: len(mod.Pkgs)}
+	anns := map[*Package]*annotations{}
+	var annList []*annotations
+	for _, pkg := range mod.Pkgs {
+		a := annotate(mod.Fset, pkg)
+		anns[pkg] = a
+		annList = append(annList, a)
+	}
+	var ip *Interp
+	if interp {
+		cgStart := obs.Now()
+		g := buildCallGraph(mod)
+		rep.CallgraphTime = obs.Since(cgStart)
+		sumStart := obs.Now()
+		ip = buildInterp(mod, annList, g)
+		rep.SummaryTime = obs.Since(sumStart)
+		ip.hot = hotEntries(ip)
+		rep.Hot = ip.hot
+	}
+	start := obs.Now()
 	for _, pkg := range mod.Pkgs {
 		rep.Files += len(pkg.Files)
-		ann := annotate(mod.Fset, pkg)
+		ann := anns[pkg]
 		var diags []Diagnostic
 		for _, p := range passes {
-			ctx := &Context{Fset: mod.Fset, Pkg: pkg, Ann: ann, pass: p, diags: &diags}
+			ctx := &Context{Fset: mod.Fset, Pkg: pkg, Ann: ann, Interp: ip, pass: p, diags: &diags}
 			p.Run(ctx)
 		}
 		for _, d := range diags {
@@ -117,10 +155,28 @@ func Run(mod *Module, passes []*Pass) *Report {
 		rep.Suppressions[i].Pos.Filename = relPath(mod.Root, rep.Suppressions[i].Pos.Filename)
 	}
 	sortDiags(rep.Diags)
+	rep.Diags = dedupeDiags(rep.Diags)
 	sortDiags(rep.Suppressed)
 	sortSuppressions(rep.Suppressions)
 	rep.PassTime = obs.Since(start)
 	return rep
+}
+
+// dedupeDiags drops exact duplicates from a sorted diagnostic list. An
+// interprocedural pass run from two packages can reach — and report — the
+// same callee site twice; one finding is enough.
+func dedupeDiags(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := ds[i-1]
+			if p.Pass == d.Pass && p.Pos == d.Pos && p.Msg == d.Msg {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // relPath renders a file name relative to the module root, so reports are

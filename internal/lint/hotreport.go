@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The hot-path allocation analysis measures statically what the
+// vectorized-executor work (ROADMAP item 3) must eliminate dynamically:
+// per-row heap allocations on the operator paths of internal/sqldb. It
+// starts from the operator entry points (scan/filter/join/dedup/aggregate/
+// sort and plan construction), takes the forward call-graph closure, and
+// classifies every allocation site found inside a loop of a reachable
+// function. The result feeds two consumers: the hotalloc pass, which
+// surfaces each (function, kind) group as an info-severity diagnostic, and
+// `repolint -hotreport`, which renders the full ranked work list and is
+// golden-pinned in ci so the list only changes deliberately.
+
+// HotEntry is one (function, allocation-kind) group of the report.
+type HotEntry struct {
+	Func  string // deterministic function key (package path + name)
+	Kind  string // allocation kind: make, composite, closure, fmt.*, append, defer, iface-box, alloc-call
+	Sites int    // number of distinct source sites
+	Score int    // kind weight × loop depth, summed over sites
+	Pos   token.Position
+	Pkg   *Package
+	first ast.Node
+}
+
+// kind weights: relative per-iteration cost classes, used only for ranking.
+func hotKindWeight(kind string) int {
+	switch {
+	case kind == "defer":
+		return 5
+	case strings.HasPrefix(kind, "fmt."):
+		return 4
+	case kind == "make", kind == "composite", kind == "closure", kind == "iface-box":
+		return 3
+	default: // append, alloc-call
+		return 2
+	}
+}
+
+// hotRoot reports whether fn is an operator entry point of the execution
+// layer.
+func hotRoot(n *FuncNode) bool {
+	if !strings.HasSuffix(n.Pkg.Path, "internal/sqldb") {
+		return false
+	}
+	name := n.Fn.Name()
+	if name == "buildRef" {
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, op := range []string{"scan", "filter", "join", "dedup", "distinct", "aggregate", "sort"} {
+		if strings.Contains(lower, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotEntries runs the analysis over the whole module.
+func hotEntries(ip *Interp) []HotEntry {
+	var roots []*FuncNode
+	for _, n := range ip.Graph.BottomUp {
+		if hotRoot(n) {
+			roots = append(roots, n)
+		}
+	}
+	reach := ip.Graph.Reachable(roots)
+
+	type groupKey struct {
+		fn   *FuncNode
+		kind string
+	}
+	groups := map[groupKey]*HotEntry{}
+	record := func(n *FuncNode, kind string, depth int, site ast.Node) {
+		k := groupKey{n, kind}
+		g := groups[k]
+		if g == nil {
+			g = &HotEntry{
+				Func:  n.Pkg.Path + "." + n.Fn.Name(),
+				Kind:  kind,
+				Pos:   ip.Mod.Fset.Position(site.Pos()),
+				Pkg:   n.Pkg,
+				first: site,
+			}
+			g.Pos.Filename = relPath(ip.Mod.Root, g.Pos.Filename)
+			groups[k] = g
+		}
+		g.Sites++
+		g.Score += hotKindWeight(kind) * depth
+	}
+
+	for _, n := range ip.Graph.BottomUp {
+		if !reach[n] {
+			continue
+		}
+		walkLoopSites(ip, n, func(kind string, depth int, site ast.Node) {
+			record(n, kind, depth, site)
+		})
+	}
+
+	out := make([]HotEntry, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// walkLoopSites classifies every allocation site inside a loop of the
+// function body, tracking loop nesting depth via ast.Inspect's push/pop
+// protocol.
+func walkLoopSites(ip *Interp, n *FuncNode, visit func(kind string, depth int, site ast.Node)) {
+	info := n.Pkg.Info
+	depth := 0
+	var stack []ast.Node
+	isLoop := func(node ast.Node) bool {
+		switch node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+		return false
+	}
+	classify := func(node ast.Node) {
+		switch x := node.(type) {
+		case *ast.DeferStmt:
+			visit("defer", depth, x)
+		case *ast.FuncLit:
+			visit("closure", depth, x)
+		case *ast.CompositeLit:
+			visit("composite", depth, x)
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new":
+					visit("make", depth, x)
+					return
+				case "append":
+					if len(x.Args) > 0 && !preallocatedDest(n, x.Args[0]) {
+						visit("append", depth, x)
+					}
+					return
+				}
+			}
+			if name, ok := isPkgFunc2(n.Pkg, x, "fmt", "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf", "Fprintf"); ok {
+				visit("fmt."+name, depth, x)
+				return
+			}
+			// Interface boxing: a concrete argument passed where the
+			// parameter type is an interface forces a heap conversion.
+			for range boxedArgs(info, x) {
+				visit("iface-box", depth, x)
+			}
+			// A module callee that allocates on every call charges its
+			// cost to this loop.
+			if cs := ip.SummaryOf(callee(info, x)); cs != nil && cs.Allocates {
+				visit("alloc-call", depth, x)
+			}
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if node == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isLoop(top) {
+				depth--
+			}
+			return true
+		}
+		if depth >= 1 {
+			classify(node)
+		}
+		if isLoop(node) {
+			depth++
+		}
+		stack = append(stack, node)
+		return true
+	})
+}
+
+// boxedArgs returns the argument indices of a call that undergo a
+// concrete-to-interface conversion. fmt formatting calls are excluded —
+// they are already classified as fmt allocations.
+func boxedArgs(info *types.Info, call *ast.CallExpr) []int {
+	if _, isFmt := isPkgFunc2FromInfo(info, call, "fmt"); isFmt {
+		return nil
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1)
+			if call.Ellipsis.IsValid() {
+				pt = last.Type()
+			} else if sl, ok := last.Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, argIsIface := at.Underlying().(*types.Interface); argIsIface {
+			continue
+		}
+		if basic, ok := at.(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
+			// Untyped constants convert at compile time when possible;
+			// still a box for non-empty values, but too noisy to count.
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// isPkgFunc2FromInfo reports whether the call's static callee lives in the
+// given package.
+func isPkgFunc2FromInfo(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// preallocatedDest reports whether an append destination visibly carries
+// preallocated capacity: a local whose every binding is make-with-cap, a
+// capacity-preserving reslice (x[:0]), or an append chain over one.
+func preallocatedDest(n *FuncNode, dest ast.Expr) bool {
+	id, ok := ast.Unparen(dest).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := n.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = n.Pkg.Info.Defs[id].(*types.Var); !ok {
+			return false
+		}
+	}
+	pre := false
+	any := false
+	forEachAssign(n, obj, func(rhs ast.Expr) {
+		any = true
+		if rhs == nil {
+			return
+		}
+		switch x := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if fid, ok := x.Fun.(*ast.Ident); ok {
+				if fid.Name == "make" && len(x.Args) == 3 {
+					pre = true
+				}
+				if fid.Name == "append" && len(x.Args) > 0 {
+					// x = append(x, ...) is neutral: capacity comes from
+					// whatever other binding initialized x.
+					if inner, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && n.Pkg.Info.Uses[inner] == obj {
+						return
+					}
+					pre = preallocatedDest(n, x.Args[0]) || pre
+				}
+			}
+		case *ast.SliceExpr:
+			// buf[:0] reslices preserve capacity.
+			pre = true
+		}
+	})
+	return any && pre
+}
+
+// RenderHotReport renders the ranked work list (top max entries; 0 means
+// all) in a canonical, golden-diffable layout.
+func RenderHotReport(entries []HotEntry, max int) string {
+	if max <= 0 || max > len(entries) {
+		max = len(entries)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hotalloc report: %d per-iteration allocation group(s) on operator-reachable paths\n", len(entries))
+	if max < len(entries) {
+		fmt.Fprintf(&b, "(showing top %d)\n", max)
+	}
+	for i, e := range entries[:max] {
+		fmt.Fprintf(&b, "%4d  score %-4d sites %-3d %-12s %-44s %s:%d\n",
+			i+1, e.Score, e.Sites, e.Kind, e.Func, e.Pos.Filename, e.Pos.Line)
+	}
+	return b.String()
+}

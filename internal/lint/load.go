@@ -10,8 +10,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one fully type-checked package: syntax, type information, and
@@ -133,6 +135,16 @@ func (l *loader) check(path, dir string) (*Package, error) {
 // LoadModule loads every package found under the given directories
 // (relative to the module root; default the whole module). testdata and
 // hidden directories are skipped. The module path comes from go.mod.
+//
+// Loading is parallel: all files parse concurrently (token.FileSet is
+// safe for concurrent AddFile), the module-internal import graph is read
+// off the syntax, and packages type-check on a worker pool in dependency
+// waves — a package starts the moment its last module dependency
+// finishes, so independent import subtrees (cmd/* on one side, the
+// internal/* chains on the other) overlap. Standard-library imports go
+// through one shared source importer behind a mutex: the importer
+// memoizes, so the first package pays for the stdlib closure and the
+// rest hit its cache.
 func LoadModule(root string, dirs ...string) (*Module, error) {
 	modpath, err := modulePath(root)
 	if err != nil {
@@ -142,8 +154,48 @@ func LoadModule(root string, dirs ...string) (*Module, error) {
 		dirs = []string{"."}
 	}
 	fset := token.NewFileSet()
-	l := newLoader(root, modpath, fset)
-	seen := map[string]bool{}
+	units, err := discoverPackages(root, modpath, dirs)
+	if err != nil {
+		return nil, err
+	}
+	if err := parseUnits(fset, units); err != nil {
+		return nil, err
+	}
+	pl := &parLoader{
+		root:    root,
+		modpath: modpath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+	}
+	if err := pl.checkAll(units); err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Fset: fset}
+	for _, u := range units {
+		if p := pl.pkgs[u.path]; p != nil {
+			m.Pkgs = append(m.Pkgs, p)
+		}
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// loadUnit is one package directory between discovery and type-checking.
+type loadUnit struct {
+	path  string // import path
+	dir   string
+	names []string // .go file names, sorted
+	files []*ast.File
+
+	deps []string // module-internal imports present in the unit set
+}
+
+// discoverPackages walks the requested directories and collects one unit
+// per package directory containing non-test Go files.
+func discoverPackages(root, modpath string, dirs []string) ([]*loadUnit, error) {
+	seen := map[string]*loadUnit{}
+	var units []*loadUnit
 	for _, d := range dirs {
 		start := filepath.Join(root, filepath.FromSlash(d))
 		err := filepath.WalkDir(start, func(p string, de fs.DirEntry, err error) error {
@@ -161,26 +213,235 @@ func LoadModule(root string, dirs ...string) (*Module, error) {
 				return nil
 			}
 			dir := filepath.Dir(p)
-			if seen[dir] {
-				return nil
+			u := seen[dir]
+			if u == nil {
+				rel, err := filepath.Rel(root, dir)
+				if err != nil {
+					return err
+				}
+				ip := modpath
+				if rel != "." {
+					ip = modpath + "/" + filepath.ToSlash(rel)
+				}
+				u = &loadUnit{path: ip, dir: dir}
+				seen[dir] = u
+				units = append(units, u)
 			}
-			seen[dir] = true
-			rel, err := filepath.Rel(root, dir)
-			if err != nil {
-				return err
-			}
-			ip := modpath
-			if rel != "." {
-				ip = modpath + "/" + filepath.ToSlash(rel)
-			}
-			_, err = l.load(ip)
-			return err
+			u.names = append(u.names, filepath.Base(p))
+			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
-	return l.module(root), nil
+	for _, u := range units {
+		sort.Strings(u.names)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+	return units, nil
+}
+
+// parseUnits parses every file of every unit concurrently and resolves
+// each unit's module-internal dependencies from the import declarations.
+func parseUnits(fset *token.FileSet, units []*loadUnit) error {
+	inSet := map[string]bool{}
+	for _, u := range units {
+		inSet[u.path] = true
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, u := range units {
+		u.files = make([]*ast.File, len(u.names))
+		for i, name := range u.names {
+			wg.Add(1)
+			go func(u *loadUnit, i int, name string) {
+				defer wg.Done()
+				f, err := parser.ParseFile(fset, filepath.Join(u.dir, name), nil, parser.ParseComments)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				u.files[i] = f
+			}(u, i, name)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, u := range units {
+		depSet := map[string]bool{}
+		for _, f := range u.files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if inSet[ip] && ip != u.path {
+					depSet[ip] = true
+				}
+			}
+		}
+		for ip := range depSet {
+			u.deps = append(u.deps, ip)
+		}
+		sort.Strings(u.deps)
+	}
+	return nil
+}
+
+// parLoader type-checks parsed units on a worker pool in dependency
+// order. The stdlib source importer is not safe for concurrent use, so
+// one shared instance sits behind stdMu; completed module packages are
+// read from pkgs under mu.
+type parLoader struct {
+	root    string
+	modpath string
+	fset    *token.FileSet
+
+	stdMu sync.Mutex
+	std   types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*Package
+}
+
+// Import implements types.Importer for the concurrent type-checkers. A
+// module import is guaranteed complete by the wave scheduling; a nil
+// entry means the dependency itself failed to check.
+func (pl *parLoader) Import(path string) (*types.Package, error) {
+	if path == pl.modpath || strings.HasPrefix(path, pl.modpath+"/") {
+		pl.mu.Lock()
+		p := pl.pkgs[path]
+		pl.mu.Unlock()
+		if p == nil {
+			return nil, fmt.Errorf("lint: dependency %s failed to load", path)
+		}
+		return p.Types, nil
+	}
+	pl.stdMu.Lock()
+	defer pl.stdMu.Unlock()
+	return pl.std.Import(path)
+}
+
+// checkAll schedules the units: each unit is enqueued when its last
+// module dependency completes, and up to GOMAXPROCS workers drain the
+// queue. Import cycles are rejected up front (Kahn's count), so the
+// scheduler cannot stall.
+func (pl *parLoader) checkAll(units []*loadUnit) error {
+	byPath := map[string]*loadUnit{}
+	for _, u := range units {
+		byPath[u.path] = u
+	}
+	remaining := map[string]int{}
+	dependents := map[string][]string{}
+	for _, u := range units {
+		remaining[u.path] = len(u.deps)
+		for _, d := range u.deps {
+			dependents[d] = append(dependents[d], u.path)
+		}
+	}
+	// Cycle check: peel zero-degree units; anything left sits on a cycle.
+	deg := map[string]int{}
+	for p, n := range remaining {
+		deg[p] = n
+	}
+	queue := make([]string, 0, len(units))
+	for _, u := range units {
+		if deg[u.path] == 0 {
+			queue = append(queue, u.path)
+		}
+	}
+	peeled := 0
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		peeled++
+		for _, d := range dependents[p] {
+			if deg[d]--; deg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if peeled != len(units) {
+		var cyclic []string
+		for p, n := range deg {
+			if n > 0 {
+				cyclic = append(cyclic, p)
+			}
+		}
+		sort.Strings(cyclic)
+		return fmt.Errorf("lint: import cycle through %s", strings.Join(cyclic, ", "))
+	}
+
+	ready := make(chan *loadUnit, len(units))
+	for _, u := range units {
+		if remaining[u.path] == 0 {
+			ready <- u
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	wg.Add(len(units))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for u := range ready {
+				p, err := pl.checkUnit(u)
+				pl.mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if p != nil {
+					pl.pkgs[u.path] = p
+				}
+				for _, d := range dependents[u.path] {
+					if remaining[d]--; remaining[d] == 0 {
+						ready <- byPath[d]
+					}
+				}
+				pl.mu.Unlock()
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+	return firstErr
+}
+
+// checkUnit type-checks one parsed unit.
+func (pl *parLoader) checkUnit(u *loadUnit) (*Package, error) {
+	for _, f := range u.files {
+		if f == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", u.dir)
+		}
+	}
+	if len(u.files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", u.dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: pl}
+	tpkg, err := conf.Check(u.path, pl.fset, u.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", u.path, err)
+	}
+	return &Package{Path: u.path, Dir: u.dir, Files: u.files, Types: tpkg, Info: info}, nil
 }
 
 // LoadDir type-checks a single directory as a standalone package under the

@@ -1,0 +1,46 @@
+package lint
+
+import "fmt"
+
+// hotalloc surfaces the hot-path allocation analysis (hotreport.go) as
+// diagnostics: one info-severity finding per (function, allocation-kind)
+// group found inside a loop of a function reachable from the sqldb
+// operator entry points. Info severity is deliberate — these are
+// performance work items for the vectorized-executor arc, not bugs, so
+// they never fail -strict or the exit code; the golden pins them so the
+// work list only changes deliberately.
+func passHotAlloc() *Pass {
+	p := &Pass{
+		Name: "hotalloc",
+		Doc:  "per-iteration heap allocations on operator-reachable row loops",
+		Sev:  SevInfo,
+	}
+	p.Run = func(c *Context) {
+		if c.Interp == nil {
+			return
+		}
+		for _, e := range c.Interp.hot {
+			if e.Pkg != c.Pkg {
+				continue
+			}
+			site := "site"
+			if e.Sites != 1 {
+				site = "sites"
+			}
+			c.Report(e.first, fmt.Sprintf(
+				"per-iteration %s allocation in %s (%d %s, score %d) on an operator-reachable loop",
+				e.Kind, funcBase(e.Func), e.Sites, site, e.Score))
+		}
+	}
+	return p
+}
+
+// funcBase strips the package path from a hot-entry function key.
+func funcBase(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[i+1:]
+		}
+	}
+	return key
+}

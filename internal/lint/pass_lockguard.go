@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // passLockGuard is the lock-discipline analysis: struct fields annotated
@@ -24,6 +25,16 @@ import (
 // cannot prove locked is reported, and a deliberate exception (such as
 // constructor code before the value is published) carries a documented
 // //lint:ignore.
+//
+// With the interprocedural layer (Context.Interp non-nil) the analysis
+// additionally applies callee summaries at statement-level call sites:
+// a callee with a net lock effect (a helper that unlocks on the caller's
+// behalf, or locks and leaves the mutex held) updates the held set; a
+// callee that may re-acquire a mutex the caller already holds is a
+// self-deadlock; and //lint:holds obligations propagate transitively —
+// an unannotated wrapper around a holds-annotated method carries the
+// obligation to its own callers. Under RunIntra the Interp is nil and
+// the pass behaves exactly as in PR 6.
 func passLockGuard() *Pass {
 	return &Pass{
 		Name: "lockguard",
@@ -79,7 +90,61 @@ func (lg *lockGuard) checkFunc(fd *ast.FuncDecl) {
 	if lg.holdsMu != "" && lg.holdsRecv != "" {
 		held[lg.holdsRecv+"."+lg.holdsMu] = true
 	}
+	// Inherited obligations: a function whose summary requires a mutex at
+	// entry (because a callee does) analyzes its body with that mutex held
+	// — its own call sites carry the obligation instead.
+	if ip := lg.c.Interp; ip != nil {
+		if obj, ok := lg.c.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			if cs := ip.SummaryOf(obj); cs != nil {
+				for _, ref := range sortedLockRefs(cs.Requires) {
+					if name := slotName(fd, ref.Slot); name != "" {
+						held[name+"."+ref.Mu] = true
+					}
+				}
+			}
+		}
+	}
 	lg.scanStmts(fd.Body.List, held)
+}
+
+// slotName resolves a lockRef slot to the declared receiver or parameter
+// name of a function declaration.
+func slotName(fd *ast.FuncDecl, slot int) string {
+	if slot == -1 {
+		if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+			return fd.Recv.List[0].Names[0].Name
+		}
+		return ""
+	}
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if i == slot {
+				return name.Name
+			}
+			i++
+		}
+	}
+	return ""
+}
+
+// sortedLockRefs orders a lockRef set deterministically.
+func sortedLockRefs(m map[lockRef]bool) []lockRef {
+	out := make([]lockRef, 0, len(m))
+	for ref := range m {
+		out = append(out, ref)
+	}
+	sortLockRefs(out)
+	return out
+}
+
+func sortLockRefs(out []lockRef) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return out[i].Mu < out[j].Mu
+	})
 }
 
 // scanStmts threads the held set through a statement list in order.
@@ -105,6 +170,17 @@ func (lg *lockGuard) scanStmt(s ast.Stmt, held heldSet) {
 			return
 		}
 		lg.checkExprs(x.X, held)
+		lg.applyCallEffects(x.X, held)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			lg.checkExprs(r, held)
+		}
+		for _, l := range x.Lhs {
+			lg.checkExprs(l, held)
+		}
+		for _, r := range x.Rhs {
+			lg.applyCallEffects(r, held)
+		}
 	case *ast.DeferStmt:
 		// defer x.mu.Unlock() keeps the lock held for the remainder of the
 		// function; any other deferred call is checked against the current
@@ -231,16 +307,111 @@ func (lg *lockGuard) checkSelector(sel *ast.SelectorExpr, held heldSet) {
 		return
 	}
 	if m, ok := s.Obj().(*types.Func); ok {
-		mu, needs := lg.c.Ann.holds[m]
-		if !needs {
-			return
+		// Receiver-slot obligations: the direct //lint:holds annotation
+		// plus, interprocedurally, whatever the callee's summary inherited
+		// from its own callees. The summary subsumes the annotation, so
+		// the key set deduplicates the two sources.
+		keys := map[string]bool{}
+		if mu, needs := lg.c.Ann.holds[m]; needs {
+			keys[exprString(sel.X)+"."+mu] = true
 		}
-		key := exprString(sel.X) + "." + mu
-		if held[key] {
-			return
+		if ip := lg.c.Interp; ip != nil {
+			if cs := ip.SummaryOf(m); cs != nil {
+				for ref := range cs.Requires {
+					if ref.Slot == -1 {
+						keys[exprString(sel.X)+"."+ref.Mu] = true
+					}
+				}
+			}
 		}
-		lg.c.Report(sel, fmt.Sprintf(
-			"call to %s requires %s held (lint:holds)", m.Name(), key))
+		for _, key := range sortedStringKeys(keys) {
+			if held[key] {
+				continue
+			}
+			lg.c.Report(sel, fmt.Sprintf(
+				"call to %s requires %s held (lint:holds)", m.Name(), key))
+		}
+	}
+}
+
+func sortedStringKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// applyCallEffects applies a statement-level call's interprocedural lock
+// facts to the held set: parameter-slot obligations are checked, a callee
+// that may re-acquire an already-held mutex is a self-deadlock, and the
+// callee's net lock effect updates the set. Statement-level only — a call
+// buried in a larger expression cannot reliably order its effect against
+// the expression's other accesses, so it is left alone (false-positive-
+// averse, like every approximation in this pass).
+func (lg *lockGuard) applyCallEffects(e ast.Expr, held heldSet) {
+	ip := lg.c.Interp
+	if ip == nil {
+		return
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := callee(lg.c.Pkg.Info, call)
+	cs := ip.SummaryOf(fn)
+	if cs == nil {
+		return
+	}
+	bind := func(ref lockRef) (string, bool) {
+		var bound ast.Expr
+		if ref.Slot == -1 {
+			sel, isSel := call.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return "", false
+			}
+			bound = sel.X
+		} else if ref.Slot < len(call.Args) {
+			bound = call.Args[ref.Slot]
+		}
+		if bound == nil {
+			return "", false
+		}
+		return exprString(bound) + "." + ref.Mu, true
+	}
+	// Parameter-slot obligations (receiver-slot ones are reported by
+	// checkSelector, which sees every method reference).
+	for _, ref := range sortedLockRefs(cs.Requires) {
+		if ref.Slot < 0 {
+			continue
+		}
+		if key, ok := bind(ref); ok && !held[key] {
+			lg.c.Report(call, fmt.Sprintf(
+				"call to %s requires %s held (lint:holds)", fn.Name(), key))
+		}
+	}
+	for _, ref := range sortedLockRefs(cs.MayAcquire) {
+		if key, ok := bind(ref); ok && held[key] {
+			lg.c.Report(call, fmt.Sprintf(
+				"possible self-deadlock: call to %s may re-acquire %s, which is already held", fn.Name(), key))
+		}
+	}
+	deltas := make([]lockRef, 0, len(cs.LockDelta))
+	for ref := range cs.LockDelta {
+		deltas = append(deltas, ref)
+	}
+	sortLockRefs(deltas)
+	for _, ref := range deltas {
+		key, ok := bind(ref)
+		if !ok {
+			continue
+		}
+		if cs.LockDelta[ref] > 0 {
+			held[key] = true
+		} else {
+			delete(held, key)
+		}
 	}
 }
 

@@ -16,7 +16,17 @@ import (
 // slices that still aliased a base table corrupted the table for every
 // other query and raced with concurrent executions of a shared plan.
 //
-// The analysis is intra-procedural and provenance-based. A value of an
+// The analysis is provenance-based and, with the interprocedural layer
+// (Context.Interp non-nil), follows provenance across calls: a call whose
+// callee summary proves returns-fresh classifies as locally owned instead
+// of giving up, a callee that returns a //lint:shared field's backing
+// taints the result, a callee that passes a parameter through to its
+// result propagates the argument's provenance, and a callee that stores a
+// parameter's backing beyond the call (escapes-param) revokes the
+// caller's exclusive ownership of that argument. Under RunIntra every
+// call result is simply unknown provenance, as in PR 6.
+//
+// Within one function the analysis is flow-sensitive. A value of an
 // "ownership-tracked" type (a struct declaring a shared field, a pointer
 // to one, or the shared field's own slice type) is tainted when it arrives
 // from a call, a parameter, or a collection — anywhere its backing array
@@ -33,7 +43,7 @@ func passSharedMut() *Pass {
 		Doc:  "in-place mutation of values that may alias shared storage",
 		Sev:  SevError,
 		Run: func(c *Context) {
-			if len(c.Ann.shared) == 0 {
+			if len(c.Ann.shared) == 0 && (c.Interp == nil || len(c.Interp.Ann.shared) == 0) {
 				return
 			}
 			sm := newSharedMut(c)
@@ -64,6 +74,12 @@ type sharedMut struct {
 }
 
 func newSharedMut(c *Context) *sharedMut {
+	// With the interprocedural layer the type domain is module-wide: a
+	// package mutating another package's shared-annotated values is held
+	// to the same rules.
+	if ip := c.Interp; ip != nil {
+		return &sharedMut{c: c, owners: ip.owners, fieldTypes: ip.fieldTypes}
+	}
 	sm := &sharedMut{c: c, owners: map[*types.Named]bool{}}
 	for f := range c.Ann.shared {
 		sm.fieldTypes = append(sm.fieldTypes, f.Type())
@@ -109,6 +125,15 @@ func (sm *sharedMut) tracked(t types.Type) bool {
 	return false
 }
 
+// isShared reports whether f carries a //lint:shared annotation, in this
+// package or (interprocedurally) anywhere in the module.
+func (sm *sharedMut) isShared(f *types.Var) bool {
+	if sm.c.Ann.shared[f] {
+		return true
+	}
+	return sm.c.Interp != nil && sm.c.Interp.Ann.shared[f]
+}
+
 // sharedField resolves a selector to a shared field object, nil otherwise.
 func (sm *sharedMut) sharedField(sel *ast.SelectorExpr) *types.Var {
 	s, ok := sm.c.Pkg.Info.Selections[sel]
@@ -116,7 +141,7 @@ func (sm *sharedMut) sharedField(sel *ast.SelectorExpr) *types.Var {
 		return nil
 	}
 	f, ok := s.Obj().(*types.Var)
-	if !ok || !sm.c.Ann.shared[f] {
+	if !ok || !sm.isShared(f) {
 		return nil
 	}
 	return f
@@ -371,6 +396,22 @@ func (sm *sharedMut) call(call *ast.CallExpr) {
 		}
 	}
 	sm.checkMutatesCall(call)
+	// Escapes-param: handing a tracked value to a callee that stores its
+	// backing beyond the call revokes the caller's exclusive ownership —
+	// later in-place mutation would write into storage someone else now
+	// also references.
+	if cs := sm.calleeSummary(call); cs != nil {
+		for i, a := range call.Args {
+			if i >= len(cs.EscapesParam) || !cs.EscapesParam[i] {
+				continue
+			}
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				if _, tracked := sm.state[id.Name]; tracked {
+					sm.state[id.Name] = false
+				}
+			}
+		}
+	}
 }
 
 // checkMutatesCall verifies that arguments bound to lint:mutates parameters
@@ -389,6 +430,9 @@ func (sm *sharedMut) checkMutatesCall(call *ast.CallExpr) {
 		return
 	}
 	params := sm.c.Ann.mutates[fn]
+	if len(params) == 0 && sm.c.Interp != nil {
+		params = sm.c.Interp.Ann.mutates[fn]
+	}
 	if len(params) == 0 {
 		return
 	}
@@ -435,7 +479,7 @@ func (sm *sharedMut) ownedArg(arg ast.Expr) bool {
 	anyShared := false
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if !sm.c.Ann.shared[f] {
+		if !sm.isShared(f) {
 			continue
 		}
 		anyShared = true
@@ -466,8 +510,33 @@ func (sm *sharedMut) taintedExpr(e ast.Expr) bool {
 			return !fresh
 		}
 		return true // shared field of an untracked base: assume shared
+	case *ast.CallExpr:
+		// Interprocedural: the callee's summary settles the result's
+		// provenance. Returns-shared is tainted backing; a pass-through
+		// result carries the argument's provenance; anything else —
+		// including returns-fresh — is not proven tainted.
+		cs := sm.calleeSummary(x)
+		if cs == nil || len(cs.ReturnsFresh) != 1 {
+			return false
+		}
+		if cs.ReturnsShared[0] {
+			return true
+		}
+		if p := cs.ReturnsParam[0]; p >= 0 && p < len(x.Args) {
+			return sm.taintedExpr(x.Args[p])
+		}
+		return false
 	}
 	return false
+}
+
+// calleeSummary resolves a call's static callee summary (nil without the
+// interprocedural layer).
+func (sm *sharedMut) calleeSummary(call *ast.CallExpr) *Summary {
+	if sm.c.Interp == nil {
+		return nil
+	}
+	return sm.c.Interp.SummaryOf(callee(sm.c.Pkg.Info, call))
 }
 
 // classify computes the freshness of an expression: true means the backing
@@ -502,9 +571,19 @@ func (sm *sharedMut) classify(e ast.Expr) bool {
 			}
 		}
 		// Conversions preserve the operand's backing; real calls return
-		// values of unknown provenance.
+		// values of unknown provenance — unless the callee's summary
+		// proves returns-fresh (or passes a parameter through, in which
+		// case the argument's provenance decides).
 		if tv, ok := sm.c.Pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
 			return sm.classify(x.Args[0])
+		}
+		if cs := sm.calleeSummary(x); cs != nil && len(cs.ReturnsFresh) == 1 {
+			if cs.ReturnsFresh[0] {
+				return true
+			}
+			if p := cs.ReturnsParam[0]; p >= 0 && p < len(x.Args) && !cs.ReturnsShared[0] {
+				return sm.classify(x.Args[p])
+			}
 		}
 		return false
 	case *ast.CompositeLit:
@@ -534,7 +613,7 @@ func (sm *sharedMut) classify(e ast.Expr) bool {
 			}
 			for i := 0; i < st.NumFields(); i++ {
 				f := st.Field(i)
-				if sm.c.Ann.shared[f] && f.Name() == key.Name && !sm.classify(kv.Value) {
+				if sm.isShared(f) && f.Name() == key.Name && !sm.classify(kv.Value) {
 					return false
 				}
 			}

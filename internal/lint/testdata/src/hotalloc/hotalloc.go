@@ -1,0 +1,45 @@
+// Package sqldb is the hot-path allocation fixture: its import path ends
+// in internal/sqldb, so its operator-named functions are hotalloc roots.
+// filterRows seeds one finding per allocation kind the walker classifies;
+// scanRows is the near-miss whose append target carries preallocated
+// capacity.
+package sqldb
+
+import "fmt"
+
+type row []int
+
+// sink models an interface-typed parameter: passing a concrete row boxes
+// it on every call.
+func sink(v any) {}
+
+// pad allocates on every call; calling it per row charges the allocation
+// to the caller's loop.
+func pad(r row) row {
+	out := make(row, len(r))
+	copy(out, r)
+	return out
+}
+
+// filterRows is an operator entry point with four per-iteration
+// allocation groups: the growing append, the allocating callee, the fmt
+// formatting, and the interface boxing.
+func filterRows(rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		out = append(out, pad(r))
+		_ = fmt.Sprintf("%d", len(r))
+		sink(r)
+	}
+	return out
+}
+
+// scanRows is the near-miss: the destination is preallocated with
+// capacity, so the appends do not grow per iteration.
+func scanRows(rows []row) []row {
+	out := make([]row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}

@@ -9,9 +9,14 @@ type relation struct {
 	rows []row //lint:shared may alias base-table storage
 }
 
+// base stands in for table storage living beyond the current call.
+var base relation
+
 // supply stands in for an operator returning a relation of unknown
 // provenance (possibly the star fast path handing out table storage).
-func supply() relation { return relation{} }
+// It hands out package-level state so the interprocedural summary cannot
+// prove the result fresh either.
+func supply() relation { return base }
 
 // badAppend is the seeded violation: it appends into the possibly shared
 // backing array of a relation it did not freshen.

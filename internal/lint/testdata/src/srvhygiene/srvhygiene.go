@@ -1,0 +1,33 @@
+// Package srvhygiene is the http-server hygiene fixture: the bad path
+// uses the two forbidden shortcuts (bare http.ListenAndServe, the global
+// DefaultServeMux); the near-miss builds an explicit mux behind a
+// configured *http.Server, whose ListenAndServe method is the fix, not a
+// finding.
+package srvhygiene
+
+import (
+	"net/http"
+	"time"
+)
+
+// defaultMux references the process-global mux directly.
+var defaultMux = http.DefaultServeMux
+
+// badServe seeds the package-function findings.
+func badServe() error {
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	return http.ListenAndServe(":8080", nil)
+}
+
+// goodServe is the near-miss: explicit mux, explicit server, timeouts.
+func goodServe() error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	srv := &http.Server{
+		Addr:              ":8080",
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,64 @@
+// Package stopflow is the cooperative-cancellation fixture: tasks
+// submitted to the worker pool (parState.run) must not reach loops that
+// spin without observing a stop signal. The violations cover a loop
+// written in the task literal, a loop behind a function the literal
+// calls, and a loop in a named task; the near-miss polls an atomic stop
+// flag.
+package stopflow
+
+import "sync/atomic"
+
+type parState struct{ workers int }
+
+// run is the pool-submission point the pass keys on.
+func (ps *parState) run(n int, task func(int)) {
+	for i := 0; i < n; i++ {
+		task(i)
+	}
+}
+
+func step() {}
+
+// spinLocal seeds the literal-loop violation: the captured flag is never
+// written inside the loop body, so the task can spin forever on a
+// pinned worker.
+func spinLocal(ps *parState) {
+	done := false
+	ps.run(4, func(i int) {
+		for !done {
+		}
+	})
+	done = true
+}
+
+// churn never observes the stop signal; spinIndirect reaches it through
+// the submitted task — only the call-graph closure sees this one.
+func churn() {
+	for {
+		step()
+	}
+}
+
+func spinIndirect(ps *parState) {
+	ps.run(2, func(i int) { churn() })
+}
+
+// worker is a named task with an unbounded loop.
+func worker(i int) {
+	for {
+	}
+}
+
+func spinNamed(ps *parState) {
+	ps.run(2, worker)
+}
+
+// polite is the near-miss: the loop condition observes the atomic stop
+// flag on every iteration.
+func polite(ps *parState, stop *atomic.Bool) {
+	ps.run(2, func(i int) {
+		for !stop.Load() {
+			step()
+		}
+	})
+}

@@ -28,13 +28,18 @@ go test -race ./...
 go run ./cmd/obdalint -strict -quiet
 
 # Instrumented smoke run: one client, one small mix, with the JSONL run log
-# on; the validator fails the gate when the log is empty or malformed.
+# on; the validator fails the gate when the log is empty or malformed (and,
+# for schema-v2 records, when the per-query usage block is missing).
 RUNLOG=$(mktemp)
 MIXOUT=$(mktemp)
 trap 'rm -f "$RUNLOG" "$MIXOUT"' EXIT
 go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
     -triples=false -clients 1 -queries q2,q3 -jsonl "$RUNLOG" > /dev/null
 go run ./cmd/mixer -validatejsonl "$RUNLOG"
+grep -q '"schema":2' "$RUNLOG" || {
+    echo "run-log smoke: records not stamped with schema v2" >&2
+    exit 1
+}
 
 # Plan-cache smoke: repeated runs with concurrent clients and the cache on
 # (the default) must serve warm executions from the compiled-query cache —
@@ -64,6 +69,51 @@ grep -E 'npdbench_exec_parallel_union_arms_total [1-9]' "$MIXOUT" > /dev/null ||
     cat "$MIXOUT" >&2
     exit 1
 }
+
+# Serving-telemetry smoke: a mix with the slow log and a 0s slow threshold
+# must capture executions, and the exposition must carry the runtime-metrics
+# family (goroutines can never be zero in a live process) plus the usage
+# accounting counters.
+go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
+    -triples=false -clients 1 -queries q2,q3 -slowlog 4 -slowthreshold 1us \
+    -metrics > "$MIXOUT"
+grep -E 'slow log: [1-9][0-9]* of' "$MIXOUT" > /dev/null || {
+    echo "telemetry smoke: slow log captured nothing" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+grep -E 'npdbench_runtime_goroutines [1-9]' "$MIXOUT" > /dev/null || {
+    echo "telemetry smoke: runtime-metrics family missing or zero" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+grep -E 'npdbench_usage_rows_scanned_total [1-9]' "$MIXOUT" > /dev/null || {
+    echo "telemetry smoke: usage accounting counters missing" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+
+# The slow-query log as served over HTTP: obdaq -slowlog prints the same
+# JSON document /debug/slowlog serves; it must contain a captured entry
+# with a trace id.
+go run ./cmd/obdaq -q q2 -seedscale 0.15 -slowlog 2 -slowthreshold 1us \
+    -rows 0 > "$MIXOUT"
+grep -q '"trace_id"' "$MIXOUT" || {
+    echo "telemetry smoke: obdaq slow log has no captured entry" >&2
+    cat "$MIXOUT" >&2
+    exit 1
+}
+
+# Bench-regression differ: the committed fixture pair plants one genuine
+# regression (exit 1); self-diffing the repo's own parallel benchmark
+# report must be clean (exit 0).
+if go run ./cmd/mixer -benchdiff \
+    internal/mixer/testdata/benchdiff_old.jsonl \
+    internal/mixer/testdata/benchdiff_new.jsonl > /dev/null; then
+    echo "benchdiff: seeded regression fixture not flagged" >&2
+    exit 1
+fi
+go run ./cmd/mixer -benchdiff BENCH_parallel.json BENCH_parallel.json > /dev/null
 
 # Determinism under a single OS thread: parallel scheduling interleaves
 # completely differently with GOMAXPROCS=1, and results must still be

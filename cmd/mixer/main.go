@@ -20,8 +20,12 @@
 //
 //	mixer -breakdown -jsonl run.jsonl   # one JSONL record per execution
 //	mixer -validatejsonl run.jsonl      # check a run log (the ci.sh gate)
-//	mixer -breakdown -http :6060        # serve /metrics + net/http/pprof
+//	mixer -breakdown -http :6060        # serve /metrics, /debug/slowlog + pprof
 //	mixer -breakdown -metrics           # print the metric exposition after the run
+//	mixer -breakdown -slowlog 16        # capture the 16 slowest executions
+//	mixer -breakdown -sample 0.1        # retain ~10% of traces (plus all slow ones)
+//	mixer -benchdiff old.json new.json  # compare two benchmark result files;
+//	                                    # exits 1 on a p50+p95 regression
 package main
 
 import (
@@ -60,10 +64,35 @@ func main() {
 		parbench    = flag.String("parbench", "", "run the parallel-speedup benchmark and write its JSON report to this file")
 		jsonl       = flag.String("jsonl", "", "write a JSONL run log (one record per query execution)")
 		validate    = flag.String("validatejsonl", "", "validate a JSONL run log and exit")
-		httpAddr    = flag.String("http", "", "serve /metrics and net/http/pprof on this address while running")
+		httpAddr    = flag.String("http", "", "serve /metrics, /debug/slowlog and net/http/pprof on this address while running")
 		metrics     = flag.Bool("metrics", false, "print the Prometheus metric exposition after the run")
+		slowlogCap  = flag.Int("slowlog", 0, "capture the N slowest query executions (span tree + usage block)")
+		slowThresh  = flag.Duration("slowthreshold", 0, "always retain traces of queries at least this slow (e.g. 50ms)")
+		sampleRate  = flag.Float64("sample", 0, "probabilistic trace retention rate in [0,1] (0 = trace everything when -jsonl is on)")
+		budgetRows  = flag.Int64("budgetrows", 0, "per-query soft limit on rows scanned (0 = unlimited)")
+		budgetBytes = flag.Int64("budgetbytes", 0, "per-query soft limit on bytes materialized (0 = unlimited)")
+		benchdiff   = flag.Bool("benchdiff", false, "diff two benchmark result files (parbench JSON or JSONL run logs): mixer -benchdiff old new")
+		diffThresh  = flag.Float64("diffthreshold", 0.30, "relative p50+p95 slowdown that counts as a regression")
+		diffMinRuns = flag.Int("diffminruns", 3, "minimum runs per side before a query is judged")
+		diffFloor   = flag.Duration("difffloor", 500*time.Microsecond, "absolute p50 delta a regression must clear")
 	)
 	flag.Parse()
+
+	if *benchdiff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-benchdiff needs exactly two file arguments, got %d", flag.NArg()))
+		}
+		opt := mixer.DiffOptions{Threshold: *diffThresh, MinRuns: *diffMinRuns, Floor: *diffFloor}
+		rep, err := mixer.BenchDiffFiles(flag.Arg(0), flag.Arg(1), opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		if rep.Regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *validate != "" {
 		f, err := os.Open(*validate)
@@ -114,9 +143,24 @@ func main() {
 			fmt.Printf("run log: %d records written to %s\n", cfg.RunLog.Count(), *jsonl)
 		}()
 	}
+	if *sampleRate > 0 || *slowThresh > 0 {
+		cfg.Sampler = &obs.Sampler{Rate: *sampleRate, SlowThreshold: *slowThresh, Seed: uint64(*seed)}
+	}
+	if *slowlogCap > 0 {
+		cfg.SlowLog = obs.NewSlowLog(*slowlogCap)
+		defer func() {
+			fmt.Printf("slow log: %d of %d offered executions captured\n",
+				cfg.SlowLog.Len(), cfg.SlowLog.Offered())
+		}()
+	}
+	cfg.Budget = obs.QueryBudget{MaxRowsScanned: *budgetRows, MaxBytesMaterialized: *budgetBytes}
+	var collector *obs.RuntimeCollector
 	if *metrics {
 		cfg.Metrics = obs.NewRegistry()
 		defer func() {
+			// One synchronous runtime-metrics pass so the exposition always
+			// carries the npdbench_runtime_* family, ticker or not.
+			collector.Collect()
 			fmt.Printf("\nmetrics:\n%s", cfg.Metrics.PrometheusText())
 		}()
 	}
@@ -130,6 +174,10 @@ func main() {
 		// hold a connection open for the lifetime of the run.
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", cfg.Metrics.Handler())
+		if cfg.SlowLog == nil {
+			cfg.SlowLog = obs.NewSlowLog(0)
+		}
+		mux.Handle("/debug/slowlog", cfg.SlowLog.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -148,7 +196,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mixer: http:", err)
 			}
 		}()
-		fmt.Printf("serving /metrics and /debug/pprof on %s\n", *httpAddr)
+		fmt.Printf("serving /metrics, /debug/slowlog and /debug/pprof on %s\n", *httpAddr)
+	}
+	if cfg.Metrics != nil {
+		// Bridge runtime/metrics (heap, GC, goroutines, sched latency) into
+		// the same registry the engine writes, so one scrape shows both.
+		collector = obs.NewRuntimeCollector(cfg.Metrics)
+		collector.Start(0)
+		defer collector.Stop()
 	}
 
 	switch {

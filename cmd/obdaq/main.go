@@ -7,7 +7,10 @@
 //	obdaq -q q1 -scale 5 -sql            # also print the unfolded SQL
 //	obdaq -q q6 -explain                 # pipeline span tree + EXPLAIN ANALYZE
 //	obdaq -q q6 -trace                   # pipeline span tree only
-//	obdaq -q q6 -metrics                 # Prometheus metric exposition
+//	obdaq -q q6 -metrics                 # Prometheus metric exposition (engine + runtime)
+//	obdaq -q q6 -slowlog 8               # capture + print the slow-query log
+//	obdaq -q q6 -sample 0.5 -trace       # sampled trace retention
+//	obdaq -q q6 -budgetrows 1000         # flag queries scanning past a soft budget
 package main
 
 import (
@@ -39,9 +42,14 @@ func main() {
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the pipeline span tree and the EXPLAIN ANALYZE operator tree")
 		trace       = flag.Bool("trace", false, "print the pipeline span tree (stage timings and attributes)")
-		metrics     = flag.Bool("metrics", false, "print the Prometheus metric exposition after the query")
+		metrics     = flag.Bool("metrics", false, "print the Prometheus metric exposition (engine + runtime families) after the query")
 		maxRows     = flag.Int("rows", 20, "result rows to print (0 = all)")
 		useStore    = flag.Bool("storebaseline", false, "answer over the materialized triple store instead")
+		slowlogCap  = flag.Int("slowlog", 0, "capture the N slowest executions and print the slow-query log as JSON")
+		slowThresh  = flag.Duration("slowthreshold", 0, "always retain traces of queries at least this slow (e.g. 50ms)")
+		sampleRate  = flag.Float64("sample", 0, "probabilistic trace retention rate in [0,1]")
+		budgetRows  = flag.Int64("budgetrows", 0, "per-query soft limit on rows scanned (0 = unlimited)")
+		budgetBytes = flag.Int64("budgetbytes", 0, "per-query soft limit on bytes materialized (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -95,13 +103,23 @@ func main() {
 		if *verify {
 			mode = core.VerifyOn
 		}
-		if *explain || *trace || *metrics {
+		sampled := *sampleRate > 0 || *slowThresh > 0
+		if *explain || *trace || *metrics || sampled || *slowlogCap > 0 {
 			observer = &obs.Observer{
-				Tracing:     *explain || *trace,
+				// A sampler takes over the retention decision from
+				// all-or-nothing tracing.
+				Tracing:     (*explain || *trace) && !sampled,
 				ExecProfile: *explain,
+				Budget:      obs.QueryBudget{MaxRowsScanned: *budgetRows, MaxBytesMaterialized: *budgetBytes},
 			}
 			if *metrics {
 				observer.Metrics = obs.NewRegistry()
+			}
+			if sampled {
+				observer.Sampler = &obs.Sampler{Rate: *sampleRate, SlowThreshold: *slowThresh, Seed: uint64(*seed)}
+			}
+			if *slowlogCap > 0 {
+				observer.SlowLog = obs.NewSlowLog(*slowlogCap)
 			}
 		}
 		eng, err := core.NewEngine(spec, core.Options{
@@ -147,7 +165,14 @@ func main() {
 		fmt.Printf("\nunfolded SQL:\n%s\n", st.UnfoldedSQL)
 	}
 	if (*trace || *explain) && ans.Trace != nil {
-		fmt.Printf("\npipeline trace:\n%s", ans.Trace.Render())
+		fmt.Printf("\npipeline trace: id=%s sampled=%v decision=%s\n%s",
+			ans.Trace.ID, ans.Sample.Sampled, ans.Sample.Reason, ans.Trace.Render())
+	}
+	if (*trace || *explain) && ans.Trace == nil && ans.Sample.Reason != "" {
+		fmt.Printf("\npipeline trace: dropped by sampler (decision=%s)\n", ans.Sample.Reason)
+	}
+	if *explain && st.Usage != nil {
+		fmt.Printf("\nusage: %s\n", st.Usage.String())
 	}
 	if *explain {
 		for i, prof := range ans.Profiles {
@@ -158,7 +183,17 @@ func main() {
 		}
 	}
 	if *metrics && observer != nil && observer.Metrics != nil {
+		// One runtime-metrics pass so the exposition carries the
+		// npdbench_runtime_* family alongside the engine counters.
+		obs.NewRuntimeCollector(observer.Metrics).Collect()
 		fmt.Printf("\nmetrics:\n%s", observer.Metrics.PrometheusText())
+	}
+	if observer != nil && observer.SlowLog != nil {
+		doc, err := observer.SlowLog.RenderJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nslow-query log (%d captured):\n%s\n", observer.SlowLog.Len(), doc)
 	}
 
 	fmt.Printf("\n%d solutions\n", ans.Len())

@@ -1,3 +1,3 @@
 module npdbench
 
-go 1.22
+go 1.23

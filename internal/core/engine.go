@@ -135,6 +135,23 @@ type engineMetrics struct {
 	// like parallelMetricNames: tasks, workers, union arms, join
 	// partitions, morsels.
 	parallel [5]*obs.Counter
+	// inflight gauges queries currently inside Answer.
+	inflight *obs.Gauge
+	// usage accumulates the per-query resource accounting totals,
+	// indexed like usageMetricNames: rows scanned, rows produced, bytes
+	// materialized.
+	usage [3]*obs.Counter
+	// budgetExceeded counts queries that tripped each soft budget limit,
+	// indexed by the obs.BudgetLimitNames bit order.
+	budgetExceeded [len(obs.BudgetLimitNames)]*obs.Counter
+}
+
+// usageMetricNames is the npdbench_usage_* family, in engineMetrics.usage
+// index order.
+var usageMetricNames = [3]string{
+	"npdbench_usage_rows_scanned_total",
+	"npdbench_usage_rows_produced_total",
+	"npdbench_usage_bytes_materialized_total",
 }
 
 // parallelMetricNames is the npdbench_exec_parallel_* family, in the index
@@ -161,6 +178,13 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	}
 	for i, name := range parallelMetricNames {
 		m.parallel[i] = reg.Counter(name)
+	}
+	m.inflight = reg.Gauge("npdbench_queries_inflight")
+	for i, name := range usageMetricNames {
+		m.usage[i] = reg.Counter(name)
+	}
+	for i, limit := range obs.BudgetLimitNames {
+		m.budgetExceeded[i] = reg.Counter(fmt.Sprintf("npdbench_budget_exceeded_total{limit=%q}", limit))
 	}
 	return m
 }
@@ -311,7 +335,12 @@ type PhaseStats struct {
 	// aggregation. It is part of TotalTime but of no per-stage time: the
 	// stage measures describe only the path that produced the answer.
 	PushdownAbandoned time.Duration
-	SQL               sqldb.SQLMetrics
+	// Usage is the frozen per-query resource accounting block (nil when
+	// observability is fully off): base-table rows scanned, operator
+	// rows/bytes produced, parallel tasks, cache hits, and any tripped
+	// soft budget limits.
+	Usage *obs.UsageSnapshot
+	SQL   sqldb.SQLMetrics
 	// UnfoldedSQL is the translated query text (diagnostics; empty when
 	// all arms were pruned).
 	UnfoldedSQL string
@@ -350,6 +379,9 @@ type Answer struct {
 	// Profiles holds one EXPLAIN ANALYZE operator tree per SQL statement
 	// executed (nil unless Options.Obs.ExecProfile).
 	Profiles []*sqldb.OpProfile
+	// Sample is the trace sampling decision: whether the trace was
+	// retained and why ("off" when no tracing/sampling is configured).
+	Sample obs.SampleDecision
 }
 
 // queryCtx carries the per-query observability state alongside the phase
@@ -357,6 +389,9 @@ type Answer struct {
 type queryCtx struct {
 	st       *PhaseStats
 	tr       *obs.Trace
+	dec      obs.SampleDecision
+	usage    *obs.Usage
+	name     string
 	profiles []*sqldb.OpProfile
 }
 
@@ -367,43 +402,66 @@ func (e *Engine) ParseQuery(src string) (*sparql.Query, error) {
 
 // Query parses and answers a SPARQL query.
 func (e *Engine) Query(src string) (*Answer, error) {
-	tr := e.opts.Obs.StartTrace("query")
-	ps := tr.StartSpan("parse")
+	qc := e.beginQuery(queryLabel(src))
+	ps := qc.tr.StartSpan("parse")
 	q, err := e.ParseQuery(src)
 	ps.End()
 	if err != nil {
-		e.countQuery(true)
-		return nil, err
+		return nil, e.failQuery(qc, err)
 	}
-	return e.answer(q, tr)
+	return e.answer(q, qc)
 }
 
 // Answer runs the full query-answering pipeline on a pre-parsed query. The
 // parse stage still appears in the trace (marked cached) so every trace
 // carries the complete taxonomy.
 func (e *Engine) Answer(q *sparql.Query) (*Answer, error) {
-	tr := e.opts.Obs.StartTrace("query")
-	ps := tr.StartSpan("parse")
-	ps.SetStr("cached", "true")
-	ps.End()
-	return e.answer(q, tr)
+	return e.AnswerNamed(q, "")
 }
 
-func (e *Engine) answer(q *sparql.Query, tr *obs.Trace) (*Answer, error) {
+// AnswerNamed is Answer with a caller-supplied query label (e.g. the NPD
+// mix's "q12") used by the slow-query log and the sampling counters.
+func (e *Engine) AnswerNamed(q *sparql.Query, name string) (*Answer, error) {
+	qc := e.beginQuery(name)
+	ps := qc.tr.StartSpan("parse")
+	ps.SetStr("cached", "true")
+	ps.End()
+	return e.answer(q, qc)
+}
+
+// queryLabel compresses raw SPARQL text into a short slow-log label.
+func queryLabel(src string) string {
+	s := strings.Join(strings.Fields(src), " ")
+	if len(s) > 80 {
+		s = s[:77] + "..."
+	}
+	return s
+}
+
+// beginQuery opens the per-query observability state: the (possibly
+// sampled) trace, the resource-usage tracker, and the in-flight gauge.
+// With observability fully off every field stays nil.
+func (e *Engine) beginQuery(name string) *queryCtx {
+	qc := &queryCtx{st: &PhaseStats{}, name: name}
+	qc.tr, qc.dec = e.opts.Obs.StartQuery("query")
+	qc.usage = e.opts.Obs.NewUsage()
+	if e.met != nil {
+		e.met.inflight.Add(1)
+	}
+	return qc
+}
+
+func (e *Engine) answer(q *sparql.Query, qc *queryCtx) (*Answer, error) {
 	start := obs.Now()
-	qc := &queryCtx{st: &PhaseStats{}, tr: tr}
 	st := qc.st
 	if q.HasAggregates() {
 		rs, ok, err := e.tryAggregatePushdown(q, qc)
 		if err != nil {
-			e.countQuery(true)
-			return nil, err
+			return nil, e.failQuery(qc, err)
 		}
 		if ok {
 			st.TotalTime = obs.Since(start)
-			tr.Finish()
-			e.recordMetrics(st)
-			return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles}, nil
+			return e.finishAnswer(rs, qc), nil
 		}
 		// Fall through: in-memory aggregation over translated bindings.
 		// The abandoned attempt keeps its spans in the trace (tagged
@@ -416,20 +474,60 @@ func (e *Engine) answer(q *sparql.Query, tr *obs.Trace) (*Answer, error) {
 	}
 	bindings, err := e.evalPattern(q.Pattern, qc)
 	if err != nil {
-		e.countQuery(true)
-		return nil, err
+		return nil, e.failQuery(qc, err)
 	}
 	tStart := obs.Now()
 	rs, err := sparql.Finalize(q, bindings)
 	if err != nil {
-		e.countQuery(true)
-		return nil, err
+		return nil, e.failQuery(qc, err)
 	}
 	st.TranslateTime += obs.Since(tStart)
 	st.TotalTime = obs.Since(start)
-	tr.Finish()
+	return e.finishAnswer(rs, qc), nil
+}
+
+// finishAnswer settles a successful query: freezes the usage snapshot
+// into the stats and the root span, finishes the trace, resolves the
+// sampling decision (dropping an unretained trace), and publishes the
+// per-query metrics.
+func (e *Engine) finishAnswer(rs *sparql.ResultSet, qc *queryCtx) *Answer {
+	st := qc.st
+	if qc.usage != nil {
+		qc.usage.AddCacheHits(int64(st.PlanCacheHits))
+		st.Usage = qc.usage.Snapshot()
+		if qc.tr != nil {
+			st.Usage.Annotate(qc.tr.Root)
+		}
+	}
+	qc.tr.Finish()
+	retained, dec := e.opts.Obs.FinishQuery(qc.name, qc.tr, qc.dec, st.TotalTime, st.Usage, profilesValue(qc.profiles))
 	e.recordMetrics(st)
-	return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles}, nil
+	tr := qc.tr
+	if !retained {
+		tr = nil
+	}
+	return &Answer{ResultSet: rs, Stats: *st, Trace: tr, Profiles: qc.profiles, Sample: dec}
+}
+
+// profilesValue erases the profile slice for the obs slow log without
+// handing it a non-nil interface wrapping an empty slice.
+func profilesValue(p []*sqldb.OpProfile) any {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
+}
+
+// failQuery settles a failed query: finishes the trace, counts the error,
+// and releases the in-flight gauge. Failed runs skip the latency
+// histograms and the slow log (their timings are partial).
+func (e *Engine) failQuery(qc *queryCtx, err error) error {
+	qc.tr.Finish()
+	e.countQuery(true)
+	if e.met != nil {
+		e.met.inflight.Add(-1)
+	}
+	return err
 }
 
 // countQuery bumps the query counters; failed runs skip the latency
@@ -444,16 +542,30 @@ func (e *Engine) countQuery(failed bool) {
 	}
 }
 
-// recordMetrics publishes the per-query phase timings to the registry via
-// the handles resolved at engine construction (no name formatting here).
+// recordMetrics publishes the per-query phase timings and resource usage
+// to the registry via the handles resolved at engine construction (no
+// name formatting here).
 func (e *Engine) recordMetrics(st *PhaseStats) {
 	if e.met == nil {
 		return
 	}
 	e.countQuery(false)
+	e.met.inflight.Add(-1)
 	e.met.querySeconds.Observe(st.TotalTime.Seconds())
 	for i, d := range [4]time.Duration{st.RewriteTime, st.UnfoldTime, st.ExecTime, st.TranslateTime} {
 		e.met.stageSeconds[i].Observe(d.Seconds())
+	}
+	if u := st.Usage; u != nil {
+		for i, v := range [3]int64{u.RowsScanned, u.RowsProduced, u.BytesMaterialized} {
+			e.met.usage[i].Add(v)
+		}
+		for _, limit := range u.BudgetExceeded {
+			for i, name := range obs.BudgetLimitNames {
+				if name == limit {
+					e.met.budgetExceeded[i].Inc()
+				}
+			}
+		}
 	}
 }
 
@@ -626,7 +738,7 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryC
 // counters folded into the phase stats, the execute span, and the
 // npdbench_exec_parallel_* metric family.
 func (e *Engine) execStmt(stmt *sqldb.SelectStmt, qc *queryCtx, span *obs.Span) (*sqldb.Result, error) {
-	opt := sqldb.ExecOptions{Parallelism: e.par, Pool: e.pool}
+	opt := sqldb.ExecOptions{Parallelism: e.par, Pool: e.pool, Usage: qc.usage}
 	var stats *sqldb.ExecStats
 	if e.par > 1 {
 		stats = &sqldb.ExecStats{}
@@ -645,6 +757,7 @@ func (e *Engine) execStmt(stmt *sqldb.SelectStmt, qc *queryCtx, span *obs.Span) 
 	}
 	if stats != nil {
 		e.publishParallel(qc.st, span, stats)
+		qc.usage.AddParallelTasks(stats.Tasks.Load())
 	}
 	return res, err
 }

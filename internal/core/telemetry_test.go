@@ -1,0 +1,209 @@
+package core
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"npdbench/internal/obs"
+)
+
+func TestUsageInStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := NewEngine(exampleSpec(t), obsOptions(&obs.Observer{Metrics: reg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query(`SELECT ?n ?p WHERE { ?x :name ?n . ?x :SellsProduct ?p }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ans.Stats.Usage
+	if u == nil {
+		t.Fatal("no usage block with observer installed")
+	}
+	if u.RowsScanned <= 0 || u.RowsProduced <= 0 || u.BytesMaterialized <= 0 {
+		t.Fatalf("usage not accounted: %+v", u)
+	}
+	if len(u.BudgetExceeded) != 0 {
+		t.Fatalf("unlimited budget tripped: %v", u.BudgetExceeded)
+	}
+	text := reg.PrometheusText()
+	for _, want := range []string{
+		"npdbench_usage_rows_scanned_total",
+		"npdbench_usage_rows_produced_total",
+		"npdbench_usage_bytes_materialized_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if got := reg.Gauge("npdbench_queries_inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after query settled", got)
+	}
+}
+
+func TestUsageOffWithoutObserver(t *testing.T) {
+	e, err := NewEngine(exampleSpec(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query(`SELECT ?x WHERE { ?x a :Employee }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Stats.Usage != nil {
+		t.Fatal("usage accounted with observability off")
+	}
+}
+
+func TestBudgetExceededSurfaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := NewEngine(exampleSpec(t), obsOptions(&obs.Observer{
+		Metrics: reg,
+		Budget:  obs.QueryBudget{MaxRowsScanned: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query(`SELECT ?x WHERE { ?x a :Employee }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ans.Stats.Usage
+	if u == nil || len(u.BudgetExceeded) == 0 || u.BudgetExceeded[0] != "rows_scanned" {
+		t.Fatalf("budget trip not surfaced: %+v", u)
+	}
+	if !strings.Contains(reg.PrometheusText(), `npdbench_budget_exceeded_total{limit="rows_scanned"} 1`) {
+		t.Errorf("budget counter missing:\n%s", reg.PrometheusText())
+	}
+}
+
+func TestSampledTraceRetention(t *testing.T) {
+	// Rate 0, no slow threshold worth tripping: trace collected for the
+	// slow log but dropped from the answer.
+	slowlog := obs.NewSlowLog(4)
+	e, err := NewEngine(exampleSpec(t), obsOptions(&obs.Observer{
+		Sampler: &obs.Sampler{Rate: 0, SlowThreshold: time.Hour},
+		SlowLog: slowlog,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.ParseQuery(`SELECT ?x WHERE { ?x a :Employee }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.AnswerNamed(q, "emp-scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace != nil {
+		t.Fatal("unsampled trace retained on answer")
+	}
+	if ans.Sample.Sampled || ans.Sample.Reason != "unsampled" {
+		t.Fatalf("decision = %+v", ans.Sample)
+	}
+	// The slow log still saw the execution, under the caller's label.
+	if slowlog.Len() != 1 || slowlog.Snapshot()[0].Query != "emp-scan" {
+		t.Fatalf("slowlog = %+v", slowlog.Snapshot())
+	}
+
+	// A 0ns threshold promotes everything: trace retained as "slow".
+	e2, err := NewEngine(exampleSpec(t), obsOptions(&obs.Observer{
+		Sampler: &obs.Sampler{Rate: 0, SlowThreshold: time.Nanosecond},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err = e2.Query(`SELECT ?x WHERE { ?x a :Employee }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil || ans.Sample.Reason != "slow" {
+		t.Fatalf("slow promotion failed: trace=%v decision=%+v", ans.Trace, ans.Sample)
+	}
+}
+
+// TestConcurrentAnswerTelemetry runs concurrent queries against one
+// engine with the full telemetry stack on, while HTTP clients poll the
+// metrics and slowlog endpoints — exactly the serving posture of
+// `mixer -http`. The -race run in ci.sh is the real assertion.
+func TestConcurrentAnswerTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	slowlog := obs.NewSlowLog(8)
+	e, err := NewEngine(exampleSpec(t), obsOptions(&obs.Observer{
+		Metrics: reg,
+		Sampler: &obs.Sampler{Rate: 0.5, Seed: 3, SlowThreshold: time.Nanosecond},
+		SlowLog: slowlog,
+		Budget:  obs.QueryBudget{MaxRowsScanned: 2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := obs.NewRuntimeCollector(reg)
+	rc.Start(time.Millisecond)
+	defer rc.Stop()
+	metricsSrv := httptest.NewServer(reg.Handler())
+	defer metricsSrv.Close()
+	slowSrv := httptest.NewServer(slowlog.Handler())
+	defer slowSrv.Close()
+
+	const workers, iters = 6, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := stressQueries[(w+i)%len(stressQueries)]
+				if _, err := e.Query(q); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				for _, url := range []string{metricsSrv.URL, slowSrv.URL} {
+					resp, err := metricsSrv.Client().Get(url)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.Counter("npdbench_queries_total").Value(); got != workers*iters {
+		t.Fatalf("queries_total = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Gauge("npdbench_queries_inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after drain", got)
+	}
+	if slowlog.Len() == 0 {
+		t.Fatal("no slow queries captured")
+	}
+	text := reg.PrometheusText()
+	for _, want := range []string{
+		"npdbench_traces_sampled_total",
+		"npdbench_slowlog_captured_total",
+		"npdbench_usage_rows_scanned_total",
+		"npdbench_runtime_goroutines",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -62,6 +62,16 @@ type Config struct {
 	// Metrics, when non-nil, receives the engine's process-wide counters
 	// and histograms (served by cmd/mixer -http).
 	Metrics *obs.Registry
+	// Sampler, when non-nil, makes the per-query trace retention decision
+	// instead of all-or-nothing tracing (probabilistic head sampling plus
+	// promote-on-slow).
+	Sampler *obs.Sampler
+	// SlowLog, when non-nil, captures the slowest queries with span tree
+	// and usage block (served by cmd/mixer -http at /debug/slowlog).
+	SlowLog *obs.SlowLog
+	// Budget sets per-query soft resource limits; exceeding one marks the
+	// run's usage block and bumps npdbench_budget_exceeded_total.
+	Budget obs.QueryBudget
 }
 
 // DefaultConfig returns a laptop-friendly configuration.
@@ -165,8 +175,16 @@ func Run(cfg Config) (*Report, error) {
 		db.Profile = cfg.Profile
 		spec := core.Spec{Onto: onto, Mapping: mapping, DB: db, Prefixes: npd.Prefixes()}
 		var observer *obs.Observer
-		if cfg.RunLog != nil || cfg.Metrics != nil {
-			observer = &obs.Observer{Tracing: cfg.RunLog != nil, Metrics: cfg.Metrics}
+		if cfg.RunLog != nil || cfg.Metrics != nil || cfg.Sampler != nil || cfg.SlowLog != nil {
+			observer = &obs.Observer{
+				// Plain tracing forces full retention; with a sampler
+				// installed the retention decision is delegated to it.
+				Tracing: cfg.RunLog != nil && cfg.Sampler == nil,
+				Metrics: cfg.Metrics,
+				Sampler: cfg.Sampler,
+				SlowLog: cfg.SlowLog,
+				Budget:  cfg.Budget,
+			}
 		}
 		eng, err := core.NewEngine(spec, core.Options{
 			TMappings:     true,
@@ -272,7 +290,7 @@ func measureQuery(eng *core.Engine, q npd.BenchQuery, cfg Config, scale float64)
 			// tree.
 			query := parsed.Clone()
 			for i := 0; i < cfg.Runs; i++ {
-				ans, err := eng.Answer(query)
+				ans, err := eng.AnswerNamed(query, q.ID)
 				slot := &results[client*cfg.Runs+i]
 				slot.done = true
 				if err != nil {
@@ -356,6 +374,7 @@ func logRun(cfg Config, queryID string, scale float64, client, run int, ans *cor
 		return
 	}
 	rec := obs.RunRecord{
+		Schema:  obs.RunLogSchemaVersion,
 		TraceID: "untraced",
 		Query:   queryID,
 		Scale:   scale,
@@ -381,6 +400,7 @@ func logRun(cfg Config, queryID string, scale float64, client, run int, ans *cor
 		rec.UnionArms = ans.Stats.UnionArms
 		rec.CacheHits = ans.Stats.PlanCacheHits
 		rec.CacheMisses = ans.Stats.PlanCacheMisses
+		rec.Usage = ans.Stats.Usage
 	}
 	// Write failures must not abort a measurement run; the validator in
 	// ci.sh catches a truncated log.

@@ -1,11 +1,14 @@
 package obs
 
+import "time"
+
 // Observer bundles the observability switches a pipeline component accepts.
 // A nil *Observer means "off": every accessor below degrades to the
 // zero-cost path, so instrumented code never branches on more than one nil
 // check.
 type Observer struct {
 	// Tracing records a hierarchical span tree per query (obdaq -trace).
+	// It forces retention of every trace, overriding the Sampler.
 	Tracing bool
 	// ExecProfile collects the operator-level execution profile of every
 	// SQL statement run (obdaq -explain: rows in/out, join algorithms,
@@ -13,6 +16,17 @@ type Observer struct {
 	ExecProfile bool
 	// Metrics, when non-nil, receives process-wide counters and histograms.
 	Metrics *Registry
+	// Sampler, when non-nil, decides which traces are retained
+	// (probabilistic head sampling plus an always-on-slow tail guard).
+	// Traces are still collected for every query so the slow threshold
+	// can promote them after the fact.
+	Sampler *Sampler
+	// SlowLog, when non-nil, captures the N slowest queries with their
+	// span tree, usage block and operator profiles (/debug/slowlog).
+	SlowLog *SlowLog
+	// Budget holds the per-query soft resource limits enforced by the
+	// Usage tracker. The zero value means unlimited.
+	Budget QueryBudget
 }
 
 // StartTrace opens a query trace when tracing is on; otherwise returns nil
@@ -22,6 +36,66 @@ func (o *Observer) StartTrace(name string) *Trace {
 		return nil
 	}
 	return NewTrace(name)
+}
+
+// StartQuery opens the per-query trace and makes the head sampling
+// decision. A trace is collected whenever plain tracing is on OR a
+// sampler/slow log is installed (retention is decided at FinishQuery,
+// because "was it slow" is only known then). Nil-safe: a nil observer
+// returns (nil, off) and the caller's span calls all no-op.
+func (o *Observer) StartQuery(name string) (*Trace, SampleDecision) {
+	if o == nil {
+		return nil, SampleDecision{Reason: "off"}
+	}
+	if o.Tracing {
+		return NewTrace(name), SampleDecision{Sampled: true, Reason: "always"}
+	}
+	if o.Sampler == nil && o.SlowLog == nil {
+		return nil, SampleDecision{Reason: "off"}
+	}
+	return NewTrace(name), o.Sampler.Decide()
+}
+
+// NewUsage returns a per-query resource tracker carrying the observer's
+// budget, or nil when observability is off.
+func (o *Observer) NewUsage() *Usage {
+	if o == nil {
+		return nil
+	}
+	return NewUsage(o.Budget)
+}
+
+// FinishQuery settles a query's telemetry: promotes the sampling decision
+// when the duration trips the slow threshold, offers the trace to the
+// slow log, bumps the sampling counters, and reports whether the trace
+// should be retained on the answer (false means the caller drops it).
+func (o *Observer) FinishQuery(name string, tr *Trace, dec SampleDecision, dur time.Duration, usage *UsageSnapshot, profiles any) (bool, SampleDecision) {
+	if o == nil || tr == nil {
+		return tr != nil, dec
+	}
+	slow := o.Sampler.Slow(dur)
+	if slow && !dec.Sampled {
+		dec = SampleDecision{Sampled: true, Reason: "slow"}
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter(`npdbench_traces_sampled_total{decision="` + dec.Reason + `"}`).Inc()
+	}
+	if o.SlowLog != nil {
+		admitted := o.SlowLog.Offer(&SlowEntry{
+			TraceID:    tr.ID,
+			Query:      name,
+			DurationUS: dur.Microseconds(),
+			Decision:   dec.Reason,
+			Slow:       slow,
+			Usage:      usage,
+			Trace:      tr.Root,
+			Profiles:   profiles,
+		})
+		if admitted && o.Metrics != nil {
+			o.Metrics.Counter("npdbench_slowlog_captured_total").Inc()
+		}
+	}
+	return o.Tracing || dec.Sampled, dec
 }
 
 // Profiling reports whether operator profiles should be collected.

@@ -9,10 +9,22 @@ import (
 	"sync"
 )
 
+// Run-log schema versions. V1 (implicit: records without a schema field)
+// predates per-query resource accounting; V2 adds the mandatory `usage`
+// block on successful records. The writer always stamps the current
+// version; the validator accepts both and rejects anything newer.
+const (
+	RunLogSchemaV1      = 1
+	RunLogSchemaVersion = 2
+)
+
 // RunRecord is one measured query execution — the JSONL schema the mixer
 // writes next to its text report (one line per record). Durations are
 // microseconds so the log stays numeric and language-neutral.
 type RunRecord struct {
+	// Schema is the run-log schema version; 0 is read as v1 (the field
+	// predates versioning).
+	Schema      int     `json:"schema,omitempty"`
 	TraceID     string  `json:"trace_id"`
 	Query       string  `json:"query"`
 	Scale       float64 `json:"scale"`
@@ -34,9 +46,12 @@ type RunRecord struct {
 	// CacheHits/CacheMisses count the BGP compilations this execution
 	// served from / added to the compiled-query plan cache — a cached
 	// execution is visible as hits > 0 with near-zero rewrite_us.
-	CacheHits   int    `json:"cache_hits"`
-	CacheMisses int    `json:"cache_misses"`
-	Error       string `json:"error,omitempty"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Usage is the per-query resource accounting block (schema v2:
+	// required on successful records, absent on error records).
+	Usage *UsageSnapshot `json:"usage,omitempty"`
+	Error string         `json:"error,omitempty"`
 }
 
 // RunLog writes RunRecords as JSON Lines. Safe for concurrent use; nil-safe
@@ -125,6 +140,23 @@ func ValidateRunLog(r io.Reader) (int, error) {
 		}
 		if rec.CacheHits < 0 || rec.CacheMisses < 0 {
 			return n, fmt.Errorf("line %d: negative cache counters", n)
+		}
+		switch rec.Schema {
+		case 0, RunLogSchemaV1:
+			// v1: no usage block existed; nothing more to check.
+		case RunLogSchemaVersion:
+			if rec.Error == "" && rec.Usage == nil {
+				return n, fmt.Errorf("line %d: schema v2 record missing usage block", n)
+			}
+			if u := rec.Usage; u != nil {
+				if u.RowsScanned < 0 || u.RowsProduced < 0 || u.BytesMaterialized < 0 ||
+					u.ParallelTasks < 0 || u.CacheHits < 0 {
+					return n, fmt.Errorf("line %d: negative usage counters", n)
+				}
+			}
+		default:
+			return n, fmt.Errorf("line %d: unknown run-log schema version %d (supported: 1, %d)",
+				n, rec.Schema, RunLogSchemaVersion)
 		}
 	}
 	if err := sc.Err(); err != nil {

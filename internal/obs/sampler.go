@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Sampler decides which query traces are retained. It replaces the
+// all-or-nothing Tracing switch for serving workloads: a probabilistic
+// head decision (Rate) keeps a representative slice of all traffic cheap,
+// and a tail guard (SlowThreshold) retains every query that turns out
+// slow regardless of the head decision. The trace is always *collected*
+// while a sampler or slow log is installed — the decision controls
+// retention (what is returned to the caller and offered to the slow log),
+// because "was it slow" is only known at the end.
+type Sampler struct {
+	// Rate is the head-sampling probability in [0, 1]. 1 retains every
+	// trace; 0 retains none except those the slow threshold promotes.
+	Rate float64
+	// SlowThreshold promotes any query with total duration >= threshold
+	// to retained ("slow"), regardless of the head decision. Zero
+	// disables the tail guard.
+	SlowThreshold time.Duration
+	// Seed offsets the deterministic decision sequence (useful in tests
+	// to pin or vary it). The zero value is a valid sequence.
+	Seed uint64
+
+	state atomic.Uint64
+}
+
+// SampleDecision records whether a trace was retained and why.
+type SampleDecision struct {
+	// Sampled is the retention decision.
+	Sampled bool
+	// Reason is one of "off" (no tracing configured), "always"
+	// (Tracing=true or Rate>=1), "prob" (head-sampled in), "unsampled"
+	// (head-sampled out), "slow" (promoted by the tail guard).
+	Reason string
+}
+
+// Decide makes the head decision for one query. Nil-safe: a nil sampler
+// retains nothing by itself (the slow log may still promote).
+func (s *Sampler) Decide() SampleDecision {
+	if s == nil {
+		return SampleDecision{Sampled: false, Reason: "unsampled"}
+	}
+	if s.Rate >= 1 {
+		return SampleDecision{Sampled: true, Reason: "always"}
+	}
+	if s.Rate > 0 && s.roll() < s.Rate {
+		return SampleDecision{Sampled: true, Reason: "prob"}
+	}
+	return SampleDecision{Sampled: false, Reason: "unsampled"}
+}
+
+// Slow reports whether a finished query's duration trips the tail guard.
+func (s *Sampler) Slow(d time.Duration) bool {
+	return s != nil && s.SlowThreshold > 0 && d >= s.SlowThreshold
+}
+
+// roll returns a uniform float64 in [0, 1) from a splitmix64 sequence.
+// Lock-free and allocation-free; each call advances the shared state by a
+// fixed odd increment, so concurrent callers see distinct draws.
+func (s *Sampler) roll() float64 {
+	x := s.state.Add(0x9e3779b97f4a7c15) + s.Seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -54,6 +55,13 @@ type ExecOptions struct {
 	// Stats, when non-nil, accumulates the parallel-operator counters of
 	// this execution.
 	Stats *ExecStats
+	// Usage, when non-nil, receives the per-query resource accounting of
+	// this execution: base-table rows scanned, operator output rows and
+	// estimated bytes materialized, subquery-cache hits. The tracker is
+	// atomic, so one instance is shared across a query's statements and
+	// parallel union arms. Accounting is batched per operator output,
+	// never per row.
+	Usage *obs.Usage
 }
 
 // ExecSelect executes a parsed SELECT statement (including UNION chains)
@@ -79,7 +87,7 @@ func (db *Database) ExecSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, err
 
 // newExecCtx builds the root context of one statement execution.
 func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
-	ctx := &execCtx{cache: newStmtCache(), prof: prof}
+	ctx := &execCtx{cache: newStmtCache(), prof: prof, usage: opt.Usage}
 	if opt.Parallelism > 1 {
 		pool := opt.Pool
 		if pool == nil {
@@ -111,6 +119,14 @@ type execCtx struct {
 	// parNote is the pending workers/partitions annotation of the last
 	// parallel operator (see setParNote/takeParNote in pool.go).
 	parNote string
+	// usage is the per-query resource tracker (shared, atomic; nil =
+	// accounting off, one nil check per operator).
+	usage *obs.Usage
+	// scratch is a reusable byte buffer for explain notes and profile
+	// details, so enabled-tracing formatting on the buildFrom hot path
+	// costs one string allocation instead of fmt boxing (goroutine-local:
+	// each parallel union arm owns its child context).
+	scratch []byte
 }
 
 // stmtCache is the state shared across one statement's evaluation: derived
@@ -174,6 +190,97 @@ func (ctx *execCtx) note(format string, args ...any) {
 	}
 }
 
+// approxValueBytes is the estimated materialized footprint of one Value
+// cell (struct header plus average string payload) used by the bytes
+// accounting; an estimate is enough for budget enforcement.
+const approxValueBytes = 48
+
+// accountScan records base-table rows read into the usage tracker.
+func (ctx *execCtx) accountScan(rows int) {
+	if ctx.usage != nil {
+		ctx.usage.AddRowsScanned(int64(rows))
+	}
+}
+
+// accountRows records one operator's output relation: rows produced plus
+// their estimated materialized bytes. One batched add per operator.
+func (ctx *execCtx) accountRows(rel *relation) {
+	if ctx.usage != nil && rel != nil {
+		n := int64(len(rel.rows))
+		ctx.usage.AddRowsProduced(n, n*int64(len(rel.cols))*approxValueBytes)
+	}
+}
+
+// notePushdown is the pushdown-filter explain/profile recorder of
+// buildFrom — the hottest note site (once per conjunct per relation).
+// The non-variadic signature avoids boxing its operands and the scratch
+// buffer makes each recorded line cost one string allocation.
+func (ctx *execCtx) notePushdown(pred Expr, before, after int) {
+	note := ctx.takeParNote() // consume even when nothing records it
+	if ctx.explain == nil && ctx.prof == nil {
+		return
+	}
+	b := append(ctx.scratch[:0], "pushdown "...)
+	b = append(b, pred.String()...)
+	if ctx.explain != nil {
+		n := len(b)
+		b = append(b, ": "...)
+		b = strconv.AppendInt(b, int64(before), 10)
+		b = append(b, " -> "...)
+		b = strconv.AppendInt(b, int64(after), 10)
+		b = append(b, " rows"...)
+		*ctx.explain = append(*ctx.explain, string(b))
+		b = b[:n]
+	}
+	if ctx.prof != nil {
+		b = append(b, note...)
+		ctx.addOp("filter", string(b)).SetInOut(before, after)
+	}
+	ctx.scratch = b[:0]
+}
+
+// noteJoin records one join-planning step (algorithm, equi-key count,
+// input/output cardinalities) into the explain log and the profile,
+// replacing the variadic note/Sprintf pair on the buildFrom join loop.
+func (ctx *execCtx) noteJoin(algo string, eqKeys, lrows, rrows, out int) {
+	note := ctx.takeParNote()
+	if ctx.explain == nil && ctx.prof == nil {
+		return
+	}
+	b := ctx.scratch[:0]
+	if ctx.explain != nil {
+		b = append(b, algo...)
+		b = append(b, " ("...)
+		b = strconv.AppendInt(b, int64(eqKeys), 10)
+		b = append(b, " equi keys): "...)
+		b = strconv.AppendInt(b, int64(lrows), 10)
+		b = append(b, " x "...)
+		b = strconv.AppendInt(b, int64(rrows), 10)
+		b = append(b, " -> "...)
+		b = strconv.AppendInt(b, int64(out), 10)
+		b = append(b, " rows"...)
+		*ctx.explain = append(*ctx.explain, string(b))
+		b = b[:0]
+	}
+	if ctx.prof != nil {
+		b = strconv.AppendInt(b, int64(eqKeys), 10)
+		b = append(b, " equi keys"...)
+		b = append(b, note...)
+		ctx.addOp(algo, string(b)).
+			SetJoin(lrows, rrows, out, joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+	}
+	ctx.scratch = b[:0]
+}
+
+// addOpf is addOp with lazy detail formatting: the fmt cost is paid only
+// when a profile is actually being collected.
+func (ctx *execCtx) addOpf(op string, format string, args ...any) *OpProfile {
+	if ctx.prof == nil {
+		return nil
+	}
+	return ctx.addOp(op, fmt.Sprintf(format, args...))
+}
+
 func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, error) {
 	if s.Union == nil {
 		return db.evalSelect(ctx, s)
@@ -199,15 +306,19 @@ func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, err
 	if err != nil {
 		return nil, err
 	}
-	detail := fmt.Sprintf("%d arms", len(arms))
-	if workers > 1 {
-		detail += fmt.Sprintf(" [workers=%d]", workers)
+	ctx.accountRows(head)
+	if node != nil {
+		detail := fmt.Sprintf("%d arms", len(arms))
+		if workers > 1 {
+			detail += fmt.Sprintf(" [workers=%d]", workers)
+		}
+		node.SetDetail(detail)
+		node.SetRows(len(head.rows))
 	}
-	node.SetDetail(detail)
-	node.SetRows(len(head.rows))
 	if !s.UnionAll {
 		before := len(head.rows)
 		head = distinctRows(head)
+		ctx.accountRows(head)
 		ctx.addOp("distinct", "").SetInOut(before, len(head.rows))
 	}
 	return head, nil
@@ -246,8 +357,10 @@ func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*re
 	nodes := make([]*OpProfile, len(arms))
 	ctxs := make([]*execCtx, len(arms))
 	for i := range arms {
-		nodes[i] = ctx.addOp("arm", fmt.Sprintf("#%d", i+1))
-		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i]}
+		if ctx.prof != nil {
+			nodes[i] = ctx.addOp("arm", fmt.Sprintf("#%d", i+1))
+		}
+		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i], usage: ctx.usage}
 	}
 	ctx.par.stats.UnionArms.Add(int64(len(arms)))
 	workers, err := ctx.par.run(len(arms), func(i int) error {
@@ -302,7 +415,11 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 		if err != nil {
 			return nil, err
 		}
-		ctx.addOp("filter", rest.String()+ctx.takeParNote()).SetInOut(before, len(input.rows))
+		ctx.accountRows(input)
+		note := ctx.takeParNote()
+		if ctx.prof != nil {
+			ctx.addOp("filter", rest.String()+note).SetInOut(before, len(input.rows))
+		}
 	}
 
 	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
@@ -319,19 +436,22 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 		if err != nil {
 			return nil, err
 		}
-		ctx.addOp("aggregate", fmt.Sprintf("%d groups", len(out.rows))).SetInOut(len(input.rows), len(out.rows))
+		ctx.accountRows(out)
+		ctx.addOpf("aggregate", "%d groups", len(out.rows)).SetInOut(len(input.rows), len(out.rows))
 	} else {
 		out, inputAligned, err = projectItems(s.Items, input)
 		if err != nil {
 			return nil, err
 		}
-		ctx.addOp("project", fmt.Sprintf("%d columns", len(out.cols))).SetRows(len(out.rows))
+		ctx.accountRows(out)
+		ctx.addOpf("project", "%d columns", len(out.cols)).SetRows(len(out.rows))
 	}
 
 	if s.Distinct {
 		before := len(out.rows)
 		out = distinctRows(out)
 		inputAligned = nil
+		ctx.accountRows(out)
 		ctx.addOp("distinct", "").SetInOut(before, len(out.rows))
 	}
 
@@ -339,7 +459,7 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 		if err := orderRelation(s.OrderBy, out, input.cols, inputAligned); err != nil {
 			return nil, err
 		}
-		ctx.addOp("sort", fmt.Sprintf("%d keys", len(s.OrderBy))).SetRows(len(out.rows))
+		ctx.addOpf("sort", "%d keys", len(s.OrderBy)).SetRows(len(out.rows))
 	}
 
 	if s.Offset > 0 || (s.Limit >= 0 && s.Limit < len(out.rows)) {
@@ -385,8 +505,8 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 				if err != nil {
 					return nil, nil, err
 				}
-				ctx.note("pushdown %s: %d -> %d rows", c, before, len(fr.rows))
-				ctx.addOp("filter", fmt.Sprintf("pushdown %s%s", c, ctx.takeParNote())).SetInOut(before, len(fr.rows))
+				ctx.accountRows(fr)
+				ctx.notePushdown(c, before, len(fr.rows))
 				rels[i] = fr
 				placed = true
 				break
@@ -437,9 +557,8 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 		if err != nil {
 			return nil, nil, err
 		}
-		ctx.note("%s (%d equi keys): %d x %d -> %d rows", algo, len(eq), lrows, rrows, len(cur.rows))
-		ctx.addOp(algo, fmt.Sprintf("%d equi keys%s", len(eq), ctx.takeParNote())).
-			SetJoin(lrows, rrows, len(cur.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+		ctx.accountRows(cur)
+		ctx.noteJoin(algo, len(eq), lrows, rrows, len(cur.rows))
 		pending = stillPending
 	}
 	return cur, pending, nil
@@ -559,6 +678,7 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		for i, c := range tab.Def.Columns {
 			cols[i] = colMeta{table: alias, name: strings.ToLower(c.Name)}
 		}
+		ctx.accountScan(len(tab.Rows))
 		ctx.addOp("scan", t.Name).SetRows(len(tab.Rows))
 		return &relation{cols: cols, rows: tab.Rows}, nil
 	case *SubqueryTable:
@@ -589,6 +709,9 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		}
 		inner := e.rel
 		if !computed {
+			if ctx.usage != nil {
+				ctx.usage.AddCacheHits(1)
+			}
 			ctx.addOp("subquery", t.Alias+" (cached)").SetRows(len(inner.rows))
 		}
 		alias := strings.ToLower(t.Alias)
@@ -611,8 +734,12 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			if err != nil {
 				return nil, err
 			}
-			ctx.addOp(algo, strings.ToLower(t.Kind.String())+ctx.takeParNote()).
-				SetJoin(lrows, rrows, len(out.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+			ctx.accountRows(out)
+			note := ctx.takeParNote()
+			if ctx.prof != nil {
+				ctx.addOp(algo, strings.ToLower(t.Kind.String())+note).
+					SetJoin(lrows, rrows, len(out.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+			}
 			return out, nil
 		}
 		switch t.Kind {

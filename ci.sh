@@ -32,7 +32,14 @@ go run ./cmd/obdalint -strict -quiet
 # for schema-v2 records, when the per-query usage block is missing).
 RUNLOG=$(mktemp)
 MIXOUT=$(mktemp)
-trap 'rm -f "$RUNLOG" "$MIXOUT"' EXIT
+SRVLOG=$(mktemp)
+OBDAQD_BIN=$(mktemp)
+OBDAQD_PID=""
+cleanup() {
+    [ -n "$OBDAQD_PID" ] && kill "$OBDAQD_PID" 2> /dev/null
+    rm -f "$RUNLOG" "$MIXOUT" "$SRVLOG" "$OBDAQD_BIN"
+}
+trap cleanup EXIT
 go run ./cmd/mixer -breakdown -scales 1 -seedscale 0.15 -runs 1 -warmup 0 \
     -triples=false -clients 1 -queries q2,q3 -jsonl "$RUNLOG" > /dev/null
 go run ./cmd/mixer -validatejsonl "$RUNLOG"
@@ -129,3 +136,39 @@ if grep -q 'identical=false' "$MIXOUT"; then
     echo "parbench: parallel results diverge from sequential" >&2
     exit 1
 fi
+
+# Serving smoke: a live obdaqd endpoint driven by the open-loop mixer.
+# The mixer exits nonzero when any rate completes zero queries or hits a
+# protocol error, and BENCH_serve.json (the repo's committed serving
+# report) must carry a nonzero QMpH at every rate. Then the endpoint has
+# to survive a SIGHUP mapping reload mid-life and drain cleanly on
+# SIGTERM.
+go build -o "$OBDAQD_BIN" ./cmd/obdaqd
+"$OBDAQD_BIN" -http 127.0.0.1:18685 -seedscale 0.15 -timeout 2s > "$SRVLOG" 2>&1 &
+OBDAQD_PID=$!
+go run ./cmd/mixer -servebench BENCH_serve.json \
+    -endpoint http://127.0.0.1:18685 -rates 5,20 -rateduration 3s -tenants 2
+if grep -q '"qmph": 0,' BENCH_serve.json; then
+    echo "serving smoke: a rate reports zero QMpH" >&2
+    cat BENCH_serve.json >&2
+    exit 1
+fi
+kill -HUP "$OBDAQD_PID"
+sleep 1
+grep -q 'reload complete' "$SRVLOG" || {
+    echo "serving smoke: SIGHUP reload not confirmed" >&2
+    cat "$SRVLOG" >&2
+    exit 1
+}
+# The endpoint must keep answering after the reload.
+go run ./cmd/mixer -servebench "$MIXOUT" \
+    -endpoint http://127.0.0.1:18685 -rates 5 -rateduration 2s -tenants 1 \
+    -queries q2,q3,q7 > /dev/null
+kill -TERM "$OBDAQD_PID"
+wait "$OBDAQD_PID"
+OBDAQD_PID=""
+grep -q 'shutdown complete' "$SRVLOG" || {
+    echo "serving smoke: graceful shutdown not confirmed" >&2
+    cat "$SRVLOG" >&2
+    exit 1
+}

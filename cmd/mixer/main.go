@@ -26,9 +26,19 @@
 //	mixer -breakdown -sample 0.1        # retain ~10% of traces (plus all slow ones)
 //	mixer -benchdiff old.json new.json  # compare two benchmark result files;
 //	                                    # exits 1 on a p50+p95 regression
+//
+// Serving (against a running obdaqd endpoint):
+//
+//	mixer -servebench BENCH_serve.json -endpoint http://127.0.0.1:8585 \
+//	    -rates 5,20 -rateduration 5s -tenants 2
+//
+// fires open-loop Poisson arrivals at each offered rate and reports
+// QMpH plus latency-under-load percentiles; exits 1 when a rate
+// completes nothing or hits protocol errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -40,6 +50,7 @@ import (
 
 	"npdbench/internal/mixer"
 	"npdbench/internal/obs"
+	"npdbench/internal/server"
 	"npdbench/internal/sqldb"
 )
 
@@ -71,6 +82,11 @@ func main() {
 		sampleRate  = flag.Float64("sample", 0, "probabilistic trace retention rate in [0,1] (0 = trace everything when -jsonl is on)")
 		budgetRows  = flag.Int64("budgetrows", 0, "per-query soft limit on rows scanned (0 = unlimited)")
 		budgetBytes = flag.Int64("budgetbytes", 0, "per-query soft limit on bytes materialized (0 = unlimited)")
+		servebench  = flag.String("servebench", "", "run the open-loop serving benchmark against -endpoint and write its JSON report to this file")
+		endpoint    = flag.String("endpoint", "http://127.0.0.1:8585", "SPARQL endpoint base URL for -servebench")
+		rates       = flag.String("rates", "5,20", "comma-separated offered arrival rates (queries/second) for -servebench")
+		rateDur     = flag.Duration("rateduration", 5*time.Second, "how long each -servebench arrival rate is sustained")
+		tenants     = flag.Int("tenants", 2, "independent open-loop arrival processes for -servebench")
 		benchdiff   = flag.Bool("benchdiff", false, "diff two benchmark result files (parbench JSON or JSONL run logs): mixer -benchdiff old new")
 		diffThresh  = flag.Float64("diffthreshold", 0.30, "relative p50+p95 slowdown that counts as a regression")
 		diffMinRuns = flag.Int("diffminruns", 3, "minimum runs per side before a query is judged")
@@ -90,6 +106,47 @@ func main() {
 		fmt.Print(rep.String())
 		if rep.Regressions > 0 {
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *servebench != "" {
+		rs, err := parseRates(*rates)
+		if err != nil {
+			fatal(err)
+		}
+		slcfg := mixer.ServeLoadConfig{
+			Endpoint: strings.TrimRight(*endpoint, "/"),
+			Rates:    rs,
+			Duration: *rateDur,
+			Tenants:  *tenants,
+			Seed:     *seed,
+		}
+		if *queries != "" {
+			slcfg.QueryIDs = strings.Split(*queries, ",")
+		}
+		rep, err := mixer.RunServeLoad(slcfg)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*servebench, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		failed := false
+		for _, r := range rep.Rates {
+			fmt.Printf("rate %g q/s: offered %d, completed %d, throttled %d, timeouts %d, protocol errors %d, QMpH %.1f, p50 %.1fms p95 %.1fms p99 %.1fms\n",
+				r.RatePerSec, r.Offered, r.Completed, r.Throttled, r.Timeouts, r.ProtocolErrors, r.QMPH, r.P50MS, r.P95MS, r.P99MS)
+			if r.Completed == 0 || r.ProtocolErrors > 0 {
+				failed = true
+			}
+		}
+		fmt.Printf("serving benchmark report written to %s (%d tenants, mix of %d)\n", *servebench, rep.Tenants, rep.MixSize)
+		if failed {
+			fatal(fmt.Errorf("serving benchmark unhealthy: a rate completed zero queries or hit protocol errors"))
 		}
 		return
 	}
@@ -191,12 +248,20 @@ func main() {
 			WriteTimeout:      0, // pprof profile/trace streams run long
 			IdleTimeout:       2 * time.Minute,
 		}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "mixer: http:", err)
+		addr, stopHTTP, err := server.StartHTTP(srv)
+		if err != nil {
+			fatal(err)
+		}
+		// Drain before exit: without this the process used to die with
+		// the listener still accepting and scrapes cut off mid-response.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := stopHTTP(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "mixer: http shutdown:", err)
 			}
 		}()
-		fmt.Printf("serving /metrics, /debug/slowlog and /debug/pprof on %s\n", *httpAddr)
+		fmt.Printf("serving /metrics, /debug/slowlog and /debug/pprof on %s\n", addr)
 	}
 	if cfg.Metrics != nil {
 		// Bridge runtime/metrics (heap, GC, goroutines, sched latency) into
@@ -275,6 +340,18 @@ func parseScales(s string) ([]float64, error) {
 		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil || f < 1 {
 			return nil, fmt.Errorf("bad scale %q (need numbers >= 1)", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad arrival rate %q (need numbers > 0)", part)
 		}
 		out = append(out, f)
 	}

@@ -184,6 +184,11 @@ func (e *Engine) tryAggregatePushdown(q *sparql.Query, qc *queryCtx) (rs *sparql
 	res, err := e.execStmt(outer, qc, exSpan)
 	exSpan.End()
 	if err != nil {
+		// Cancellation is not a fallback condition: re-running the query
+		// in memory would defeat the client's disconnect or deadline.
+		if ctxErr := qc.cancelled(); ctxErr != nil {
+			return nil, false, ctxErr
+		}
 		// e.g. SUM over a non-numeric literal column: SQL raises a type
 		// error where SPARQL semantics silently unbinds — fall back to the
 		// in-memory path, which implements the SPARQL behaviour.

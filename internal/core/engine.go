@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -299,6 +300,11 @@ func (e *Engine) Options() Options { return e.opts }
 // DB exposes the underlying database (benchmark harness access).
 func (e *Engine) DB() *sqldb.Database { return e.spec.DB }
 
+// Pool exposes the engine's shared worker pool (nil when execution is
+// sequential); serving-path tests assert it is idle again after a
+// canceled or failed query.
+func (e *Engine) Pool() *sqldb.Pool { return e.pool }
+
 // PhaseStats carries the per-query measures of the paper's Table 1.
 type PhaseStats struct {
 	RewriteTime   time.Duration
@@ -393,6 +399,34 @@ type queryCtx struct {
 	usage    *obs.Usage
 	name     string
 	profiles []*sqldb.OpProfile
+	// ctx is the query's cancellation signal (context.Background() on the
+	// batch paths): a client disconnect or per-query deadline stops the
+	// pattern evaluator at the next stage boundary and the SQL executor at
+	// the next morsel boundary.
+	ctx context.Context
+	// settled flips when the query's terminal accounting (inflight gauge,
+	// error counters, usage publication) has run, making failQuery and
+	// finishAnswer idempotent — the panic-recovery path and a regular
+	// error return can never double-settle the gauge.
+	settled bool
+}
+
+// cancelled returns the query context's error once it is done.
+func (qc *queryCtx) cancelled() error {
+	if qc.ctx == nil {
+		return nil
+	}
+	return qc.ctx.Err()
+}
+
+// settleOnce reports whether terminal accounting should run: true exactly
+// the first time it is called for this query.
+func (qc *queryCtx) settleOnce() bool {
+	if qc.settled {
+		return false
+	}
+	qc.settled = true
+	return true
 }
 
 // ParseQuery parses SPARQL with the spec's prefix bindings.
@@ -402,7 +436,15 @@ func (e *Engine) ParseQuery(src string) (*sparql.Query, error) {
 
 // Query parses and answers a SPARQL query.
 func (e *Engine) Query(src string) (*Answer, error) {
-	qc := e.beginQuery(queryLabel(src))
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query under a cancellation context: when ctx is canceled or
+// its deadline passes, the pipeline stops cooperatively (pattern evaluator
+// at stage boundaries, SQL operators at morsel boundaries) and returns
+// ctx.Err(), with pool slots and the inflight gauge released.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Answer, error) {
+	qc := e.beginQuery(ctx, queryLabel(src))
 	ps := qc.tr.StartSpan("parse")
 	q, err := e.ParseQuery(src)
 	ps.End()
@@ -416,13 +458,24 @@ func (e *Engine) Query(src string) (*Answer, error) {
 // parse stage still appears in the trace (marked cached) so every trace
 // carries the complete taxonomy.
 func (e *Engine) Answer(q *sparql.Query) (*Answer, error) {
-	return e.AnswerNamed(q, "")
+	return e.AnswerNamedCtx(context.Background(), q, "")
+}
+
+// AnswerCtx is Answer under a cancellation context (see QueryCtx).
+func (e *Engine) AnswerCtx(ctx context.Context, q *sparql.Query) (*Answer, error) {
+	return e.AnswerNamedCtx(ctx, q, "")
 }
 
 // AnswerNamed is Answer with a caller-supplied query label (e.g. the NPD
 // mix's "q12") used by the slow-query log and the sampling counters.
 func (e *Engine) AnswerNamed(q *sparql.Query, name string) (*Answer, error) {
-	qc := e.beginQuery(name)
+	return e.AnswerNamedCtx(context.Background(), q, name)
+}
+
+// AnswerNamedCtx is AnswerNamed under a cancellation context (see
+// QueryCtx).
+func (e *Engine) AnswerNamedCtx(ctx context.Context, q *sparql.Query, name string) (*Answer, error) {
+	qc := e.beginQuery(ctx, name)
 	ps := qc.tr.StartSpan("parse")
 	ps.SetStr("cached", "true")
 	ps.End()
@@ -441,8 +494,8 @@ func queryLabel(src string) string {
 // beginQuery opens the per-query observability state: the (possibly
 // sampled) trace, the resource-usage tracker, and the in-flight gauge.
 // With observability fully off every field stays nil.
-func (e *Engine) beginQuery(name string) *queryCtx {
-	qc := &queryCtx{st: &PhaseStats{}, name: name}
+func (e *Engine) beginQuery(ctx context.Context, name string) *queryCtx {
+	qc := &queryCtx{st: &PhaseStats{}, name: name, ctx: ctx}
 	qc.tr, qc.dec = e.opts.Obs.StartQuery("query")
 	qc.usage = e.opts.Obs.NewUsage()
 	if e.met != nil {
@@ -452,6 +505,15 @@ func (e *Engine) beginQuery(name string) *queryCtx {
 }
 
 func (e *Engine) answer(q *sparql.Query, qc *queryCtx) (*Answer, error) {
+	// A panicking operator must not leak the inflight gauge: settle the
+	// query's terminal accounting, then let the panic continue. Pool slots
+	// are already safe — parState.run releases helpers via defer.
+	defer func() {
+		if r := recover(); r != nil {
+			_ = e.failQuery(qc, fmt.Errorf("core: panic during query: %v", r))
+			panic(r)
+		}
+	}()
 	start := obs.Now()
 	st := qc.st
 	if q.HasAggregates() {
@@ -492,6 +554,10 @@ func (e *Engine) answer(q *sparql.Query, qc *queryCtx) (*Answer, error) {
 // per-query metrics.
 func (e *Engine) finishAnswer(rs *sparql.ResultSet, qc *queryCtx) *Answer {
 	st := qc.st
+	if !qc.settleOnce() {
+		// Already settled (defensive; the success path settles exactly once).
+		return &Answer{ResultSet: rs, Stats: *st, Sample: qc.dec}
+	}
 	if qc.usage != nil {
 		qc.usage.AddCacheHits(int64(st.PlanCacheHits))
 		st.Usage = qc.usage.Snapshot()
@@ -518,14 +584,25 @@ func profilesValue(p []*sqldb.OpProfile) any {
 	return p
 }
 
-// failQuery settles a failed query: finishes the trace, counts the error,
-// and releases the in-flight gauge. Failed runs skip the latency
-// histograms and the slow log (their timings are partial).
+// failQuery settles a failed or canceled query: finishes the trace, counts
+// the error, publishes the work the query did before dying (rows scanned by
+// a canceled query are real load), and releases the in-flight gauge.
+// Idempotent — the panic-recovery defer and a regular error return can both
+// call it. Failed runs skip the latency histograms and the slow log (their
+// timings are partial).
 func (e *Engine) failQuery(qc *queryCtx, err error) error {
+	if !qc.settleOnce() {
+		return err
+	}
 	qc.tr.Finish()
 	e.countQuery(true)
 	if e.met != nil {
 		e.met.inflight.Add(-1)
+		if u := qc.usage.Snapshot(); u != nil {
+			for i, v := range [3]int64{u.RowsScanned, u.RowsProduced, u.BytesMaterialized} {
+				e.met.usage[i].Add(v)
+			}
+		}
 	}
 	return err
 }
@@ -573,6 +650,9 @@ func (e *Engine) recordMetrics(st *PhaseStats) {
 // rewrite → unfold → execute pipeline, non-leaf operators combine binding
 // sets (the way OBDA engines stage OPTIONAL/UNION around SQL fragments).
 func (e *Engine) evalPattern(p sparql.GraphPattern, qc *queryCtx) ([]sparql.Binding, error) {
+	if err := qc.cancelled(); err != nil {
+		return nil, err
+	}
 	switch x := p.(type) {
 	case *sparql.BGP:
 		return e.answerBGP(x, nil, qc)
@@ -738,7 +818,7 @@ func (e *Engine) answerBGP(bgp *sparql.BGP, push []unfold.PushFilter, qc *queryC
 // counters folded into the phase stats, the execute span, and the
 // npdbench_exec_parallel_* metric family.
 func (e *Engine) execStmt(stmt *sqldb.SelectStmt, qc *queryCtx, span *obs.Span) (*sqldb.Result, error) {
-	opt := sqldb.ExecOptions{Parallelism: e.par, Pool: e.pool, Usage: qc.usage}
+	opt := sqldb.ExecOptions{Parallelism: e.par, Pool: e.pool, Usage: qc.usage, Ctx: qc.ctx}
 	var stats *sqldb.ExecStats
 	if e.par > 1 {
 		stats = &sqldb.ExecStats{}

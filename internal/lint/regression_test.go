@@ -36,10 +36,11 @@ func TestDeletedFixFailsTheBuild(t *testing.T) {
 	patch(t, filepath.Join(tmp, "internal", "sqldb", "plan.go"),
 		"\tout.rows = append(make([]Row, 0, len(out.rows)), out.rows...)\n",
 		"")
-	// srvhygiene: serve the metrics listener bare again.
+	// srvhygiene: serve the metrics listener bare again (alongside the
+	// drained server.StartHTTP path, so every identifier stays used).
 	patch(t, filepath.Join(tmp, "cmd", "mixer", "main.go"),
-		"if err := srv.ListenAndServe(); err != nil",
-		"if err := http.ListenAndServe(srv.Addr, mux); err != nil")
+		"addr, stopHTTP, err := server.StartHTTP(srv)",
+		"go func() { _ = http.ListenAndServe(srv.Addr, mux) }()\n\t\taddr, stopHTTP, err := server.StartHTTP(srv)")
 
 	mod, err := LoadModule(tmp)
 	if err != nil {

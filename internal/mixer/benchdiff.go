@@ -249,6 +249,12 @@ func judge(o, n benchSeries, opt DiffOptions, rep *DiffReport) DiffEntry {
 	case e.Runs < opt.MinRuns:
 		e.Verdict = "few-runs"
 		rep.Skipped++
+	case o.p50 == 0 || o.p95 == 0:
+		// A zero baseline percentile has no meaningful percent delta —
+		// dividing by it would judge the query on Inf/NaN (or, with the
+		// deltas silently left at zero, mask a real regression as "ok").
+		e.Verdict = "below-floor"
+		rep.Skipped++
 	case e.DeltaP50 > opt.Threshold && e.DeltaP95 > opt.Threshold:
 		if n.p50-o.p50 < floorUS {
 			// Past the relative threshold, but the absolute move is

@@ -2,6 +2,7 @@ package mixer
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,6 +142,55 @@ func TestBenchDiffParbenchFormat(t *testing.T) {
 	}
 	if self.Regressions != 0 {
 		t.Fatalf("parbench self-diff regressed: %+v", verdicts(self))
+	}
+}
+
+func TestBenchDiffZeroBaseline(t *testing.T) {
+	// A baseline whose percentiles collapsed to zero (sub-microsecond
+	// runs) must never be judged by percent delta: no Inf/NaN, no
+	// spurious "ok" masking a real slowdown — the query is skipped as
+	// below-floor.
+	mk := func(p50, p95 float64) []byte {
+		rep := ParBenchReport{
+			NumCPU: 4, GOMAXPROCS: 4, SeedScale: 1, Seed: 42, Warmup: 1, Runs: 5,
+			Levels: []ParBenchLevel{
+				{Parallelism: 1, Queries: []ParBenchQuery{{QueryID: "q6", MeanMS: p50, P50MS: p50, P95MS: p95, Rows: 9}}},
+			},
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, mk(0, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, mk(50, 60), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BenchDiffFiles(oldPath, newPath, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := verdicts(rep)["q6@p1"]; got != "below-floor" {
+		t.Fatalf("zero-baseline verdict = %q, want below-floor", got)
+	}
+	if rep.Regressions != 0 || rep.Skipped != 1 {
+		t.Fatalf("summary: regressions=%d skipped=%d", rep.Regressions, rep.Skipped)
+	}
+	for _, e := range rep.Entries {
+		for _, d := range []float64{e.DeltaP50, e.DeltaP95} {
+			if math.IsInf(d, 0) || math.IsNaN(d) {
+				t.Fatalf("%s: non-finite delta %v", e.Key, d)
+			}
+		}
+	}
+	if out := rep.String(); strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("report text carries non-finite values:\n%s", out)
 	}
 }
 

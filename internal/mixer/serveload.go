@@ -1,0 +1,303 @@
+package mixer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"npdbench/internal/npd"
+	"npdbench/internal/obs"
+)
+
+// The serving-mode benchmark: an open-loop, arrival-rate-driven load
+// generator speaking the SPARQL protocol against a live endpoint
+// (obdaqd). Unlike the in-process QMpH sweep of Figure 1 — a closed
+// loop, where each client waits for its answer before issuing the next
+// query — the open loop fires requests on a Poisson arrival schedule
+// regardless of completions, so queueing delay, throttling, and
+// latency-under-load become visible instead of being absorbed into the
+// issue rate. Each tenant is an independent arrival process cycling
+// through its own copy of the query mix.
+
+// ServeLoadConfig drives one serving benchmark.
+type ServeLoadConfig struct {
+	// Endpoint is the server's base URL (e.g. http://127.0.0.1:8585);
+	// the harness appends /sparql and /healthz.
+	Endpoint string
+	// Rates are the offered arrival rates in queries/second; the mix is
+	// measured once per rate.
+	Rates []float64
+	// Duration is how long each rate is sustained (default 5s).
+	Duration time.Duration
+	// QueryIDs selects a subset of the mix (nil = all 21 queries).
+	QueryIDs []string
+	// Tenants is the number of independent arrival processes splitting
+	// the offered rate (default 1).
+	Tenants int
+	// Seed fixes the arrival schedules and per-tenant mix order.
+	Seed int64
+	// Timeout bounds one HTTP request (default 30s).
+	Timeout time.Duration
+	// ReadyWait bounds the initial /healthz polling (default 30s).
+	ReadyWait time.Duration
+}
+
+// ServeLoadRate is the measurement at one offered arrival rate.
+type ServeLoadRate struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Offered counts arrivals fired; Completed counts 200s with a
+	// well-formed result document.
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	// Throttled counts 429s — load the server shed at admission.
+	Throttled int `json:"throttled"`
+	// Timeouts counts 503s — queries the server cut off at its deadline
+	// (the mix's non-tractable queries under a tight budget land here).
+	Timeouts int `json:"timeouts"`
+	// ProtocolErrors counts everything else: transport failures,
+	// unexpected statuses, malformed result documents.
+	ProtocolErrors int `json:"protocol_errors"`
+	// QMPH is completed query mixes per hour (completed queries divided
+	// by mix size, scaled to an hour).
+	QMPH   float64 `json:"qmph"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// ServeLoadReport is the JSON document the -servebench mode writes
+// (BENCH_serve.json).
+type ServeLoadReport struct {
+	Endpoint    string          `json:"endpoint"`
+	Tenants     int             `json:"tenants"`
+	MixSize     int             `json:"mix_size"`
+	DurationSec float64         `json:"duration_sec"`
+	Seed        int64           `json:"seed"`
+	Rates       []ServeLoadRate `json:"rates"`
+}
+
+// JSON renders the report with stable indentation.
+func (r *ServeLoadReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WaitReady polls the endpoint's /healthz until it answers 200 or the
+// wait budget runs out.
+func WaitReady(endpoint string, wait time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(endpoint + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("mixer: endpoint %s not ready after %v: %w", endpoint, wait, err)
+			}
+			return fmt.Errorf("mixer: endpoint %s not ready after %v", endpoint, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// RunServeLoad measures the endpoint at each configured arrival rate.
+func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadReport, error) {
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("mixer: servebench needs an endpoint URL")
+	}
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("mixer: servebench needs at least one arrival rate")
+	}
+	for _, r := range cfg.Rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("mixer: bad arrival rate %g (need > 0)", r)
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.ReadyWait <= 0 {
+		cfg.ReadyWait = 30 * time.Second
+	}
+	queries := selectServeQueries(cfg.QueryIDs)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("mixer: no queries selected")
+	}
+	if err := WaitReady(cfg.Endpoint, cfg.ReadyWait); err != nil {
+		return nil, err
+	}
+	rep := &ServeLoadReport{
+		Endpoint:    cfg.Endpoint,
+		Tenants:     cfg.Tenants,
+		MixSize:     len(queries),
+		DurationSec: cfg.Duration.Seconds(),
+		Seed:        cfg.Seed,
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	for _, rate := range cfg.Rates {
+		rep.Rates = append(rep.Rates, runServeRate(cfg, client, queries, rate))
+	}
+	return rep, nil
+}
+
+// serveTally accumulates one rate's outcomes across all tenants.
+type serveTally struct {
+	mu             sync.Mutex
+	offered        int
+	completed      int
+	throttled      int
+	timeouts       int
+	protocolErrors int
+	latenciesMS    []float64
+}
+
+func runServeRate(cfg ServeLoadConfig, client *http.Client, queries []npd.BenchQuery, rate float64) ServeLoadRate {
+	tally := &serveTally{}
+	perTenant := rate / float64(cfg.Tenants)
+	var tenants sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		tenants.Add(1)
+		go func(tenant int) {
+			defer tenants.Done()
+			runTenant(cfg, client, queries, perTenant, rate, tenant, tally)
+		}(t)
+	}
+	tenants.Wait()
+
+	out := ServeLoadRate{
+		RatePerSec:     rate,
+		Offered:        tally.offered,
+		Completed:      tally.completed,
+		Throttled:      tally.throttled,
+		Timeouts:       tally.timeouts,
+		ProtocolErrors: tally.protocolErrors,
+	}
+	out.QMPH = float64(tally.completed) / float64(len(queries)) * 3600 / cfg.Duration.Seconds()
+	if n := len(tally.latenciesMS); n > 0 {
+		var sum float64
+		for _, v := range tally.latenciesMS {
+			sum += v
+		}
+		out.MeanMS = sum / float64(n)
+		out.P50MS = obs.Percentile(tally.latenciesMS, 50)
+		out.P95MS = obs.Percentile(tally.latenciesMS, 95)
+		out.P99MS = obs.Percentile(tally.latenciesMS, 99)
+	}
+	return out
+}
+
+// runTenant is one open-loop arrival process: exponential inter-arrival
+// gaps at the tenant's share of the offered rate, each arrival fired on
+// its own goroutine so a slow answer never delays the next arrival.
+func runTenant(cfg ServeLoadConfig, client *http.Client, queries []npd.BenchQuery, perTenant, rate float64, tenant int, tally *serveTally) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(tenant)*7919 + int64(rate*1000)))
+	// Each tenant walks the mix from its own offset, so tenants do not
+	// hammer the same query in lockstep.
+	next := tenant * len(queries) / cfg.Tenants
+	deadline := time.Now().Add(cfg.Duration)
+	var inflight sync.WaitGroup
+	for {
+		gap := time.Duration(rng.ExpFloat64() / perTenant * float64(time.Second))
+		time.Sleep(gap)
+		if !time.Now().Before(deadline) {
+			break
+		}
+		q := queries[next%len(queries)]
+		next++
+		inflight.Add(1)
+		go func(q npd.BenchQuery) {
+			defer inflight.Done()
+			fireQuery(cfg, client, q, tally)
+		}(q)
+	}
+	inflight.Wait()
+}
+
+// fireQuery issues one protocol request and classifies the outcome.
+func fireQuery(cfg ServeLoadConfig, client *http.Client, q npd.BenchQuery, tally *serveTally) {
+	tally.mu.Lock()
+	tally.offered++
+	tally.mu.Unlock()
+
+	start := time.Now()
+	resp, err := client.PostForm(cfg.Endpoint+"/sparql",
+		url.Values{"query": {q.SPARQL}, "label": {q.ID}})
+	if err != nil {
+		tally.record(func(t *serveTally) { t.protocolErrors++ })
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Drain and validate: a completed query is a well-formed SPARQL
+		// results document, not merely a 200 status line.
+		var doc struct {
+			Head struct {
+				Vars []string `json:"vars"`
+			} `json:"head"`
+			Results *struct {
+				Bindings []json.RawMessage `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.Results == nil {
+			tally.record(func(t *serveTally) { t.protocolErrors++ })
+			return
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		tally.record(func(t *serveTally) {
+			t.completed++
+			t.latenciesMS = append(t.latenciesMS, ms)
+		})
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		tally.record(func(t *serveTally) { t.throttled++ })
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		tally.record(func(t *serveTally) { t.timeouts++ })
+	default:
+		io.Copy(io.Discard, resp.Body)
+		tally.record(func(t *serveTally) { t.protocolErrors++ })
+	}
+}
+
+func (t *serveTally) record(fn func(*serveTally)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fn(t)
+}
+
+// selectServeQueries resolves the query-ID subset against the mix.
+func selectServeQueries(ids []string) []npd.BenchQuery {
+	all := npd.Queries()
+	if len(ids) == 0 {
+		return all
+	}
+	var out []npd.BenchQuery
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		for _, q := range all {
+			if q.ID == id {
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	return out
+}

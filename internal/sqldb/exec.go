@@ -28,7 +28,12 @@ func filterRelation(ctx *execCtx, r *relation, pred Expr) (*relation, error) {
 		return filterMorsels(ctx, r, f)
 	}
 	out := &relation{cols: r.cols}
-	for _, row := range r.rows {
+	for i, row := range r.rows {
+		if i&(morselRows-1) == 0 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		v, err := f(row)
 		if err != nil {
 			return nil, err
@@ -188,14 +193,24 @@ func hashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*rel
 		return out, nil
 	}
 	ht := make(map[string][]Row, len(build.rows))
-	for _, row := range build.rows {
+	for i, row := range build.rows {
+		if i&(morselRows-1) == 0 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		if hasNullAt(row, buildCols) {
 			continue
 		}
 		k := RowKey(row, buildCols)
 		ht[k] = append(ht[k], row)
 	}
-	for _, prow := range probe.rows {
+	for i, prow := range probe.rows {
+		if i&(morselRows-1) == 0 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		if hasNullAt(prow, probeCols) {
 			continue
 		}
@@ -339,7 +354,7 @@ func partitionedHashJoin(ctx *execCtx, build, probe *relation, buildCols, probeC
 // nil (standalone join without a statement's sort-order cache).
 func mergeJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
 	if len(keys) == 0 {
-		return nestedLoopJoin(l, r, residual)
+		return nestedLoopJoin(ctx, l, r, residual)
 	}
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var resFn evalFn
@@ -363,7 +378,14 @@ func mergeJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*re
 	li := ctx.sortedOrder(l, k0.lSlot)
 	ri := ctx.sortedOrder(r, k0.rSlot)
 	i, j := 0, 0
+	steps := 0
 	for i < len(li) && j < len(ri) {
+		if steps&(morselRows-1) == 0 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		lv := l.rows[li[i]][k0.lSlot]
 		rv := r.rows[ri[j]][k0.rSlot]
 		if lv.IsNull() {
@@ -449,7 +471,8 @@ func computeSortedOrder(r *relation, slot int) []int {
 }
 
 // nestedLoopJoin joins with an arbitrary predicate (nil = cross join).
-func nestedLoopJoin(l, r *relation, pred Expr) (*relation, error) {
+// ctx may be nil (standalone join without cancellation).
+func nestedLoopJoin(ctx *execCtx, l, r *relation, pred Expr) (*relation, error) {
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var f evalFn
 	if pred != nil {
@@ -460,6 +483,9 @@ func nestedLoopJoin(l, r *relation, pred Expr) (*relation, error) {
 		}
 	}
 	for _, lrow := range l.rows {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
 		for _, rrow := range r.rows {
 			joined := concatRows(lrow, rrow)
 			if f != nil {
@@ -479,7 +505,8 @@ func nestedLoopJoin(l, r *relation, pred Expr) (*relation, error) {
 
 // leftJoin performs a left outer join with predicate on. Equi components of
 // the predicate are used for hashing; the full predicate decides matching.
-func leftJoin(l, r *relation, on Expr) (*relation, error) {
+// ctx may be nil (standalone join without cancellation).
+func leftJoin(ctx *execCtx, l, r *relation, on Expr) (*relation, error) {
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	conjuncts := splitConjuncts(on)
 	keys, residual := extractEquiKeys(conjuncts, l, r)
@@ -506,7 +533,12 @@ func leftJoin(l, r *relation, on Expr) (*relation, error) {
 			k := RowKey(row, rCols)
 			ht[k] = append(ht[k], row)
 		}
-		for _, lrow := range l.rows {
+		for i, lrow := range l.rows {
+			if i&(morselRows-1) == 0 {
+				if err := ctx.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			matched := false
 			if !hasNullAt(lrow, lCols) {
 				for _, rrow := range ht[RowKey(lrow, lCols)] {
@@ -540,6 +572,9 @@ func leftJoin(l, r *relation, on Expr) (*relation, error) {
 		}
 	}
 	for _, lrow := range l.rows {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
 		matched := false
 		for _, rrow := range r.rows {
 			joined := concatRows(lrow, rrow)
@@ -587,7 +622,7 @@ func naturalJoin(ctx *execCtx, l, r *relation, profile Profile) (*relation, erro
 	var joined *relation
 	var err error
 	if len(keys) == 0 {
-		joined, err = nestedLoopJoin(l, r, nil)
+		joined, err = nestedLoopJoin(ctx, l, r, nil)
 	} else if profile == ProfileSortMerge {
 		joined, err = mergeJoin(ctx, l, r, keys, nil)
 	} else {

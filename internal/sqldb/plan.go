@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -62,6 +63,11 @@ type ExecOptions struct {
 	// parallel union arms. Accounting is batched per operator output,
 	// never per row.
 	Usage *obs.Usage
+	// Ctx, when non-nil, carries the query's cancellation signal: a
+	// client disconnect or per-query deadline makes operators stop at the
+	// next morsel/operator boundary and return Ctx.Err(). Nil executes
+	// to completion (the classic batch behaviour).
+	Ctx context.Context
 }
 
 // ExecSelect executes a parsed SELECT statement (including UNION chains)
@@ -87,7 +93,7 @@ func (db *Database) ExecSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, err
 
 // newExecCtx builds the root context of one statement execution.
 func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
-	ctx := &execCtx{cache: newStmtCache(), prof: prof, usage: opt.Usage}
+	ctx := &execCtx{cache: newStmtCache(), prof: prof, usage: opt.Usage, ctx: opt.Ctx}
 	if opt.Parallelism > 1 {
 		pool := opt.Pool
 		if pool == nil {
@@ -97,7 +103,7 @@ func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
 		if stats == nil {
 			stats = &ExecStats{}
 		}
-		ctx.par = &parState{pool: pool, par: opt.Parallelism, stats: stats}
+		ctx.par = &parState{pool: pool, par: opt.Parallelism, stats: stats, ctx: opt.Ctx}
 	}
 	return ctx
 }
@@ -122,6 +128,10 @@ type execCtx struct {
 	// usage is the per-query resource tracker (shared, atomic; nil =
 	// accounting off, one nil check per operator).
 	usage *obs.Usage
+	// ctx is the statement's cancellation signal (nil = non-cancellable);
+	// operators poll it through cancelled() at their boundaries and every
+	// morselRows rows inside long loops.
+	ctx context.Context
 	// scratch is a reusable byte buffer for explain notes and profile
 	// details, so enabled-tracing formatting on the buildFrom hot path
 	// costs one string allocation instead of fmt boxing (goroutine-local:
@@ -182,6 +192,16 @@ func (ctx *execCtx) sortedOrder(r *relation, slot int) []int {
 	ctx.cache.mu.Unlock()
 	e.once.Do(func() { e.idx = computeSortedOrder(r, slot) })
 	return e.idx
+}
+
+// cancelled returns the statement context's error once it is done.
+// Nil-safe on a nil receiver and a nil context — the batch paths never
+// pay more than two nil checks.
+func (ctx *execCtx) cancelled() error {
+	if ctx == nil || ctx.ctx == nil {
+		return nil
+	}
+	return ctx.ctx.Err()
 }
 
 func (ctx *execCtx) note(format string, args ...any) {
@@ -360,7 +380,7 @@ func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*re
 		if ctx.prof != nil {
 			nodes[i] = ctx.addOp("arm", fmt.Sprintf("#%d", i+1))
 		}
-		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i], usage: ctx.usage}
+		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i], usage: ctx.usage, ctx: ctx.ctx}
 	}
 	ctx.par.stats.UnionArms.Add(int64(len(arms)))
 	workers, err := ctx.par.run(len(arms), func(i int) error {
@@ -394,6 +414,9 @@ func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*re
 
 // evalSelect executes a single SELECT block (no union chaining).
 func (db *Database) evalSelect(ctx *execCtx, s *SelectStmt) (*relation, error) {
+	if err := ctx.cancelled(); err != nil {
+		return nil, err
+	}
 	node, restore := ctx.pushOp("select", "")
 	out, err := db.evalSelectBody(ctx, s)
 	restore()
@@ -528,6 +551,9 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 	}
 	cur := rels[order[0]]
 	for step := 1; step < len(order); step++ {
+		if err := ctx.cancelled(); err != nil {
+			return nil, nil, err
+		}
 		next := rels[order[step]]
 		// Conjuncts fully bindable on cur+next become the residual predicate.
 		combinedCols := append(append([]colMeta{}, cur.cols...), next.cols...)
@@ -552,7 +578,7 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 			cur, err = hashJoin(ctx, cur, next, eq, andAll(residual))
 		default:
 			algo = "nested loop"
-			cur, err = nestedLoopJoin(cur, next, andAll(residual))
+			cur, err = nestedLoopJoin(ctx, cur, next, andAll(residual))
 		}
 		if err != nil {
 			return nil, nil, err
@@ -664,6 +690,9 @@ func bindable(e Expr, cols []colMeta) bool {
 }
 
 func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
+	if err := ctx.cancelled(); err != nil {
+		return nil, err
+	}
 	switch t := tr.(type) {
 	case *BaseTable:
 		tab := db.Table(t.Name)
@@ -744,7 +773,7 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		}
 		switch t.Kind {
 		case JoinCross:
-			out, err := nestedLoopJoin(l, r, nil)
+			out, err := nestedLoopJoin(ctx, l, r, nil)
 			return record("nested loop", out, err)
 		case JoinNatural:
 			algo := "hash join"
@@ -754,13 +783,13 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			out, err := naturalJoin(ctx, l, r, db.Profile)
 			return record(algo, out, err)
 		case JoinLeft:
-			out, err := leftJoin(l, r, t.On)
+			out, err := leftJoin(ctx, l, r, t.On)
 			return record("left join", out, err)
 		default: // inner
 			conj := splitConjuncts(t.On)
 			eq, residual := extractEquiKeys(conj, l, r)
 			if len(eq) == 0 {
-				out, err := nestedLoopJoin(l, r, t.On)
+				out, err := nestedLoopJoin(ctx, l, r, t.On)
 				return record("nested loop", out, err)
 			}
 			if db.Profile == ProfileSortMerge {

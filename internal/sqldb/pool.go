@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -42,6 +43,7 @@ const (
 // can never deadlock on pool capacity.
 type Pool struct {
 	tokens chan struct{}
+	size   int // helper slots when fully idle
 }
 
 // NewPool returns a pool that will lend out at most workers-1 helper
@@ -53,11 +55,21 @@ func NewPool(workers int) *Pool {
 	if n < 0 {
 		n = 0
 	}
-	p := &Pool{tokens: make(chan struct{}, n+1)}
+	p := &Pool{tokens: make(chan struct{}, n+1), size: n}
 	for i := 0; i < n; i++ {
 		p.tokens <- struct{}{}
 	}
 	return p
+}
+
+// Idle reports whether every helper slot is back in the pool — no
+// statement is currently borrowing workers. Serving-path tests use this
+// to assert that canceled or failed queries return their slots.
+func (p *Pool) Idle() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.tokens) == p.size
 }
 
 // tryAcquire borrows up to n helper slots without blocking and returns how
@@ -124,6 +136,18 @@ type parState struct {
 	pool  *Pool
 	par   int // per-operator worker cap, >= 2 whenever parState exists
 	stats *ExecStats
+	// ctx carries the statement's cancellation signal; workers stop
+	// claiming tasks once it is done. Nil means non-cancellable.
+	ctx context.Context
+}
+
+// cancelled returns the context's error once the statement's deadline has
+// passed or its client has gone away; nil-safe on every level.
+func (ps *parState) cancelled() error {
+	if ps == nil || ps.ctx == nil {
+		return nil
+	}
+	return ps.ctx.Err()
 }
 
 // run executes tasks 0..n-1 with the calling goroutine plus up to par-1
@@ -150,6 +174,10 @@ func (ps *parState) run(n int, task func(i int) error) (int, error) {
 	if helpers == 0 {
 		// Pool drained or single task: inline, in order.
 		for i := 0; i < n; i++ {
+			if err := ps.cancelled(); err != nil {
+				ps.countTasks(i, 0)
+				return 1, err
+			}
 			if err := task(i); err != nil {
 				ps.countTasks(i+1, 0)
 				return 1, err
@@ -158,6 +186,10 @@ func (ps *parState) run(n int, task func(i int) error) (int, error) {
 		ps.countTasks(n, 0)
 		return 1, nil
 	}
+	// From here on the helpers are borrowed; return them even if a task
+	// panics — a leaked slot would silently shrink the pool for every
+	// later query in a long-running server.
+	defer ps.pool.release(helpers)
 	var (
 		next     atomic.Int64
 		stop     atomic.Bool
@@ -167,6 +199,15 @@ func (ps *parState) run(n int, task func(i int) error) (int, error) {
 	)
 	work := func() {
 		for !stop.Load() {
+			if err := ps.cancelled(); err != nil {
+				mu.Lock()
+				if errIdx == -1 {
+					errIdx, firstErr = n, err
+				}
+				mu.Unlock()
+				stop.Store(true)
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -192,7 +233,6 @@ func (ps *parState) run(n int, task func(i int) error) (int, error) {
 	}
 	work()
 	wg.Wait()
-	ps.pool.release(helpers)
 	claimed := int(next.Load())
 	if claimed > n {
 		claimed = n

@@ -123,9 +123,9 @@ fi
 go run ./cmd/mixer -benchdiff BENCH_parallel.json BENCH_parallel.json > /dev/null
 
 # Determinism under a single OS thread: parallel scheduling interleaves
-# completely differently with GOMAXPROCS=1, and results must still be
-# bit-identical to sequential execution.
-GOMAXPROCS=1 go test -run TestParallelSequentialIdentical .
+# completely differently with GOMAXPROCS=1, and results (parallel vs
+# sequential, batched vs row-at-a-time) must still be bit-identical.
+GOMAXPROCS=1 go test -run 'TestParallelSequentialIdentical|TestBatchRowIdentical' .
 
 # Parallel-speedup benchmark: the full 21-query NPD mix at parallelism
 # 1/2/NumCPU. Fails when any parallel level's answers diverge from the
@@ -136,6 +136,25 @@ if grep -q 'identical=false' "$MIXOUT"; then
     echo "parbench: parallel results diverge from sequential" >&2
     exit 1
 fi
+
+# Batch-size benchmark: the full 21-query NPD mix at batch sizes
+# 1/256/1024/4096. Fails when any batched level's answers diverge from the
+# row-at-a-time baseline; the report (p50/p95 per query, allocations per
+# execution, speedup vs the row path) is the repo's BENCH_batch.json. The
+# committed batchbench fixture pair plants a regression the differ must
+# flag, and the fresh report must self-diff clean.
+go run ./cmd/mixer -batchbench BENCH_batch.json -seedscale 0.15 -runs 3 -warmup 1 | tee "$MIXOUT"
+if grep -q 'identical=false' "$MIXOUT"; then
+    echo "batchbench: batched results diverge from the row path" >&2
+    exit 1
+fi
+if go run ./cmd/mixer -benchdiff \
+    internal/mixer/testdata/batchbench_old.json \
+    internal/mixer/testdata/batchbench_new.json > /dev/null; then
+    echo "benchdiff: seeded batchbench regression fixture not flagged" >&2
+    exit 1
+fi
+go run ./cmd/mixer -benchdiff BENCH_batch.json BENCH_batch.json > /dev/null
 
 # Serving smoke: a live obdaqd endpoint driven by the open-loop mixer.
 # The mixer exits nonzero when any rate completes zero queries or hits a

@@ -39,6 +39,7 @@ func main() {
 		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans (repeated shapes pay execute-only cost)")
 		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
 		parallel    = flag.Int("parallel", 0, "intra-query parallel workers (0 = NumCPU, 1 = sequential; results identical)")
+		batchsize   = flag.Int("batchsize", 0, "vectorized executor batch size (0 = default 1024, 1 = row-at-a-time; results identical)")
 		showSQL     = flag.Bool("sql", false, "print the unfolded SQL")
 		explain     = flag.Bool("explain", false, "print the pipeline span tree and the EXPLAIN ANALYZE operator tree")
 		trace       = flag.Bool("trace", false, "print the pipeline span tree (stage timings and attributes)")
@@ -131,6 +132,7 @@ func main() {
 			PlanCache:     *planCache,
 			PlanCacheSize: *planCacheSz,
 			Parallelism:   *parallel,
+			BatchSize:     *batchsize,
 			Obs:           observer,
 		})
 		if err != nil {

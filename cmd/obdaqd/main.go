@@ -44,6 +44,7 @@ func main() {
 		planCache   = flag.Bool("plancache", true, "cache compiled BGP plans across requests")
 		planCacheSz = flag.Int("plancachesize", 0, "plan cache capacity in entries (0 = engine default)")
 		parallel    = flag.Int("parallel", 0, "intra-query parallel workers (0 = NumCPU, 1 = sequential)")
+		batchsize   = flag.Int("batchsize", 0, "vectorized executor batch size (0 = default 1024, 1 = row-at-a-time)")
 		budgetRows  = flag.Int64("budgetrows", 0, "per-query soft limit on rows scanned (0 = unlimited)")
 		budgetBytes = flag.Int64("budgetbytes", 0, "per-query soft limit on bytes materialized (0 = unlimited)")
 		slowlogCap  = flag.Int("slowlog", 0, "capture the N slowest executions and serve them on /debug/slowlog")
@@ -96,6 +97,7 @@ func main() {
 		PlanCache:     *planCache,
 		PlanCacheSize: *planCacheSz,
 		Parallelism:   *parallel,
+		BatchSize:     *batchsize,
 		Obs:           observer,
 	})
 	if err != nil {

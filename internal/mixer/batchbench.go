@@ -1,0 +1,195 @@
+package mixer
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"npdbench/internal/core"
+	"npdbench/internal/npd"
+	"npdbench/internal/obs"
+)
+
+// The batch-size benchmark: the full NPD query mix executed on one instance
+// at increasing vectorized batch sizes (1 = row-at-a-time baseline, then
+// 256, 1024, 4096), reporting per-query latency percentiles, allocations
+// per execution, and end-to-end mix speedup versus the row path. Every
+// batched level's results are checked row-for-row against the row-path
+// rendering, so the report also certifies that the vectorized executor is
+// answer-preserving.
+
+// BatchBenchQuery is one query's measurement at one batch size.
+type BatchBenchQuery struct {
+	QueryID string  `json:"query_id"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	Rows    int     `json:"rows"`
+	// AllocsPerOp is the heap-allocation count per measured execution
+	// (mallocs delta over the measured runs, divided by the run count).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// SpeedupVsRow is the row-path mean over this level's mean (>1 =
+	// faster than row-at-a-time); 1 by definition at batch size 1.
+	SpeedupVsRow float64 `json:"speedup_vs_row"`
+}
+
+// BatchBenchLevel aggregates the mix at one batch size.
+type BatchBenchLevel struct {
+	BatchSize int               `json:"batch_size"`
+	Queries   []BatchBenchQuery `json:"queries"`
+	// MixTotalMS sums the per-query mean latencies (one full mix).
+	MixTotalMS   float64 `json:"mix_total_ms"`
+	SpeedupVsRow float64 `json:"speedup_vs_row"`
+	// MixAllocs sums the per-query allocations per execution.
+	MixAllocs uint64 `json:"mix_allocs"`
+	// IdenticalToRowPath reports whether every query's result set rendered
+	// identically to the row-at-a-time run's (row-for-row).
+	IdenticalToRowPath bool `json:"identical_to_row_path"`
+}
+
+// BatchBenchReport is the JSON document the -batchbench mode writes
+// (BENCH_batch.json).
+type BatchBenchReport struct {
+	NumCPU      int               `json:"num_cpu"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Parallelism int               `json:"parallelism"`
+	SeedScale   float64           `json:"seed_scale"`
+	Seed        int64             `json:"seed"`
+	Warmup      int               `json:"warmup"`
+	Runs        int               `json:"runs"`
+	Levels      []BatchBenchLevel `json:"levels"`
+}
+
+// JSON renders the report with stable indentation.
+func (r *BatchBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// batchBenchLevels is the fixed ladder: the row-at-a-time baseline, then
+// the batch sizes bracketing the executor default.
+func batchBenchLevels() []int {
+	return []int{1, 256, 1024, 4096}
+}
+
+// RunBatchBench executes the batch-size benchmark. The workload, instance
+// sizing, and run counts come from cfg (QueryIDs nil = all 21 queries; the
+// instance is the seed at cfg.SeedScale — batch-size behaviour is a
+// per-query property, so one scale suffices). Parallelism follows
+// cfg.Parallelism, defaulting to sequential so the allocation counts
+// measure the executor rather than worker scheduling.
+func RunBatchBench(cfg Config) (*BatchBenchReport, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.SeedScale <= 0 {
+		cfg.SeedScale = 1
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	queries := selectQueries(cfg)
+	db, _, err := BuildInstance(1, cfg.SeedScale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("mixer: building batchbench instance: %w", err)
+	}
+	db.Profile = cfg.Profile
+	spec := core.Spec{Onto: npd.NewOntology(), Mapping: npd.NewMapping(), DB: db, Prefixes: npd.Prefixes()}
+	rep := &BatchBenchReport{
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: par,
+		SeedScale:   cfg.SeedScale,
+		Seed:        cfg.Seed,
+		Warmup:      cfg.Warmup,
+		Runs:        cfg.Runs,
+	}
+	// rowRender holds the row-path level's rendered result set per query;
+	// batched levels are compared against it row-for-row.
+	rowRender := make(map[string]string)
+	rowMean := make(map[string]float64)
+	var rowMixMS float64
+	for _, bs := range batchBenchLevels() {
+		// Constraints and static pruning stay on (the engine's production
+		// defaults): without them the unfolded unions carry many degenerate
+		// single-row arms whose fixed per-operator cost drowns the
+		// batch-size signal this benchmark isolates.
+		eng, err := core.NewEngine(spec, core.Options{
+			TMappings:     true,
+			Existential:   cfg.Existential,
+			Constraints:   true,
+			StaticPrune:   true,
+			PlanCache:     cfg.PlanCache,
+			PlanCacheSize: cfg.PlanCacheSize,
+			Parallelism:   par,
+			BatchSize:     bs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		level := BatchBenchLevel{BatchSize: bs, IdenticalToRowPath: true}
+		for _, q := range queries {
+			parsed, err := eng.ParseQuery(q.SPARQL)
+			if err != nil {
+				return nil, fmt.Errorf("mixer: batchbench %s: %w", q.ID, err)
+			}
+			var rendered string
+			var rows int
+			for i := 0; i < cfg.Warmup; i++ {
+				if _, err := eng.Answer(parsed); err != nil {
+					return nil, fmt.Errorf("mixer: batchbench %s warmup: %w", q.ID, err)
+				}
+			}
+			samples := make([]float64, 0, cfg.Runs)
+			var totalMS float64
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < cfg.Runs; i++ {
+				start := time.Now()
+				ans, err := eng.Answer(parsed)
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("mixer: batchbench %s at batch size %d: %w", q.ID, bs, err)
+				}
+				ms := float64(elapsed) / float64(time.Millisecond)
+				samples = append(samples, ms)
+				totalMS += ms
+				rendered = ans.String()
+				rows = ans.Len()
+			}
+			runtime.ReadMemStats(&ms1)
+			qm := BatchBenchQuery{
+				QueryID:     q.ID,
+				MeanMS:      totalMS / float64(cfg.Runs),
+				P50MS:       obs.Percentile(samples, 50),
+				P95MS:       obs.Percentile(samples, 95),
+				Rows:        rows,
+				AllocsPerOp: (ms1.Mallocs - ms0.Mallocs) / uint64(cfg.Runs),
+			}
+			if bs == 1 {
+				rowRender[q.ID] = rendered
+				rowMean[q.ID] = qm.MeanMS
+				qm.SpeedupVsRow = 1
+			} else {
+				if rendered != rowRender[q.ID] {
+					level.IdenticalToRowPath = false
+				}
+				if qm.MeanMS > 0 {
+					qm.SpeedupVsRow = rowMean[q.ID] / qm.MeanMS
+				}
+			}
+			level.Queries = append(level.Queries, qm)
+			level.MixTotalMS += qm.MeanMS
+			level.MixAllocs += qm.AllocsPerOp
+		}
+		if bs == 1 {
+			rowMixMS = level.MixTotalMS
+			level.SpeedupVsRow = 1
+		} else if level.MixTotalMS > 0 {
+			level.SpeedupVsRow = rowMixMS / level.MixTotalMS
+		}
+		rep.Levels = append(rep.Levels, level)
+	}
+	return rep, nil
+}

@@ -12,9 +12,10 @@ import (
 	"npdbench/internal/obs"
 )
 
-// Bench-regression differ: compares two benchmark result files — either
-// committed parbench reports (BENCH_parallel.json) or JSONL run logs —
-// per query, on the p50/p95 of total latency. It is noise-aware: a query
+// Bench-regression differ: compares two benchmark result files — committed
+// parbench reports (BENCH_parallel.json), batchbench reports
+// (BENCH_batch.json), or JSONL run logs — per query, on the p50/p95 of
+// total latency. It is noise-aware: a query
 // only counts as regressed when BOTH percentiles move past the relative
 // threshold, the absolute move clears a floor (sub-floor timings are
 // dominated by scheduler jitter), and both sides have enough runs for
@@ -75,7 +76,8 @@ type DiffReport struct {
 
 // BenchDiffFiles loads and diffs two benchmark result files. Each file
 // may be a parbench JSON report (queries keyed "qN@pK" per parallelism
-// level) or a JSONL run log (keyed by query id); the two files must not
+// level), a batchbench JSON report (keyed "qN@bK" per batch size), or a
+// JSONL run log (keyed by query id); the two files must not
 // mix formats in a way that leaves no common keys, but the differ itself
 // only matches on keys.
 func BenchDiffFiles(oldPath, newPath string, opt DiffOptions) (*DiffReport, error) {
@@ -108,10 +110,47 @@ func extractSeries(data []byte) (map[string]benchSeries, []string, error) {
 	if trimmed == "" {
 		return nil, nil, fmt.Errorf("empty benchmark file")
 	}
+	if rep, ok := decodeBatchbench([]byte(trimmed)); ok {
+		return batchbenchSeries(rep)
+	}
 	if rep, ok := decodeParbench([]byte(trimmed)); ok {
 		return parbenchSeries(rep)
 	}
 	return runlogSeries(trimmed)
+}
+
+// decodeBatchbench reports whether data is a single batchbench report
+// document. It must be sniffed before parbench: both formats carry a
+// "levels" array, but only batchbench levels have a nonzero batch_size
+// (a parbench level decoded here leaves BatchSize at zero).
+func decodeBatchbench(data []byte) (*BatchBenchReport, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var rep BatchBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, false
+	}
+	if dec.More() {
+		return nil, false
+	}
+	return &rep, len(rep.Levels) > 0 && rep.Levels[0].BatchSize > 0
+}
+
+func batchbenchSeries(rep *BatchBenchReport) (map[string]benchSeries, []string, error) {
+	out := make(map[string]benchSeries)
+	var order []string
+	for _, lvl := range rep.Levels {
+		for _, q := range lvl.Queries {
+			key := fmt.Sprintf("%s@b%d", q.QueryID, lvl.BatchSize)
+			out[key] = benchSeries{
+				key:  key,
+				p50:  q.P50MS * 1000,
+				p95:  q.P95MS * 1000,
+				runs: rep.Runs,
+			}
+			order = append(order, key)
+		}
+	}
+	return out, order, nil
 }
 
 // decodeParbench reports whether data is a single parbench report

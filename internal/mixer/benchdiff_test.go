@@ -145,6 +145,64 @@ func TestBenchDiffParbenchFormat(t *testing.T) {
 	}
 }
 
+// The committed batchbench fixture pair seeds one regression at the 1024
+// batch size (p50 +140%, p95 +150%) while the row-path level stays flat —
+// the pair ci.sh self-diffs expecting a clean report.
+const (
+	batchFixtureOld = "testdata/batchbench_old.json"
+	batchFixtureNew = "testdata/batchbench_new.json"
+)
+
+func TestBenchDiffBatchbenchFormat(t *testing.T) {
+	rep, err := BenchDiffFiles(batchFixtureOld, batchFixtureNew, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := verdicts(rep)
+	if got["q6@b1"] != "ok" || got["q6@b1024"] != "regressed" {
+		t.Fatalf("batchbench keys: %v", got)
+	}
+	// ms-to-µs conversion: old p50 of 10ms must read as 10000µs.
+	for _, e := range rep.Entries {
+		if e.Key == "q6@b1" && e.OldP50US != 10000 {
+			t.Fatalf("q6@b1 old p50 = %vµs, want 10000", e.OldP50US)
+		}
+	}
+	// Self-diff of a batchbench report is clean.
+	for _, f := range []string{batchFixtureOld, batchFixtureNew} {
+		self, err := BenchDiffFiles(f, f, DefaultDiffOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self.Regressions != 0 || self.Improved != 0 {
+			t.Fatalf("batchbench self-diff of %s not clean: %+v", f, verdicts(self))
+		}
+	}
+	// The batchbench sniff must not swallow parbench reports: a parbench
+	// file still yields @p keys even though both formats carry "levels".
+	parRep := ParBenchReport{
+		NumCPU: 4, GOMAXPROCS: 4, SeedScale: 1, Seed: 42, Warmup: 1, Runs: 5,
+		Levels: []ParBenchLevel{
+			{Parallelism: 1, Queries: []ParBenchQuery{{QueryID: "q6", MeanMS: 10, P50MS: 10, P95MS: 12, Rows: 9}}},
+		},
+	}
+	data, err := json.Marshal(parRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPath := filepath.Join(t.TempDir(), "par.json")
+	if err := os.WriteFile(parPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = BenchDiffFiles(parPath, parPath, DefaultDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := verdicts(rep)["q6@p1"]; !ok {
+		t.Fatalf("parbench file mis-sniffed: %v", verdicts(rep))
+	}
+}
+
 func TestBenchDiffZeroBaseline(t *testing.T) {
 	// A baseline whose percentiles collapsed to zero (sub-microsecond
 	// runs) must never be judged by percent delta: no Inf/NaN, no

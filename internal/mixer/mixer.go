@@ -55,6 +55,9 @@ type Config struct {
 	// Parallelism is the engine's intra-query worker cap (0 = NumCPU,
 	// 1 = sequential). Results are identical at every setting.
 	Parallelism int
+	// BatchSize is the SQL executor's vectorized batch size (0 = default
+	// 1024, 1 = row-at-a-time). Results are identical at every setting.
+	BatchSize int
 	// RunLog, when non-nil, receives one JSONL record per measured query
 	// execution (trace id, stage timings, row counts). Enabling it turns on
 	// engine tracing so each record carries a real trace id.
@@ -192,6 +195,7 @@ func Run(cfg Config) (*Report, error) {
 			PlanCache:     cfg.PlanCache,
 			PlanCacheSize: cfg.PlanCacheSize,
 			Parallelism:   cfg.Parallelism,
+			BatchSize:     cfg.BatchSize,
 			Obs:           observer,
 		})
 		if err != nil {

@@ -1,0 +1,55 @@
+package rdf
+
+import "sync"
+
+// The interning term store promised by the package doc: a sharded pool of
+// canonical string backings. Materializing a virtual instance (or building
+// the sqldb columnar dictionaries over one) produces the same lexical forms
+// over and over — IRI templates differ only in their key infix, literal
+// columns repeat heavily — and interning collapses every recurrence onto
+// one backing array. Shards keep the pool cheap under concurrent loaders.
+
+const internShards = 16
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var internPool = func() [internShards]*internShard {
+	var p [internShards]*internShard
+	for i := range p {
+		p[i] = &internShard{m: make(map[string]string)}
+	}
+	return p
+}()
+
+// Intern returns a canonical copy of s: every call with an equal string
+// yields the identical backing, so callers holding many repeats of the
+// same lexical form keep one allocation instead of one per occurrence.
+func Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	sh := internPool[h%internShards]
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[s]; !ok {
+		// Clone onto a fresh backing so the pool never pins a caller's
+		// larger buffer (a substring would keep its whole parent alive).
+		c = string(append([]byte(nil), s...))
+		sh.m[s] = c
+	}
+	sh.mu.Unlock()
+	return c
+}

@@ -1,0 +1,1240 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The vectorized batch executor. Operators with a columnar input process it
+// in fixed-size batches: scan exposes the table segment, filter evaluates
+// compiled vector predicates (or an arbitrary bound expression over one
+// reusable scratch row), hash join vectorizes build-key hashing and probes
+// batch-wise, DISTINCT and aggregate group by per-row class hashes verified
+// with Value.keyEq. Every batch loop polls cancellation and accounts usage
+// at batch boundaries, and every converted operator reports a batches=
+// counter into EXPLAIN ANALYZE. Operators without a batch implementation
+// (sort, merge join, outer/nested-loop joins, complex projections) receive
+// rows materialized once at the fallback boundary — results are row-for-row
+// identical to the row-at-a-time path at any batch size.
+
+// DefaultBatchSize is the number of rows a batch operator processes per
+// inner loop. Large enough to amortize per-batch bookkeeping, small enough
+// that batch-local scratch stays cache-resident; BatchSize 1 in ExecOptions
+// selects the row-at-a-time executor.
+const DefaultBatchSize = 1024
+
+// batchOn reports whether this execution runs the vectorized path.
+func (ctx *execCtx) batchOn() bool { return ctx != nil && ctx.batch > 1 }
+
+// batchSize returns the resolved batch size of this execution.
+func (ctx *execCtx) batchSize() int {
+	if ctx == nil || ctx.batch < 1 {
+		return DefaultBatchSize
+	}
+	return ctx.batch
+}
+
+// pollMask returns the cancellation poll interval of row-granular loops as
+// a power-of-two mask: polls happen on batch boundaries, so shrinking the
+// batch size tightens the cancellation latency with it. The row-at-a-time
+// executor keeps the classic morsel-sized poll.
+func (ctx *execCtx) pollMask() int {
+	if ctx == nil || ctx.batch <= 1 {
+		return morselRows - 1
+	}
+	m := 1
+	for m < ctx.batch {
+		m <<= 1
+	}
+	return m - 1
+}
+
+// countBatches folds processed batches into the execution stats.
+func (ctx *execCtx) countBatches(n int) {
+	if ctx != nil && ctx.stats != nil {
+		ctx.stats.Batches.Add(int64(n))
+	}
+}
+
+// setBatches stashes the batches= annotation of the operator just executed;
+// the call site owning the profile node collects it with takeBatches.
+func (ctx *execCtx) setBatches(n int) {
+	if ctx != nil {
+		ctx.lastBatches = n
+	}
+}
+
+// takeBatches returns and clears the pending batches= annotation.
+func (ctx *execCtx) takeBatches() int {
+	if ctx == nil {
+		return 0
+	}
+	n := ctx.lastBatches
+	ctx.lastBatches = 0
+	return n
+}
+
+// accountBatch records one emitted batch into the usage tracker: usage is
+// accounted per batch, so a canceled query's counters reflect exactly the
+// batches that completed.
+func (ctx *execCtx) accountBatch(rows, cols int) {
+	if ctx != nil && ctx.usage != nil && rows > 0 {
+		ctx.usage.AddRowsProduced(int64(rows), int64(rows)*int64(cols)*approxValueBytes)
+	}
+}
+
+func numBatches(n, bs int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + bs - 1) / bs
+}
+
+// ---- scratch pool --------------------------------------------------------
+
+// vecScratch is the batch executor's reusable scratch: selection flags, the
+// survivor-index accumulators, and key-hash buffers. An OBDA unfolding
+// executes thousands of small union arms per statement, so the fixed
+// per-operator cost of these buffers dominates allocation counts unless
+// they are recycled; sequential operators borrow the context's pool for
+// the duration of one operator and return it, which amortizes the cost to
+// zero after the first operator. Parallel batch tasks are handed fresh
+// scratch instead — the pool is goroutine-local, never shared.
+type vecScratch struct {
+	keep []bool   // per-batch predicate results
+	sel  []int32  // survivor / probe-side index accumulator
+	selR []int32  // build-side index accumulator (joins)
+	hash []uint64 // full-input key hashes (join build side)
+	bh   []uint64 // per-batch key hashes
+}
+
+// borrowVecScratch hands out the context's scratch pool, emptying the slot
+// so an unexpected nested borrow allocates fresh buffers instead of
+// corrupting the outer operator's state.
+func (ctx *execCtx) borrowVecScratch() *vecScratch {
+	if ctx != nil && ctx.vecs != nil {
+		s := ctx.vecs
+		ctx.vecs = nil
+		return s
+	}
+	return &vecScratch{}
+}
+
+// returnVecScratch gives the (possibly grown) buffers back to the context
+// for the next operator.
+func (ctx *execCtx) returnVecScratch(s *vecScratch) {
+	if ctx != nil {
+		ctx.vecs = s
+	}
+}
+
+// batchHashes fills the scratch per-batch hash buffer with composite key
+// hashes of rows [lo,hi) over the given column slots.
+func (s *vecScratch) batchHashes(vd *vecData, slots []int, lo, hi int) []uint64 {
+	s.bh = vd.hashKeyRange(s.bh, slots, lo, hi)
+	return s.bh
+}
+
+// ---- vectorized predicates ----------------------------------------------
+
+// vecPred fills dst[j] with whether row lo+j survives the filter (predicate
+// evaluates to TRUE; FALSE and NULL both drop the row). Compiled predicates
+// capture per-batch scratch, so each goroutine compiles its own.
+type vecPred func(dst []bool, lo, hi int)
+
+// cmpKeep applies a comparison operator to a Compare result.
+func cmpKeep(op BinOpKind, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// flipCmp mirrors a comparison so "lit op col" compiles as "col op' lit".
+func flipCmp(op BinOpKind) BinOpKind {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op // Eq, Ne are symmetric
+}
+
+func isCmpOp(op BinOpKind) bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+func isNumericKind(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindDate
+}
+
+// compileVecPred compiles a filter predicate into a type-specialized vector
+// evaluator, or returns nil when the shape is not convertible (the caller
+// then evaluates the bound expression over a scratch row — still batched).
+// NOT is never compiled: the kept-row semantics used here (TRUE keeps,
+// FALSE/NULL drop) compose soundly under AND and OR but not under negation.
+func compileVecPred(e Expr, vd *vecData, cols []colMeta) vecPred {
+	switch x := e.(type) {
+	case *BinOp:
+		switch {
+		case x.Op == OpAnd, x.Op == OpOr:
+			l := compileVecPred(x.L, vd, cols)
+			if l == nil {
+				return nil
+			}
+			r := compileVecPred(x.R, vd, cols)
+			if r == nil {
+				return nil
+			}
+			tmp := make([]bool, 0, DefaultBatchSize)
+			and := x.Op == OpAnd
+			return func(dst []bool, lo, hi int) {
+				l(dst, lo, hi)
+				tmp = tmp[:0]
+				for range dst {
+					tmp = append(tmp, false)
+				}
+				r(tmp, lo, hi)
+				if and {
+					for j := range dst {
+						dst[j] = dst[j] && tmp[j]
+					}
+				} else {
+					for j := range dst {
+						dst[j] = dst[j] || tmp[j]
+					}
+				}
+			}
+		case isCmpOp(x.Op):
+			if lc, ok := x.L.(*ColRef); ok {
+				if lit, ok := x.R.(*Lit); ok {
+					return compileColLitCmp(x.Op, lc, lit.Val, vd, cols)
+				}
+				if rc, ok := x.R.(*ColRef); ok {
+					return compileColColCmp(x.Op, lc, rc, vd, cols)
+				}
+			}
+			if lit, ok := x.L.(*Lit); ok {
+				if rc, ok := x.R.(*ColRef); ok {
+					return compileColLitCmp(flipCmp(x.Op), rc, lit.Val, vd, cols)
+				}
+			}
+			return nil
+		}
+		return nil
+	case *IsNullExpr:
+		cr, ok := x.E.(*ColRef)
+		if !ok {
+			return nil
+		}
+		slot := findCol(cols, cr.Table, cr.Name)
+		if slot < 0 {
+			return nil
+		}
+		c := &vd.cols[slot]
+		neg := x.Negate
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				dst[j] = c.nulls.get(lo+j) != neg
+			}
+		}
+	case *LikeExpr:
+		cr, ok := x.E.(*ColRef)
+		if !ok {
+			return nil
+		}
+		lit, ok := x.Pattern.(*Lit)
+		if !ok || lit.Val.IsNull() {
+			return nil
+		}
+		slot := findCol(cols, cr.Table, cr.Name)
+		if slot < 0 || vd.cols[slot].kind != KindString {
+			return nil
+		}
+		c := &vd.cols[slot]
+		pat := lit.Val.String()
+		neg := x.Negate
+		// One LIKE evaluation per distinct dictionary value, not per row.
+		match := make([]bool, c.dict.size())
+		for i, s := range c.dict.vals {
+			match[i] = likeMatch(s, pat) != neg
+		}
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				i := lo + j
+				dst[j] = !c.nulls.get(i) && match[c.codes[i]]
+			}
+		}
+	case *InExpr:
+		cr, ok := x.E.(*ColRef)
+		if !ok {
+			return nil
+		}
+		slot := findCol(cols, cr.Table, cr.Name)
+		if slot < 0 {
+			return nil
+		}
+		lits := make([]Value, 0, len(x.List))
+		sawNull := false
+		for _, it := range x.List {
+			lit, ok := it.(*Lit)
+			if !ok {
+				return nil
+			}
+			if lit.Val.IsNull() {
+				sawNull = true
+				continue
+			}
+			lits = append(lits, lit.Val)
+		}
+		c := &vd.cols[slot]
+		neg := x.Negate
+		// matched -> !neg; unmatched with a NULL in the list -> NULL
+		// (dropped); unmatched otherwise -> neg.
+		unmatched := neg && !sawNull
+		if c.kind == KindString {
+			match := make([]bool, c.dict.size())
+			for i, s := range c.dict.vals {
+				hit := false
+				for _, lv := range lits {
+					if Equal(Value{Kind: KindString, S: s}, lv) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					match[i] = !neg
+				} else {
+					match[i] = unmatched
+				}
+			}
+			return func(dst []bool, lo, hi int) {
+				for j := range dst {
+					i := lo + j
+					dst[j] = !c.nulls.get(i) && match[c.codes[i]]
+				}
+			}
+		}
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				i := lo + j
+				if c.nulls.get(i) {
+					dst[j] = false
+					continue
+				}
+				v := c.value(i)
+				hit := false
+				for _, lv := range lits {
+					if Equal(v, lv) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					dst[j] = !neg
+				} else {
+					dst[j] = unmatched
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compileColLitCmp compiles "col op literal" with a type-specialized loop.
+// Comparison semantics replicate applyBinOp exactly: NULL operands drop the
+// row, incomparable kinds compare FALSE, and numeric comparisons go through
+// float64 like Value.Compare.
+func compileColLitCmp(op BinOpKind, cr *ColRef, lit Value, vd *vecData, cols []colMeta) vecPred {
+	slot := findCol(cols, cr.Table, cr.Name)
+	if slot < 0 {
+		return nil
+	}
+	c := &vd.cols[slot]
+	if lit.IsNull() {
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				dst[j] = false
+			}
+		}
+	}
+	if lf, ok := lit.AsFloat(); ok && isNumericKind(c.kind) {
+		switch c.kind {
+		case KindInt, KindDate:
+			ints := c.ints
+			return func(dst []bool, lo, hi int) {
+				for j := range dst {
+					i := lo + j
+					if c.nulls.get(i) {
+						dst[j] = false
+						continue
+					}
+					dst[j] = cmpKeep(op, cmpFloat(float64(ints[i]), lf))
+				}
+			}
+		case KindFloat:
+			floats := c.floats
+			return func(dst []bool, lo, hi int) {
+				for j := range dst {
+					i := lo + j
+					if c.nulls.get(i) {
+						dst[j] = false
+						continue
+					}
+					dst[j] = cmpKeep(op, cmpFloat(floats[i], lf))
+				}
+			}
+		}
+	}
+	if c.kind == KindString && lit.Kind == KindString {
+		// One comparison per distinct dictionary value.
+		match := make([]bool, c.dict.size())
+		for i, s := range c.dict.vals {
+			match[i] = cmpKeep(op, strings.Compare(s, lit.S))
+		}
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				i := lo + j
+				dst[j] = !c.nulls.get(i) && match[c.codes[i]]
+			}
+		}
+	}
+	// Remaining kind pairings (bool vs bool, geometry, mismatches): one
+	// generic loop over materialized cells, identical to applyBinOp.
+	return func(dst []bool, lo, hi int) {
+		for j := range dst {
+			i := lo + j
+			if c.nulls.get(i) {
+				dst[j] = false
+				continue
+			}
+			cv, err := Compare(c.value(i), lit)
+			dst[j] = err == nil && cmpKeep(op, cv)
+		}
+	}
+}
+
+// compileColColCmp compiles "colA op colB" over two vectors.
+func compileColColCmp(op BinOpKind, lc, rc *ColRef, vd *vecData, cols []colMeta) vecPred {
+	ls := findCol(cols, lc.Table, lc.Name)
+	rs := findCol(cols, rc.Table, rc.Name)
+	if ls < 0 || rs < 0 {
+		return nil
+	}
+	a, b := &vd.cols[ls], &vd.cols[rs]
+	if isNumericKind(a.kind) && isNumericKind(b.kind) {
+		af := numAccessor(a)
+		bf := numAccessor(b)
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				i := lo + j
+				if a.nulls.get(i) || b.nulls.get(i) {
+					dst[j] = false
+					continue
+				}
+				dst[j] = cmpKeep(op, cmpFloat(af(i), bf(i)))
+			}
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		sameDict := a.dict == b.dict && (op == OpEq || op == OpNe)
+		return func(dst []bool, lo, hi int) {
+			for j := range dst {
+				i := lo + j
+				if a.nulls.get(i) || b.nulls.get(i) {
+					dst[j] = false
+					continue
+				}
+				if sameDict {
+					dst[j] = cmpKeep(op, boolToCmp(a.codes[i] == b.codes[i]))
+					continue
+				}
+				dst[j] = cmpKeep(op, strings.Compare(a.dict.vals[a.codes[i]], b.dict.vals[b.codes[i]]))
+			}
+		}
+	}
+	return func(dst []bool, lo, hi int) {
+		for j := range dst {
+			i := lo + j
+			if a.nulls.get(i) || b.nulls.get(i) {
+				dst[j] = false
+				continue
+			}
+			cv, err := Compare(a.value(i), b.value(i))
+			dst[j] = err == nil && cmpKeep(op, cv)
+		}
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// boolToCmp maps equality to a Compare-style result (only consumed by
+// Eq/Ne, so any nonzero works for "not equal").
+func boolToCmp(eq bool) int {
+	if eq {
+		return 0
+	}
+	return 1
+}
+
+func numAccessor(c *colvec) func(int) float64 {
+	if c.kind == KindFloat {
+		floats := c.floats
+		return func(i int) float64 { return floats[i] }
+	}
+	ints := c.ints
+	return func(i int) float64 { return float64(ints[i]) }
+}
+
+// ---- batch filter --------------------------------------------------------
+
+// batchFilter evaluates pred over a columnar relation batch by batch,
+// accumulating survivor indices, then gathers them into exactly-sized
+// fresh vectors in one pass. Inputs past the parallel threshold fan
+// batches out over the worker pool; per-batch outputs concatenate in
+// batch order, bit-identical to the sequential scan.
+func batchFilter(ctx *execCtx, r *relation, pred Expr) (*relation, error) {
+	vd := r.vec
+	n := vd.n
+	bs := ctx.batchSize()
+	nb := numBatches(n, bs)
+	if ctx.parWorkers() > 1 && n >= minParallelRows && nb > 1 {
+		return batchFilterParallel(ctx, r, pred, nb, bs)
+	}
+	scr := ctx.borrowVecScratch()
+	defer ctx.returnVecScratch(scr)
+	runBatch, err := newBatchFilterTask(r, pred, scr)
+	if err != nil {
+		return nil, err
+	}
+	sel := scr.sel[:0]
+	for b := 0; b < nb; b++ {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
+		before := len(sel)
+		sel, err = runBatch(sel, b*bs, minInt(b*bs+bs, n))
+		if err != nil {
+			return nil, err
+		}
+		ctx.accountBatch(len(sel)-before, len(r.cols))
+	}
+	scr.sel = sel
+	out := newVecBuilder(vd.cols)
+	out.reserve(len(sel))
+	out.gather(vd.cols, sel)
+	ctx.countBatches(nb)
+	ctx.setBatches(nb)
+	return &relation{cols: r.cols, vec: out.build()}, nil
+}
+
+// newBatchFilterTask compiles pred for one goroutine's use and returns a
+// closure that appends the surviving row indices of [lo,hi) to sel. Each
+// parallel worker compiles its own task with its own scratch: compiled
+// predicates, the keep buffer and the scratch row are single-goroutine
+// state.
+func newBatchFilterTask(r *relation, pred Expr, scr *vecScratch) (func(sel []int32, lo, hi int) ([]int32, error), error) {
+	vd := r.vec
+	vp := compileVecPred(pred, vd, r.cols)
+	var f evalFn
+	var scratch Row
+	if vp == nil {
+		var err error
+		f, err = bindExpr(pred, r.cols)
+		if err != nil {
+			return nil, err
+		}
+		scratch = make(Row, len(vd.cols))
+	}
+	return func(sel []int32, lo, hi int) ([]int32, error) {
+		keep := scr.keep[:0]
+		for i := lo; i < hi; i++ {
+			keep = append(keep, false)
+		}
+		scr.keep = keep
+		if vp != nil {
+			vp(keep, lo, hi)
+		} else {
+			for i := lo; i < hi; i++ {
+				vd.rowInto(scratch, i)
+				v, err := f(scratch)
+				if err != nil {
+					return nil, err
+				}
+				keep[i-lo] = !v.IsNull() && v.Bool()
+			}
+		}
+		for j, k := range keep {
+			if k {
+				sel = append(sel, int32(lo+j))
+			}
+		}
+		return sel, nil
+	}, nil
+}
+
+// batchFilterParallel is the morsel-parallel arm of batchFilter: workers
+// claim whole batches, each filtering into a per-batch builder; the merge
+// pre-sizes the output to the exact survivor total.
+func batchFilterParallel(ctx *execCtx, r *relation, pred Expr, nb, bs int) (*relation, error) {
+	vd := r.vec
+	n := vd.n
+	outs := make([]*vecBuilder, nb)
+	// Per-worker task state is created lazily inside the tasks; par.run
+	// gives no worker identity, so state hangs off the batch index and the
+	// compile cost is paid per batch (small next to the scan itself).
+	workers, err := ctx.par.run(nb, func(b int) error {
+		runBatch, err := newBatchFilterTask(r, pred, &vecScratch{})
+		if err != nil {
+			return err
+		}
+		sel, err := runBatch(nil, b*bs, minInt(b*bs+bs, n))
+		if err != nil {
+			return err
+		}
+		out := newVecBuilder(vd.cols)
+		out.reserve(len(sel))
+		out.gather(vd.cols, sel)
+		ctx.accountBatch(len(sel), len(r.cols))
+		outs[b] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.par.stats.Morsels.Add(int64(nb))
+	total := 0
+	for _, o := range outs {
+		total += o.n
+	}
+	out := newVecBuilder(vd.cols)
+	out.reserve(total)
+	for _, o := range outs {
+		out.appendAll(o)
+	}
+	ctx.countBatches(nb)
+	ctx.setBatches(nb)
+	ctx.setParNote(fmt.Sprintf(" [batches=%d workers=%d]", nb, workers))
+	return &relation{cols: r.cols, vec: out.build()}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---- batch hash join -----------------------------------------------------
+
+// batchHashJoin is the vectorized inner equi-join: build-side key hashes
+// are computed with type-specialized column loops, the hash table maps
+// 64-bit key hashes to build row indices (collisions verified with keyEq
+// semantics, so int 1 and float 1.0 still join), and the probe side is
+// probed batch by batch, gathering matched index pairs into fresh output
+// vectors. Probe order and within-key build order reproduce the row
+// executor's output exactly.
+func batchHashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	outCols := append(append([]colMeta{}, l.cols...), r.cols...)
+	var resFn evalFn
+	if residual != nil {
+		var err error
+		resFn, err = bindExpr(residual, outCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	build, probe := r, l
+	buildRight := true
+	if l.vec.n < r.vec.n {
+		build, probe = l, r
+		buildRight = false
+	}
+	buildSlots := make([]int, len(keys))
+	probeSlots := make([]int, len(keys))
+	for i, k := range keys {
+		if buildRight {
+			buildSlots[i], probeSlots[i] = k.rSlot, k.lSlot
+		} else {
+			buildSlots[i], probeSlots[i] = k.lSlot, k.rSlot
+		}
+	}
+	bvd, pvd := build.vec, probe.vec
+	bs := ctx.batchSize()
+	nbB := numBatches(bvd.n, bs)
+	nbP := numBatches(pvd.n, bs)
+	parallel := ctx.parWorkers() > 1 && bvd.n+pvd.n >= minParallelRows
+	scr := ctx.borrowVecScratch()
+	defer ctx.returnVecScratch(scr)
+
+	// Phase 1: vectorized build-key hashing (into the reusable full-input
+	// hash buffer; parallel hashers write disjoint ranges of it).
+	if cap(scr.hash) < bvd.n {
+		scr.hash = make([]uint64, bvd.n)
+	}
+	buildHash := scr.hash[:bvd.n]
+	hashRange := func(b int) {
+		lo := b * bs
+		hi := minInt(lo+bs, bvd.n)
+		seg := buildHash[lo:hi]
+		for j := range seg {
+			seg[j] = hashOffset64
+		}
+		for _, s := range buildSlots {
+			bvd.cols[s].hashColRange(seg, lo, hi)
+		}
+	}
+	if parallel && nbB > 1 {
+		if _, err := ctx.par.run(nbB, func(b int) error {
+			hashRange(b)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		for b := 0; b < nbB; b++ {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+			hashRange(b)
+		}
+	}
+
+	// Phase 2: hash table from key hash to build row indices, in build
+	// order (parallel executions partition it P ways).
+	lb := newVecBuilder(l.vec.cols)
+	rb := newVecBuilder(r.vec.cols)
+	var workers, parts int
+	if parallel {
+		var err error
+		workers, parts, err = batchProbeParallel(ctx, bvd, pvd, buildHash, buildSlots, probeSlots, buildRight, resFn, l, r, lb, rb, bs, nbP)
+		if err != nil {
+			return nil, err
+		}
+		ctx.par.stats.JoinPartitions.Add(int64(parts))
+		ctx.par.stats.Morsels.Add(int64(nbB + nbP))
+		ctx.setParNote(fmt.Sprintf(" [partitions=%d workers=%d]", parts, workers))
+	} else {
+		ht := make(map[uint64][]int32, bvd.n)
+		for j := 0; j < bvd.n; j++ {
+			if bvd.hasNullKey(j, buildSlots) {
+				continue
+			}
+			ht[buildHash[j]] = append(ht[buildHash[j]], int32(j))
+		}
+		probeTask := newBatchProbeTask(bvd, pvd, buildSlots, probeSlots, buildRight, resFn, l, r, scr)
+		lSel, rSel := scr.sel[:0], scr.selR[:0]
+		var err error
+		for b := 0; b < nbP; b++ {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+			before := len(lSel)
+			lSel, rSel, err = probeTask(lSel, rSel, func(h uint64) []int32 { return ht[h] }, b*bs, minInt(b*bs+bs, pvd.n))
+			if err != nil {
+				return nil, err
+			}
+			ctx.accountBatch(len(lSel)-before, len(outCols))
+		}
+		scr.sel, scr.selR = lSel, rSel
+		lb.reserve(len(lSel))
+		rb.reserve(len(rSel))
+		lb.gather(l.vec.cols, lSel)
+		rb.gather(r.vec.cols, rSel)
+	}
+	ctx.countBatches(nbB + nbP)
+	ctx.setBatches(nbP)
+	out := &vecData{n: lb.n, cols: append(lb.cols, rb.cols...)}
+	return &relation{cols: outCols, vec: out}, nil
+}
+
+// newBatchProbeTask returns a closure probing rows [lo,hi) of the probe
+// side against a hash-bucket lookup, appending matched (left, right) index
+// pairs to the given accumulators in probe order. Task-local: the scratch
+// (probe-hash buffer) and the residual scratch row are owned by one
+// goroutine.
+func newBatchProbeTask(bvd, pvd *vecData, buildSlots, probeSlots []int, buildRight bool, resFn evalFn, l, r *relation, scr *vecScratch) func(lSel, rSel []int32, bucket func(uint64) []int32, lo, hi int) ([]int32, []int32, error) {
+	var scratch Row
+	if resFn != nil {
+		scratch = make(Row, len(l.cols)+len(r.cols))
+	}
+	lvd, rvd := l.vec, r.vec
+	return func(lSel, rSel []int32, bucket func(uint64) []int32, lo, hi int) ([]int32, []int32, error) {
+		hash := scr.batchHashes(pvd, probeSlots, lo, hi)
+		for i := lo; i < hi; i++ {
+			if pvd.hasNullKey(i, probeSlots) {
+				continue
+			}
+			for _, bj := range bucket(hash[i-lo]) {
+				if !keyEqAt(pvd, i, probeSlots, bvd, int(bj), buildSlots) {
+					continue
+				}
+				var li, ri int32
+				if buildRight {
+					li, ri = int32(i), bj
+				} else {
+					li, ri = bj, int32(i)
+				}
+				if resFn != nil {
+					for c := range lvd.cols {
+						scratch[c] = lvd.cols[c].value(int(li))
+					}
+					off := len(lvd.cols)
+					for c := range rvd.cols {
+						scratch[off+c] = rvd.cols[c].value(int(ri))
+					}
+					v, err := resFn(scratch)
+					if err != nil {
+						return nil, nil, err
+					}
+					if v.IsNull() || !v.Bool() {
+						continue
+					}
+				}
+				lSel = append(lSel, li)
+				rSel = append(rSel, ri)
+			}
+		}
+		return lSel, rSel, nil
+	}
+}
+
+// batchProbeParallel partitions the build hashes P ways and probes batch-
+// wise in parallel, mirroring partitionedHashJoin: partition tables list
+// build rows in build order, per-batch pair buffers concatenate in batch
+// order, so the merged output is bit-identical to the sequential probe.
+func batchProbeParallel(ctx *execCtx, bvd, pvd *vecData, buildHash []uint64, buildSlots, probeSlots []int, buildRight bool, resFn evalFn, l, r *relation, lb, rb *vecBuilder, bs, nbP int) (int, int, error) {
+	parts := ctx.parWorkers()
+	if parts > maxJoinPartitions {
+		parts = maxJoinPartitions
+	}
+	if parts < 2 {
+		parts = 2
+	}
+	tables := make([]map[uint64][]int32, parts)
+	if _, err := ctx.par.run(parts, func(p int) error {
+		ht := make(map[uint64][]int32, bvd.n/parts+1)
+		for j := 0; j < bvd.n; j++ {
+			if int(buildHash[j]%uint64(parts)) != p || bvd.hasNullKey(j, buildSlots) {
+				continue
+			}
+			ht[buildHash[j]] = append(ht[buildHash[j]], int32(j))
+		}
+		tables[p] = ht
+		return nil
+	}); err != nil {
+		return 0, 0, err
+	}
+	type pairs struct{ l, r []int32 }
+	outs := make([]pairs, nbP)
+	outCols := len(l.cols) + len(r.cols)
+	workers, err := ctx.par.run(nbP, func(b int) error {
+		probeTask := newBatchProbeTask(bvd, pvd, buildSlots, probeSlots, buildRight, resFn, l, r, &vecScratch{})
+		lSel, rSel, err := probeTask(nil, nil, func(h uint64) []int32 { return tables[h%uint64(parts)][h] }, b*bs, minInt(b*bs+bs, pvd.n))
+		if err != nil {
+			return err
+		}
+		// The accumulators are task-local and this task is done with them.
+		outs[b] = pairs{l: lSel, r: rSel}
+		ctx.accountBatch(len(lSel), outCols)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for _, p := range outs {
+		total += len(p.l)
+	}
+	lb.reserve(total)
+	rb.reserve(total)
+	for _, p := range outs {
+		lb.gather(l.vec.cols, p.l)
+		rb.gather(r.vec.cols, p.r)
+	}
+	return workers, parts, nil
+}
+
+// ---- batch distinct ------------------------------------------------------
+
+// batchDistinct removes duplicate rows of a columnar relation, preserving
+// first-occurrence order: per-row class hashes over all columns (NULLs
+// included, matching appendRowKey) bucket candidate duplicates, keyEq
+// verifies them, and the accumulated survivors gather once into
+// exactly-sized fresh vectors.
+func batchDistinct(ctx *execCtx, r *relation) (*relation, error) {
+	vd := r.vec
+	n := vd.n
+	bs := ctx.batchSize()
+	nb := numBatches(n, bs)
+	slots := make([]int, len(vd.cols))
+	for i := range slots {
+		slots[i] = i
+	}
+	scr := ctx.borrowVecScratch()
+	defer ctx.returnVecScratch(scr)
+	buckets := make(map[uint64][]int32, n)
+	sel := scr.sel[:0]
+	for b := 0; b < nb; b++ {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
+		lo := b * bs
+		hi := minInt(lo+bs, n)
+		hash := scr.batchHashes(vd, slots, lo, hi)
+		before := len(sel)
+		for i := lo; i < hi; i++ {
+			h := hash[i-lo]
+			dup := false
+			for _, k := range buckets[h] {
+				if keyEqAt(vd, i, slots, vd, int(k), slots) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			buckets[h] = append(buckets[h], int32(i))
+			sel = append(sel, int32(i))
+		}
+		ctx.accountBatch(len(sel)-before, len(r.cols))
+	}
+	scr.sel = sel
+	out := newVecBuilder(vd.cols)
+	out.reserve(len(sel))
+	out.gather(vd.cols, sel)
+	ctx.countBatches(nb)
+	ctx.setBatches(nb)
+	return &relation{cols: r.cols, vec: out.build()}, nil
+}
+
+// distinctRelation dispatches DISTINCT to the vectorized or row-at-a-time
+// implementation. The row path's output is accounted by the caller; the
+// batch path accounts itself per batch.
+func distinctRelation(ctx *execCtx, r *relation) (*relation, error) {
+	if ctx.batchOn() && r.vec != nil {
+		return batchDistinct(ctx, r)
+	}
+	r.matRows()
+	return distinctRows(r), nil
+}
+
+// ---- batch aggregate -----------------------------------------------------
+
+// batchAggregate is the vectorized grouping/aggregation path for the common
+// shape: GROUP BY over plain columns, items that are group columns or
+// single-column aggregates, no HAVING. Grouping hashes the key columns per
+// batch (keyEq-verified, so group identity matches the row path's
+// Value.Key() strings exactly) and keeps per-group row index lists; the
+// aggregates then run over column vectors without materializing any input
+// row. Returns ok=false when the statement needs the general row path.
+func batchAggregate(ctx *execCtx, s *SelectStmt, input *relation) (*relation, bool, error) {
+	vd := input.vec
+	if s.Having != nil {
+		return nil, false, nil
+	}
+	keySlots := make([]int, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		cr, ok := g.(*ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		slot := findCol(input.cols, cr.Table, cr.Name)
+		if slot < 0 {
+			return nil, false, nil
+		}
+		keySlots[i] = slot
+	}
+	// Validate items: plain group columns or single-column aggregates.
+	type itemPlan struct {
+		slot int       // >= 0: plain column
+		agg  *FuncExpr // aggregate call otherwise
+		arg  int       // aggregate argument slot; -1 for COUNT(*)
+	}
+	plans := make([]itemPlan, len(s.Items))
+	var outCols []colMeta
+	for ii, it := range s.Items {
+		if it.Star {
+			return nil, false, nil
+		}
+		name := strings.ToLower(it.Alias)
+		table := ""
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = strings.ToLower(cr.Name)
+				table = strings.ToLower(cr.Table)
+			} else {
+				name = strings.ToLower(it.Expr.String())
+			}
+		}
+		switch x := it.Expr.(type) {
+		case *ColRef:
+			slot := findCol(input.cols, x.Table, x.Name)
+			if slot < 0 {
+				return nil, false, nil
+			}
+			plans[ii] = itemPlan{slot: slot, arg: -1}
+		case *FuncExpr:
+			if !isAggregateName(x.Name) {
+				return nil, false, nil
+			}
+			p := itemPlan{slot: -1, agg: x, arg: -1}
+			if x.Star {
+				if x.Name != "COUNT" {
+					// Let the row path produce its canonical error.
+					return nil, false, nil
+				}
+			} else {
+				if len(x.Args) != 1 {
+					return nil, false, nil
+				}
+				cr, ok := x.Args[0].(*ColRef)
+				if !ok {
+					return nil, false, nil
+				}
+				slot := findCol(input.cols, cr.Table, cr.Name)
+				if slot < 0 {
+					return nil, false, nil
+				}
+				p.arg = slot
+			}
+			plans[ii] = p
+		default:
+			return nil, false, nil
+		}
+		outCols = append(outCols, colMeta{table: table, name: name})
+	}
+
+	// Vectorized grouping: class hashes per batch, keyEq verification.
+	n := vd.n
+	bs := ctx.batchSize()
+	nb := numBatches(n, bs)
+	type vGroup struct {
+		first int32
+		rows  []int32
+	}
+	var groups []vGroup
+	buckets := make(map[uint64][]int32) // group ids per key hash
+	scr := ctx.borrowVecScratch()
+	defer ctx.returnVecScratch(scr)
+	for b := 0; b < nb; b++ {
+		if err := ctx.cancelled(); err != nil {
+			return nil, false, err
+		}
+		lo := b * bs
+		hi := minInt(lo+bs, n)
+		hash := scr.batchHashes(vd, keySlots, lo, hi)
+		for i := lo; i < hi; i++ {
+			h := hash[i-lo]
+			gid := int32(-1)
+			for _, cand := range buckets[h] {
+				if keyEqAt(vd, i, keySlots, vd, int(groups[cand].first), keySlots) {
+					gid = cand
+					break
+				}
+			}
+			if gid < 0 {
+				gid = int32(len(groups))
+				groups = append(groups, vGroup{first: int32(i)})
+				buckets[h] = append(buckets[h], gid)
+			}
+			groups[gid].rows = append(groups[gid].rows, int32(i))
+		}
+	}
+	// Aggregates with no GROUP BY over empty input still yield one group.
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, vGroup{first: -1})
+	}
+
+	out := &relation{cols: outCols, rows: make([]Row, 0, len(groups))}
+	for _, g := range groups {
+		nr := make(Row, len(plans))
+		for ii, p := range plans {
+			if p.agg == nil {
+				if g.first < 0 {
+					nr[ii] = Null
+					continue
+				}
+				nr[ii] = vd.cols[p.slot].value(int(g.first))
+				continue
+			}
+			v, err := computeVecAggregate(p.agg, p.arg, g.rows, vd)
+			if err != nil {
+				return nil, false, err
+			}
+			nr[ii] = v
+		}
+		out.rows = append(out.rows, nr)
+	}
+	ctx.countBatches(nb)
+	ctx.setBatches(nb)
+	return out, true, nil
+}
+
+// computeVecAggregate evaluates one aggregate call over a group's row
+// indices, reading the argument column vector directly. Semantics mirror
+// computeAggregate: NULLs are skipped, DISTINCT deduplicates by key class,
+// SUM stays integer only when every input is an integer, MIN/MAX pick the
+// first extremum under Compare.
+func computeVecAggregate(f *FuncExpr, argSlot int, rows []int32, vd *vecData) (Value, error) {
+	if f.Star {
+		return NewInt(int64(len(rows))), nil
+	}
+	col := &vd.cols[argSlot]
+	count := 0
+	allInt := true
+	var fi int64
+	var ff float64
+	var best Value
+	haveBest := false
+	var seenHash map[uint64][]Value // DISTINCT dedup: class hash + keyEq
+	if f.Distinct {
+		seenHash = make(map[uint64][]Value)
+	}
+	for _, ri := range rows {
+		i := int(ri)
+		if col.nulls.get(i) {
+			continue
+		}
+		v := col.value(i)
+		if f.Distinct {
+			h := hashCellKey(v)
+			dup := false
+			for _, s := range seenHash[h] {
+				if s.keyEq(v) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seenHash[h] = append(seenHash[h], v)
+		}
+		count++
+		switch f.Name {
+		case "SUM", "AVG":
+			if v.Kind == KindInt {
+				fi += v.I
+				ff += float64(v.I)
+			} else {
+				allInt = false
+				fv, ok := v.AsFloat()
+				if !ok {
+					return Null, fmt.Errorf("sqldb: %s over non-numeric value", f.Name)
+				}
+				ff += fv
+			}
+		case "MIN", "MAX":
+			if !haveBest {
+				best, haveBest = v, true
+				continue
+			}
+			c, err := Compare(v, best)
+			if err != nil {
+				return Null, err
+			}
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+	}
+	switch f.Name {
+	case "COUNT":
+		return NewInt(int64(count)), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if allInt {
+			return NewInt(fi), nil
+		}
+		return NewFloat(ff), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(ff / float64(count)), nil
+	case "MIN", "MAX":
+		if !haveBest {
+			return Null, nil
+		}
+		return best, nil
+	}
+	return Null, fmt.Errorf("sqldb: unknown aggregate %s", f.Name)
+}
+
+// ---- batch projection ----------------------------------------------------
+
+// vecProject applies a SELECT list that is a pure column selection to a
+// columnar relation with zero copying: output vectors share the input's
+// typed arrays and dictionaries. Returns ok=false when any item computes
+// (the caller falls back to the row projection).
+func vecProject(items []SelectItem, input *relation) (*relation, bool) {
+	vd := input.vec
+	var outCols []colMeta
+	var picked []colvec
+	for _, it := range items {
+		if it.Star {
+			q := strings.ToLower(it.Table)
+			found := false
+			for i, c := range input.cols {
+				if q == "" || c.table == q {
+					outCols = append(outCols, c)
+					picked = append(picked, vd.cols[i])
+					found = true
+				}
+			}
+			if !found {
+				return nil, false
+			}
+			continue
+		}
+		cr, ok := it.Expr.(*ColRef)
+		if !ok {
+			return nil, false
+		}
+		slot := findCol(input.cols, cr.Table, cr.Name)
+		if slot < 0 {
+			return nil, false
+		}
+		name := strings.ToLower(it.Alias)
+		table := ""
+		if name == "" {
+			name = strings.ToLower(cr.Name)
+			table = strings.ToLower(cr.Table)
+		}
+		outCols = append(outCols, colMeta{table: table, name: name})
+		picked = append(picked, vd.cols[slot])
+	}
+	return &relation{cols: outCols, vec: &vecData{n: vd.n, cols: picked}}, true
+}

@@ -1,0 +1,294 @@
+package sqldb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The batch executor runs by default, so the whole suite already gates it;
+// these tests pin the properties the row-path tests cannot see — segment
+// immutability under batch scans, cache invalidation on write, operator-
+// level batch==row identity at awkward batch sizes, and truthful batches=
+// annotations in EXPLAIN ANALYZE.
+
+// renderRes flattens a result set for comparison.
+func renderRes(res *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, ","))
+	for _, row := range res.Rows {
+		sb.WriteByte('\n')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(v.String())
+		}
+	}
+	return sb.String()
+}
+
+// segmentSnapshot renders a table's columnar segment row by row through the
+// same accessor the batch operators use.
+func segmentSnapshot(t *testing.T, db *Database, table string) []string {
+	t.Helper()
+	tab := db.Table(table)
+	if tab == nil {
+		t.Fatalf("no table %s", table)
+	}
+	vd := tab.Segment()
+	out := make([]string, vd.n)
+	buf := make(Row, len(vd.cols))
+	for i := 0; i < vd.n; i++ {
+		vd.rowInto(buf, i)
+		s := ""
+		for j, v := range buf {
+			if j > 0 {
+				s += "|"
+			}
+			s += v.String()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// nullDB is testDB plus a typed table carrying NULLs in every column kind,
+// so vectorized filters and aggregates see null bitmaps on int, float,
+// bool, date and dictionary columns alike.
+func nullDB(t *testing.T) *Database {
+	t.Helper()
+	db := testDB(t, ProfileHashJoin)
+	if _, err := db.CreateTable(&TableDef{
+		Name: "TTyped",
+		Columns: []Column{
+			{Name: "k", Type: TInt, NotNull: true},
+			{Name: "n", Type: TInt},
+			{Name: "f", Type: TFloat},
+			{Name: "s", Type: TText},
+			{Name: "b", Type: TBool},
+			{Name: "d", Type: TDate},
+		},
+		PrimaryKey: []int{0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	null := Value{}
+	rows := []Row{
+		{NewInt(1), NewInt(10), NewFloat(1.5), NewString("alpha"), NewBool(true), NewDate(100)},
+		{NewInt(2), null, NewFloat(-2.5), NewString("beta"), NewBool(false), null},
+		{NewInt(3), NewInt(30), null, null, null, NewDate(300)},
+		{NewInt(4), NewInt(10), NewFloat(4.0), NewString("alpha"), NewBool(true), NewDate(100)},
+		{NewInt(5), NewInt(-7), NewFloat(1.5), NewString("gamma"), null, null},
+	}
+	for _, r := range rows {
+		if err := db.Insert("TTyped", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// batchIdentityQueries covers every vectorized operator plus its fallback
+// edges: pushdown comparisons in both literal positions, LIKE/IN/IS NULL,
+// NOT (row fallback), hash joins with residuals, DISTINCT, aggregates with
+// and without HAVING (HAVING falls back), projection, ORDER BY and LIMIT
+// over batched input, unions, and NULL-heavy typed columns.
+var batchIdentityQueries = []string{
+	"SELECT * FROM TProduct WHERE size = 'big'",
+	"SELECT product FROM TProduct WHERE size <> 'small' ORDER BY product",
+	"SELECT * FROM TEmployee WHERE id > 1 AND branch = 'B1'",
+	"SELECT * FROM TEmployee WHERE 2 <= id OR name LIKE 'J%'",
+	"SELECT name FROM TEmployee WHERE branch IN ('B1', 'B9') ORDER BY name",
+	"SELECT name FROM TEmployee WHERE branch NOT IN ('B1')",
+	"SELECT name FROM TEmployee WHERE NOT (id = 1) ORDER BY name",
+	"SELECT e.name, p.size FROM TEmployee e JOIN TSellsProduct s ON e.id = s.id JOIN TProduct p ON s.product = p.product ORDER BY e.name, p.size",
+	"SELECT e.name FROM TEmployee e, TSellsProduct s, TProduct p WHERE e.id = s.id AND s.product = p.product AND p.size = 'small'",
+	"SELECT e.name, s.product FROM TEmployee e LEFT JOIN TSellsProduct s ON e.id = s.id ORDER BY e.name, s.product",
+	"SELECT id, task FROM TEmployee NATURAL JOIN TAssignment ORDER BY id, task",
+	"SELECT DISTINCT size FROM TProduct ORDER BY size",
+	"SELECT branch FROM TEmployee UNION SELECT branch FROM TAssignment",
+	"SELECT branch FROM TEmployee UNION ALL SELECT branch FROM TAssignment",
+	"SELECT COUNT(*) FROM TSellsProduct",
+	"SELECT branch, COUNT(*) AS n FROM TEmployee GROUP BY branch ORDER BY branch",
+	"SELECT branch, COUNT(*) FROM TEmployee GROUP BY branch HAVING COUNT(*) > 1",
+	"SELECT MIN(id), MAX(id), SUM(id), AVG(id) FROM TEmployee",
+	"SELECT COUNT(DISTINCT size) FROM TProduct",
+	"SELECT id FROM TEmployee ORDER BY id DESC LIMIT 2",
+	"SELECT v.name FROM (SELECT name, id FROM TEmployee WHERE branch = 'B1') AS v WHERE v.id = 2",
+	"SELECT k FROM TTyped WHERE n = 10 ORDER BY k",
+	"SELECT k FROM TTyped WHERE n IS NULL",
+	"SELECT k FROM TTyped WHERE n IS NOT NULL ORDER BY k",
+	"SELECT k FROM TTyped WHERE f > 1.0 AND b = TRUE ORDER BY k",
+	"SELECT k FROM TTyped WHERE s IN ('alpha', 'gamma') ORDER BY k",
+	"SELECT k FROM TTyped WHERE s LIKE 'a%' ORDER BY k",
+	"SELECT k FROM TTyped WHERE d >= 100 OR f < 0 ORDER BY k",
+	"SELECT DISTINCT n FROM TTyped ORDER BY n",
+	"SELECT s, COUNT(*), SUM(n), MIN(f), MAX(d) FROM TTyped GROUP BY s ORDER BY s",
+	"SELECT a.k, b.k FROM TTyped a JOIN TTyped b ON a.s = b.s WHERE a.k < b.k ORDER BY a.k, b.k",
+}
+
+// TestBatchRowOperatorIdentity executes every query at batch sizes 1 (the
+// row path), 2 and 3 (forcing many partial batches over tiny tables), and
+// the default, asserting byte-identical results. Both join profiles run:
+// sort-merge falls back to row execution, hash-join vectorizes.
+func TestBatchRowOperatorIdentity(t *testing.T) {
+	for _, profile := range []Profile{ProfileHashJoin, ProfileSortMerge} {
+		db := nullDB(t)
+		db.Profile = profile
+		for _, sql := range batchIdentityQueries {
+			sel, err := Parse(sql)
+			if err != nil {
+				t.Fatalf("[%v] parse %q: %v", profile, sql, err)
+			}
+			base, err := db.ExecSelectOpts(sel, ExecOptions{BatchSize: 1, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("[%v] row path %q: %v", profile, sql, err)
+			}
+			want := renderRes(base)
+			for _, bs := range []int{2, 3, 0} {
+				got, err := db.ExecSelectOpts(sel, ExecOptions{BatchSize: bs, Parallelism: 1})
+				if err != nil {
+					t.Fatalf("[%v] batch=%d %q: %v", profile, bs, sql, err)
+				}
+				if g := renderRes(got); g != want {
+					t.Errorf("[%v] batch=%d diverges on %q\nrow path:\n%s\nbatched:\n%s", profile, bs, sql, want, g)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchScanDoesNotMutateSegment mirrors the row-path immutability suite
+// on columnar storage: ORDER BY and UNION over segment-backed scans must
+// leave both the row heap and the cached segment untouched.
+func TestBatchScanDoesNotMutateSegment(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	beforeRows := baseRowsSnapshot(t, db, "TProduct")
+	beforeSeg := segmentSnapshot(t, db, "TProduct")
+	for _, sql := range []string{
+		"SELECT * FROM TProduct ORDER BY size, product",
+		"SELECT * FROM TProduct UNION ALL SELECT * FROM TProduct",
+		"SELECT product FROM TProduct WHERE size = 'big' ORDER BY product DESC",
+	} {
+		if _, err := db.Query(sql); err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+	}
+	afterRows := baseRowsSnapshot(t, db, "TProduct")
+	afterSeg := segmentSnapshot(t, db, "TProduct")
+	for i := range beforeRows {
+		if beforeRows[i] != afterRows[i] {
+			t.Fatalf("batch scans mutated base row %d: %q -> %q", i, beforeRows[i], afterRows[i])
+		}
+		if beforeSeg[i] != afterSeg[i] {
+			t.Fatalf("batch scans mutated segment row %d: %q -> %q", i, beforeSeg[i], afterSeg[i])
+		}
+	}
+}
+
+// TestSegmentInvalidatedByInsert pins the write path: a cached segment must
+// be rebuilt after an insert, never served stale.
+func TestSegmentInvalidatedByInsert(t *testing.T) {
+	db := testDB(t, ProfileHashJoin)
+	tab := db.Table("TProduct")
+	seg := tab.Segment()
+	if seg.n != 4 {
+		t.Fatalf("segment rows = %d, want 4", seg.n)
+	}
+	if again := tab.Segment(); again != seg {
+		t.Fatal("repeated Segment() calls rebuilt an unchanged segment")
+	}
+	if err := db.Insert("TProduct", Row{NewString("p9"), NewString("tiny")}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := tab.Segment()
+	if fresh == seg {
+		t.Fatal("insert did not invalidate the cached segment")
+	}
+	if fresh.n != 5 {
+		t.Fatalf("rebuilt segment rows = %d, want 5", fresh.n)
+	}
+	res, err := db.Query("SELECT product FROM TProduct WHERE size = 'tiny'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "p9" {
+		t.Fatalf("batch scan missed the inserted row: %v", res.Rows)
+	}
+}
+
+// TestConcurrentBatchSelectsShareSegments is the columnar counterpart of
+// TestConcurrentSelectsShareBaseTables: many goroutines scanning, joining
+// and ordering over shared segments (the ci.sh -race run makes this a real
+// race detector for the lazily built, shared vecData).
+func TestConcurrentBatchSelectsShareSegments(t *testing.T) {
+	db := nullDB(t)
+	queries := []string{
+		"SELECT * FROM TProduct ORDER BY size, product",
+		"SELECT e.name, p.size FROM TEmployee e JOIN TSellsProduct s ON e.id = s.id JOIN TProduct p ON s.product = p.product",
+		"SELECT DISTINCT size FROM TProduct",
+		"SELECT s, COUNT(*) FROM TTyped GROUP BY s",
+		"SELECT k FROM TTyped WHERE s LIKE 'a%' OR n IS NULL",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := db.Query(queries[(g+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	rows := baseRowsSnapshot(t, db, "TProduct")
+	if len(rows) != 4 || rows[0] != "p1|big" {
+		t.Fatalf("concurrent batch reads corrupted TProduct: %v", rows)
+	}
+}
+
+// TestExplainAnalyzeReportsBatches asserts the batches= annotations are
+// truthful: present and consistent with the batch size on the vectorized
+// path, absent when the executor is pinned to row-at-a-time.
+func TestExplainAnalyzeReportsBatches(t *testing.T) {
+	db := nullDB(t)
+	stmt := MustParse("SELECT e.name FROM TEmployee e JOIN TSellsProduct s ON e.id = s.id WHERE e.id > 0")
+
+	_, prof, err := db.ProfileSelectOpts(stmt, ExecOptions{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prof.Render()
+	if !strings.Contains(out, "batches=") {
+		t.Fatalf("vectorized profile carries no batches= annotation:\n%s", out)
+	}
+	scan := prof.Find("scan")
+	if scan == nil || scan.Batches == 0 {
+		t.Fatalf("scan node reports no batches:\n%s", out)
+	}
+	// 3 employee rows at batch size 2 is exactly 2 batches.
+	if scan.Detail == "TEmployee" && scan.Batches != 2 {
+		t.Fatalf("scan batches = %d, want 2:\n%s", scan.Batches, out)
+	}
+	join := prof.Find("hash join")
+	if join == nil || join.Batches == 0 {
+		t.Fatalf("hash join node reports no batches:\n%s", out)
+	}
+
+	_, prof, err = db.ProfileSelectOpts(stmt, ExecOptions{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := prof.Render(); strings.Contains(out, "batches=") {
+		t.Fatalf("row-at-a-time profile claims batches:\n%s", out)
+	}
+}

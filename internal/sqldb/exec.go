@@ -13,6 +13,12 @@ type relation struct {
 	// relation's backing array; the sharedmut lint pass enforces that it is
 	// freshened with an owned copy before any in-place mutation.
 	rows []Row //lint:shared may alias base-table storage
+	// vec is the columnar backing when the batch executor produced (or
+	// scanned) this relation; immutable and possibly shared, like rows.
+	// Base-table scans carry both backings so falling back to a row
+	// operator is free; matRows() materializes (once) otherwise.
+	vec *vecData
+	mat bool // rows were materialized from vec (avoid re-materializing)
 }
 
 // filterRelation keeps rows where pred evaluates to TRUE. Inputs past the
@@ -20,6 +26,10 @@ type relation struct {
 // row chunks, keep survivors in per-morsel buffers, and the buffers are
 // concatenated in morsel order — bit-identical to the sequential scan.
 func filterRelation(ctx *execCtx, r *relation, pred Expr) (*relation, error) {
+	if ctx.batchOn() && r.vec != nil {
+		return batchFilter(ctx, r, pred)
+	}
+	r.matRows()
 	f, err := bindExpr(pred, r.cols)
 	if err != nil {
 		return nil, err
@@ -28,8 +38,9 @@ func filterRelation(ctx *execCtx, r *relation, pred Expr) (*relation, error) {
 		return filterMorsels(ctx, r, f)
 	}
 	out := &relation{cols: r.cols}
+	poll := ctx.pollMask()
 	for i, row := range r.rows {
-		if i&(morselRows-1) == 0 {
+		if i&poll == 0 {
 			if err := ctx.cancelled(); err != nil {
 				return nil, err
 			}
@@ -159,6 +170,11 @@ func andAll(conjuncts []Expr) Expr {
 // its own output buffer; build order within a key and probe order across
 // morsels are preserved, so output order is bit-identical to sequential.
 func hashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*relation, error) {
+	if ctx.batchOn() && l.vec != nil && r.vec != nil && len(keys) > 0 {
+		return batchHashJoin(ctx, l, r, keys, residual)
+	}
+	l.matRows()
+	r.matRows()
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var resFn evalFn
 	if residual != nil {
@@ -192,9 +208,10 @@ func hashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*rel
 		out.rows = rows
 		return out, nil
 	}
+	poll := ctx.pollMask()
 	ht := make(map[string][]Row, len(build.rows))
 	for i, row := range build.rows {
-		if i&(morselRows-1) == 0 {
+		if i&poll == 0 {
 			if err := ctx.cancelled(); err != nil {
 				return nil, err
 			}
@@ -206,7 +223,7 @@ func hashJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*rel
 		ht[k] = append(ht[k], row)
 	}
 	for i, prow := range probe.rows {
-		if i&(morselRows-1) == 0 {
+		if i&poll == 0 {
 			if err := ctx.cancelled(); err != nil {
 				return nil, err
 			}
@@ -356,6 +373,8 @@ func mergeJoin(ctx *execCtx, l, r *relation, keys []equiKey, residual Expr) (*re
 	if len(keys) == 0 {
 		return nestedLoopJoin(ctx, l, r, residual)
 	}
+	l.matRows()
+	r.matRows()
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var resFn evalFn
 	rest := keys[1:]
@@ -473,6 +492,8 @@ func computeSortedOrder(r *relation, slot int) []int {
 // nestedLoopJoin joins with an arbitrary predicate (nil = cross join).
 // ctx may be nil (standalone join without cancellation).
 func nestedLoopJoin(ctx *execCtx, l, r *relation, pred Expr) (*relation, error) {
+	l.matRows()
+	r.matRows()
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	var f evalFn
 	if pred != nil {
@@ -507,6 +528,8 @@ func nestedLoopJoin(ctx *execCtx, l, r *relation, pred Expr) (*relation, error) 
 // the predicate are used for hashing; the full predicate decides matching.
 // ctx may be nil (standalone join without cancellation).
 func leftJoin(ctx *execCtx, l, r *relation, on Expr) (*relation, error) {
+	l.matRows()
+	r.matRows()
 	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
 	conjuncts := splitConjuncts(on)
 	keys, residual := extractEquiKeys(conjuncts, l, r)
@@ -533,8 +556,9 @@ func leftJoin(ctx *execCtx, l, r *relation, on Expr) (*relation, error) {
 			k := RowKey(row, rCols)
 			ht[k] = append(ht[k], row)
 		}
+		poll := ctx.pollMask()
 		for i, lrow := range l.rows {
-			if i&(morselRows-1) == 0 {
+			if i&poll == 0 {
 				if err := ctx.cancelled(); err != nil {
 					return nil, err
 				}
@@ -645,6 +669,7 @@ func naturalJoin(ctx *execCtx, l, r *relation, profile Profile) (*relation, erro
 	for i, s := range keep {
 		out.cols[i] = joined.cols[s]
 	}
+	joined.matRows()
 	out.rows = make([]Row, len(joined.rows))
 	for ri, row := range joined.rows {
 		nr := make(Row, len(keep))

@@ -36,6 +36,10 @@ type OpProfile struct {
 	// probe-side rows) or, for a nested loop, the row pairs examined — the
 	// executor's "index probe vs scan" measure.
 	Probes int `json:"probes,omitempty"`
+	// Batches counts the fixed-size row batches this operator processed on
+	// the vectorized path; 0 means the operator ran row-at-a-time (row
+	// executor, or a batch-executor fallback).
+	Batches int `json:"batches,omitempty"`
 	// TimeUS is the operator's wall time in microseconds, recorded only
 	// where the executor times work explicitly (parallel union arms); 0
 	// means not measured.
@@ -67,6 +71,13 @@ func (p *OpProfile) SetJoin(left, right, out, build, probes int) {
 	if p != nil {
 		p.LeftRows, p.RightRows, p.Rows = left, right, out
 		p.BuildRows, p.Probes = build, probes
+	}
+}
+
+// SetBatches records how many vectorized batches the operator processed.
+func (p *OpProfile) SetBatches(n int) {
+	if p != nil {
+		p.Batches = n
 	}
 }
 
@@ -168,21 +179,25 @@ func (p *OpProfile) render(sb *strings.Builder, prefix string, last, root bool) 
 
 // cardinality formats the row counts appropriate to the operator shape.
 func (p *OpProfile) cardinality() string {
+	var s string
 	switch {
 	case p.LeftRows >= 0 && p.RightRows >= 0:
-		s := fmt.Sprintf("%d × %d → %d rows", p.LeftRows, p.RightRows, p.Rows)
+		s = fmt.Sprintf("%d × %d → %d rows", p.LeftRows, p.RightRows, p.Rows)
 		if p.BuildRows > 0 {
 			s += fmt.Sprintf(", build=%d", p.BuildRows)
 		}
 		if p.Probes > 0 {
 			s += fmt.Sprintf(", probes=%d", p.Probes)
 		}
-		return s
 	case p.RowsIn >= 0:
-		return fmt.Sprintf("%d → %d rows", p.RowsIn, p.Rows)
+		s = fmt.Sprintf("%d → %d rows", p.RowsIn, p.Rows)
 	default:
-		return fmt.Sprintf("rows=%d", p.Rows)
+		s = fmt.Sprintf("rows=%d", p.Rows)
 	}
+	if p.Batches > 0 {
+		s += fmt.Sprintf(", batches=%d", p.Batches)
+	}
+	return s
 }
 
 // ---- execCtx profiling hooks -------------------------------------------
@@ -231,8 +246,8 @@ func (db *Database) ProfileSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, 
 	if err != nil {
 		return nil, nil, err
 	}
-	root.SetRows(len(rel.rows))
-	res := &Result{Columns: make([]string, len(rel.cols)), Rows: rel.rows}
+	root.SetRows(rel.numRows())
+	res := &Result{Columns: make([]string, len(rel.cols)), Rows: rel.matRows()}
 	for i, c := range rel.cols {
 		res.Columns[i] = c.name
 	}

@@ -39,7 +39,7 @@ func (db *Database) ExplainSelect(s *SelectStmt) ([]string, error) {
 		return nil, err
 	}
 	notes = append(notes, fmt.Sprintf("result: %d rows, %d columns (%s profile)",
-		len(rel.rows), len(rel.cols), db.Profile))
+		rel.numRows(), len(rel.cols), db.Profile))
 	return notes, nil
 }
 
@@ -68,6 +68,11 @@ type ExecOptions struct {
 	// next morsel/operator boundary and return Ctx.Err(). Nil executes
 	// to completion (the classic batch behaviour).
 	Ctx context.Context
+	// BatchSize selects the executor: 0 runs the vectorized batch executor
+	// at DefaultBatchSize, 1 runs the classic row-at-a-time executor, and
+	// any larger value runs the batch executor at that batch size. Results
+	// are row-for-row identical at every setting.
+	BatchSize int
 }
 
 // ExecSelect executes a parsed SELECT statement (including UNION chains)
@@ -84,7 +89,7 @@ func (db *Database) ExecSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: make([]string, len(rel.cols)), Rows: rel.rows}
+	res := &Result{Columns: make([]string, len(rel.cols)), Rows: rel.matRows()}
 	for i, c := range rel.cols {
 		res.Columns[i] = c.name
 	}
@@ -93,7 +98,11 @@ func (db *Database) ExecSelectOpts(s *SelectStmt, opt ExecOptions) (*Result, err
 
 // newExecCtx builds the root context of one statement execution.
 func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
-	ctx := &execCtx{cache: newStmtCache(), prof: prof, usage: opt.Usage, ctx: opt.Ctx}
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	ctx := &execCtx{cache: newStmtCache(), prof: prof, usage: opt.Usage, ctx: opt.Ctx, batch: batch, stats: opt.Stats}
 	if opt.Parallelism > 1 {
 		pool := opt.Pool
 		if pool == nil {
@@ -103,6 +112,7 @@ func newExecCtx(opt ExecOptions, prof *OpProfile) *execCtx {
 		if stats == nil {
 			stats = &ExecStats{}
 		}
+		ctx.stats = stats
 		ctx.par = &parState{pool: pool, par: opt.Parallelism, stats: stats, ctx: opt.Ctx}
 	}
 	return ctx
@@ -137,6 +147,20 @@ type execCtx struct {
 	// costs one string allocation instead of fmt boxing (goroutine-local:
 	// each parallel union arm owns its child context).
 	scratch []byte
+	// batch is the resolved batch size: > 1 runs the vectorized executor,
+	// <= 1 the row-at-a-time one (see ExecOptions.BatchSize).
+	batch int
+	// stats receives the batch counters even on sequential executions
+	// (parallel ones share it with par.stats); nil = not collected.
+	stats *ExecStats
+	// lastBatches is the pending batches= annotation of the operator just
+	// executed (goroutine-local, same discipline as parNote).
+	lastBatches int
+	// vecs is the reusable batch-executor scratch pool (selection indices,
+	// keep flags, key hashes; see vecScratch in batch.go). Goroutine-local
+	// like parNote: each parallel union arm owns its child context, and
+	// parallel batch tasks allocate task-locally instead of borrowing.
+	vecs *vecScratch
 }
 
 // stmtCache is the state shared across one statement's evaluation: derived
@@ -237,6 +261,7 @@ func (ctx *execCtx) accountRows(rel *relation) {
 // buffer makes each recorded line cost one string allocation.
 func (ctx *execCtx) notePushdown(pred Expr, before, after int) {
 	note := ctx.takeParNote() // consume even when nothing records it
+	batches := ctx.takeBatches()
 	if ctx.explain == nil && ctx.prof == nil {
 		return
 	}
@@ -254,7 +279,9 @@ func (ctx *execCtx) notePushdown(pred Expr, before, after int) {
 	}
 	if ctx.prof != nil {
 		b = append(b, note...)
-		ctx.addOp("filter", string(b)).SetInOut(before, after)
+		node := ctx.addOp("filter", string(b))
+		node.SetInOut(before, after)
+		node.SetBatches(batches)
 	}
 	ctx.scratch = b[:0]
 }
@@ -264,6 +291,7 @@ func (ctx *execCtx) notePushdown(pred Expr, before, after int) {
 // replacing the variadic note/Sprintf pair on the buildFrom join loop.
 func (ctx *execCtx) noteJoin(algo string, eqKeys, lrows, rrows, out int) {
 	note := ctx.takeParNote()
+	batches := ctx.takeBatches()
 	if ctx.explain == nil && ctx.prof == nil {
 		return
 	}
@@ -286,8 +314,9 @@ func (ctx *execCtx) noteJoin(algo string, eqKeys, lrows, rrows, out int) {
 		b = strconv.AppendInt(b, int64(eqKeys), 10)
 		b = append(b, " equi keys"...)
 		b = append(b, note...)
-		ctx.addOp(algo, string(b)).
-			SetJoin(lrows, rrows, out, joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+		node := ctx.addOp(algo, string(b))
+		node.SetJoin(lrows, rrows, out, joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+		node.SetBatches(batches)
 	}
 	ctx.scratch = b[:0]
 }
@@ -333,13 +362,19 @@ func (db *Database) evalSelectChain(ctx *execCtx, s *SelectStmt) (*relation, err
 			detail += fmt.Sprintf(" [workers=%d]", workers)
 		}
 		node.SetDetail(detail)
-		node.SetRows(len(head.rows))
+		node.SetRows(head.numRows())
 	}
 	if !s.UnionAll {
-		before := len(head.rows)
-		head = distinctRows(head)
+		before := head.numRows()
+		head, err = distinctRelation(ctx, head)
+		if err != nil {
+			return nil, err
+		}
 		ctx.accountRows(head)
-		ctx.addOp("distinct", "").SetInOut(before, len(head.rows))
+		batches := ctx.takeBatches()
+		dnode := ctx.addOp("distinct", "")
+		dnode.SetInOut(before, head.numRows())
+		dnode.SetBatches(batches)
 	}
 	return head, nil
 }
@@ -352,7 +387,9 @@ func (db *Database) evalUnionArmsSequential(ctx *execCtx, arms []*SelectStmt) (*
 	// The head's row slice can alias a base table (star fast path), so
 	// appending the other arms into it would write through to — or race
 	// on — the shared table storage. Concatenate into a fresh slice.
-	head.rows = append(make([]Row, 0, len(head.rows)), head.rows...)
+	head.rows = append(make([]Row, 0, head.numRows()), head.matRows()...)
+	head.vec = nil
+	head.mat = false
 	for _, u := range arms[1:] {
 		arm, err := db.evalSelect(ctx, u)
 		if err != nil {
@@ -361,7 +398,7 @@ func (db *Database) evalUnionArmsSequential(ctx *execCtx, arms []*SelectStmt) (*
 		if len(arm.cols) != len(head.cols) {
 			return nil, fmt.Errorf("sqldb: UNION arms have %d vs %d columns", len(head.cols), len(arm.cols))
 		}
-		head.rows = append(head.rows, arm.rows...)
+		head.rows = append(head.rows, arm.matRows()...)
 	}
 	return head, nil
 }
@@ -380,7 +417,7 @@ func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*re
 		if ctx.prof != nil {
 			nodes[i] = ctx.addOp("arm", fmt.Sprintf("#%d", i+1))
 		}
-		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i], usage: ctx.usage, ctx: ctx.ctx}
+		ctxs[i] = &execCtx{cache: ctx.cache, par: ctx.par, prof: nodes[i], usage: ctx.usage, ctx: ctx.ctx, batch: ctx.batch, stats: ctx.stats}
 	}
 	ctx.par.stats.UnionArms.Add(int64(len(arms)))
 	workers, err := ctx.par.run(len(arms), func(i int) error {
@@ -390,7 +427,10 @@ func (db *Database) evalUnionArmsParallel(ctx *execCtx, arms []*SelectStmt) (*re
 		if armErr != nil {
 			return armErr
 		}
-		nodes[i].SetRows(len(rel.rows))
+		nodes[i].SetRows(rel.numRows())
+		// Materialize inside the arm's task: the relation is still owned
+		// by this goroutine, and the transpose work parallelizes with it.
+		rel.matRows()
 		rels[i] = rel
 		return nil
 	})
@@ -423,7 +463,7 @@ func (db *Database) evalSelect(ctx *execCtx, s *SelectStmt) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	node.SetRows(len(out.rows))
+	node.SetRows(out.numRows())
 	return out, nil
 }
 
@@ -433,15 +473,18 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 		return nil, err
 	}
 	if rest := andAll(remaining); rest != nil {
-		before := len(input.rows)
+		before := input.numRows()
 		input, err = filterRelation(ctx, input, rest)
 		if err != nil {
 			return nil, err
 		}
 		ctx.accountRows(input)
 		note := ctx.takeParNote()
+		batches := ctx.takeBatches()
 		if ctx.prof != nil {
-			ctx.addOp("filter", rest.String()+note).SetInOut(before, len(input.rows))
+			node := ctx.addOp("filter", rest.String()+note)
+			node.SetInOut(before, input.numRows())
+			node.SetBatches(batches)
 		}
 	}
 
@@ -455,38 +498,79 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 	var out *relation
 	var inputAligned []Row // input rows aligned to output rows (for ORDER BY)
 	if hasAgg {
-		out, err = db.evalAggregate(s, input)
-		if err != nil {
-			return nil, err
+		vectorized := false
+		if ctx.batchOn() && input.vec != nil {
+			out, vectorized, err = batchAggregate(ctx, s, input)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !vectorized {
+			input.matRows()
+			out, err = db.evalAggregate(s, input)
+			if err != nil {
+				return nil, err
+			}
 		}
 		ctx.accountRows(out)
-		ctx.addOpf("aggregate", "%d groups", len(out.rows)).SetInOut(len(input.rows), len(out.rows))
+		batches := ctx.takeBatches()
+		node := ctx.addOpf("aggregate", "%d groups", len(out.rows))
+		node.SetInOut(input.numRows(), len(out.rows))
+		node.SetBatches(batches)
 	} else {
-		out, inputAligned, err = projectItems(s.Items, input)
-		if err != nil {
-			return nil, err
+		// The vectorized projection only applies to pure column selections
+		// on vector-only inputs, and only when every ORDER BY key binds to
+		// the projected columns (the vec path has no aligned input rows for
+		// keys over non-projected columns).
+		var vecOut *relation
+		if ctx.batchOn() && input.vec != nil && input.rows == nil {
+			if v, ok := vecProject(s.Items, input); ok && orderKeysBindable(s.OrderBy, v.cols) {
+				vecOut = v
+			}
 		}
-		ctx.accountRows(out)
-		ctx.addOpf("project", "%d columns", len(out.cols)).SetRows(len(out.rows))
+		if vecOut != nil {
+			out = vecOut
+			ctx.accountBatch(out.numRows(), len(out.cols))
+		} else {
+			input.matRows()
+			out, inputAligned, err = projectItems(s.Items, input)
+			if err != nil {
+				return nil, err
+			}
+			ctx.accountRows(out)
+		}
+		ctx.addOpf("project", "%d columns", len(out.cols)).SetRows(out.numRows())
 	}
 
 	if s.Distinct {
-		before := len(out.rows)
-		out = distinctRows(out)
+		before := out.numRows()
+		out, err = distinctRelation(ctx, out)
+		if err != nil {
+			return nil, err
+		}
 		inputAligned = nil
 		ctx.accountRows(out)
-		ctx.addOp("distinct", "").SetInOut(before, len(out.rows))
+		batches := ctx.takeBatches()
+		node := ctx.addOp("distinct", "")
+		node.SetInOut(before, out.numRows())
+		node.SetBatches(batches)
 	}
 
 	if len(s.OrderBy) > 0 {
+		out.matRows()
 		if err := orderRelation(s.OrderBy, out, input.cols, inputAligned); err != nil {
 			return nil, err
 		}
+		out.vec = nil
+		out.mat = false
 		ctx.addOpf("sort", "%d keys", len(s.OrderBy)).SetRows(len(out.rows))
 	}
 
-	if s.Offset > 0 || (s.Limit >= 0 && s.Limit < len(out.rows)) {
-		before := len(out.rows)
+	if s.Offset > 0 || (s.Limit >= 0 && s.Limit < out.numRows()) {
+		before := out.numRows()
+		out.matRows()
+		out.vec = nil
+		out.mat = false
 		if s.Offset > 0 {
 			if s.Offset >= len(out.rows) {
 				out.rows = nil
@@ -500,6 +584,17 @@ func (db *Database) evalSelectBody(ctx *execCtx, s *SelectStmt) (*relation, erro
 		ctx.addOp("limit", "").SetInOut(before, len(out.rows))
 	}
 	return out, nil
+}
+
+// orderKeysBindable reports whether every ORDER BY key resolves against the
+// given (projected) columns.
+func orderKeysBindable(order []OrderItem, cols []colMeta) bool {
+	for _, o := range order {
+		if !bindable(o.Expr, cols) {
+			return false
+		}
+	}
+	return true
 }
 
 // buildFrom materializes the FROM clause. WHERE conjuncts are consumed for
@@ -523,13 +618,13 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 		placed := false
 		for i, r := range rels {
 			if bindable(c, r.cols) {
-				before := len(r.rows)
+				before := r.numRows()
 				fr, err := filterRelation(ctx, r, c)
 				if err != nil {
 					return nil, nil, err
 				}
 				ctx.accountRows(fr)
-				ctx.notePushdown(c, before, len(fr.rows))
+				ctx.notePushdown(c, before, fr.numRows())
 				rels[i] = fr
 				placed = true
 				break
@@ -566,7 +661,7 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 			}
 		}
 		eq, residual := extractEquiKeys(usable, cur, next)
-		lrows, rrows := len(cur.rows), len(next.rows)
+		lrows, rrows := cur.numRows(), next.numRows()
 		var algo string
 		var err error
 		switch {
@@ -584,7 +679,7 @@ func (db *Database) buildFrom(ctx *execCtx, from []TableRef, conjuncts []Expr) (
 			return nil, nil, err
 		}
 		ctx.accountRows(cur)
-		ctx.noteJoin(algo, len(eq), lrows, rrows, len(cur.rows))
+		ctx.noteJoin(algo, len(eq), lrows, rrows, cur.numRows())
 		pending = stillPending
 	}
 	return cur, pending, nil
@@ -632,7 +727,7 @@ func greedyOrder(rels []*relation, conjuncts []Expr) []int {
 	// seed: smallest
 	best := 0
 	for i := 1; i < n; i++ {
-		if len(rels[i].rows) < len(rels[best].rows) {
+		if rels[i].numRows() < rels[best].numRows() {
 			best = i
 		}
 	}
@@ -649,7 +744,7 @@ func greedyOrder(rels []*relation, conjuncts []Expr) []int {
 			connected := hasEquiBetween(conjuncts, curCols, rels[i].cols)
 			if cand == -1 ||
 				(connected && !candConnected) ||
-				(connected == candConnected && len(rels[i].rows) < len(rels[cand].rows)) {
+				(connected == candConnected && rels[i].numRows() < rels[cand].numRows()) {
 				cand = i
 				candConnected = connected
 			}
@@ -708,8 +803,17 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			cols[i] = colMeta{table: alias, name: strings.ToLower(c.Name)}
 		}
 		ctx.accountScan(len(tab.Rows))
-		ctx.addOp("scan", t.Name).SetRows(len(tab.Rows))
-		return &relation{cols: cols, rows: tab.Rows}, nil
+		node := ctx.addOp("scan", t.Name)
+		node.SetRows(len(tab.Rows))
+		rel := &relation{cols: cols, rows: tab.Rows}
+		if ctx.batchOn() {
+			// The scan is zero-copy in both executors (the relation aliases
+			// the table's rows and segment), so it accounts whole — only
+			// operators that process batches account per batch.
+			rel.vec = tab.Segment()
+			node.SetBatches(numBatches(rel.vec.n, ctx.batchSize()))
+		}
+		return rel, nil
 	case *SubqueryTable:
 		// Derived tables repeat across the arms of OBDA unfoldings, so
 		// each distinct subquery is materialized once per statement. The
@@ -730,7 +834,7 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			e.rel, e.err = db.evalSelectChain(ctx, t.Query)
 			restore()
 			if e.err == nil {
-				node.SetRows(len(e.rel.rows))
+				node.SetRows(e.rel.numRows())
 			}
 		})
 		if e.err != nil {
@@ -741,14 +845,17 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 			if ctx.usage != nil {
 				ctx.usage.AddCacheHits(1)
 			}
-			ctx.addOp("subquery", t.Alias+" (cached)").SetRows(len(inner.rows))
+			ctx.addOp("subquery", t.Alias+" (cached)").SetRows(inner.numRows())
 		}
 		alias := strings.ToLower(t.Alias)
 		cols := make([]colMeta, len(inner.cols))
 		for i, c := range inner.cols {
 			cols[i] = colMeta{table: alias, name: c.name}
 		}
-		return &relation{cols: cols, rows: inner.rows}, nil
+		// The wrapper shares both backings of the cached inner relation;
+		// each wrapper is owned by one goroutine, so a later matRows on it
+		// materializes locally without racing other arms on the cache entry.
+		return &relation{cols: cols, rows: inner.rows, vec: inner.vec}, nil
 	case *JoinRef:
 		l, err := db.buildRef(ctx, t.L)
 		if err != nil {
@@ -758,16 +865,18 @@ func (db *Database) buildRef(ctx *execCtx, tr TableRef) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		lrows, rrows := len(l.rows), len(r.rows)
+		lrows, rrows := l.numRows(), r.numRows()
 		record := func(algo string, out *relation, err error) (*relation, error) {
 			if err != nil {
 				return nil, err
 			}
 			ctx.accountRows(out)
 			note := ctx.takeParNote()
+			batches := ctx.takeBatches()
 			if ctx.prof != nil {
-				ctx.addOp(algo, strings.ToLower(t.Kind.String())+note).
-					SetJoin(lrows, rrows, len(out.rows), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+				node := ctx.addOp(algo, strings.ToLower(t.Kind.String())+note)
+				node.SetJoin(lrows, rrows, out.numRows(), joinBuildRows(algo, lrows, rrows), joinProbes(algo, lrows, rrows))
+				node.SetBatches(batches)
 			}
 			return out, nil
 		}

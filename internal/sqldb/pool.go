@@ -113,6 +113,9 @@ type ExecStats struct {
 	// Morsels counts scan/filter/probe row chunks processed in parallel
 	// operators.
 	Morsels atomic.Int64
+	// Batches counts fixed-size row batches processed by vectorized
+	// operators (sequential and parallel alike).
+	Batches atomic.Int64
 }
 
 // add folds other into s (used to roll per-statement stats up into
@@ -126,6 +129,7 @@ func (s *ExecStats) Add(other *ExecStats) {
 	s.UnionArms.Add(other.UnionArms.Load())
 	s.JoinPartitions.Add(other.JoinPartitions.Load())
 	s.Morsels.Add(other.Morsels.Load())
+	s.Batches.Add(other.Batches.Load())
 }
 
 // parState is the per-statement handle on the parallel execution machinery;

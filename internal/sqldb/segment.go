@@ -1,0 +1,158 @@
+package sqldb
+
+import (
+	"npdbench/internal/rdf"
+)
+
+// Columnar segment storage. A table's rows are transposed once into typed
+// per-column arrays — int64 for INTEGER/BOOLEAN/DATE, float64 for DOUBLE,
+// dictionary codes for TEXT, pointers for GEOMETRY — with a compact null
+// bitmap per column. The segment is the storage the vectorized batch
+// executor scans; the row heap stays canonical for inserts, indexes and
+// constraint checks, and the segment is rebuilt lazily after any write.
+// Dictionary entries go through the rdf term interner, so a lexical form
+// shared by many columns (IRI fragments, repeated literals) keeps one
+// backing across every dictionary and the RDF term store.
+
+// strDict is one column's string dictionary: codes are assigned in first-
+// appearance order, and each distinct value's FNV hash is precomputed so
+// vectorized joins and dedup hash dictionary codes instead of re-hashing
+// string payloads per row. A dictionary is immutable once its segment is
+// built; intermediate batch results share it by reference and never copy
+// string payloads.
+type strDict struct {
+	vals   []string
+	hashes []uint64
+	index  map[string]uint32
+}
+
+func newStrDict() *strDict {
+	return &strDict{index: make(map[string]uint32)}
+}
+
+// encode returns the code for s, assigning the next one on first sight.
+func (d *strDict) encode(s string) uint32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := uint32(len(d.vals))
+	s = rdf.Intern(s)
+	d.vals = append(d.vals, s)
+	d.hashes = append(d.hashes, hashString(s))
+	d.index[s] = c
+	return c
+}
+
+// decode returns the string for a code.
+func (d *strDict) decode(c uint32) string { return d.vals[c] }
+
+// lookup returns the code for s without assigning one.
+func (d *strDict) lookup(s string) (uint32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// size returns the number of distinct values.
+func (d *strDict) size() int { return len(d.vals) }
+
+// nullBitmap marks NULL cells: bit i set means row i is NULL. A nil bitmap
+// means the column has no NULLs (the common case for key columns).
+type nullBitmap []uint64
+
+func (b nullBitmap) get(i int) bool {
+	if b == nil {
+		return false
+	}
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (b nullBitmap) set(i int) {
+	b[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func newNullBitmap(n int) nullBitmap {
+	return make(nullBitmap, (n+63)>>6)
+}
+
+// buildSegment transposes rows into a vecData given the declared column
+// kinds. checkTypes has already enforced that every cell is NULL or of the
+// declared kind, so the per-kind loops need no per-cell dispatch.
+func buildSegment(def *TableDef, rows []Row) *vecData {
+	n := len(rows)
+	vd := &vecData{n: n, cols: make([]colvec, len(def.Columns))}
+	for ci, col := range def.Columns {
+		kind := col.Type.Kind()
+		cv := colvec{kind: kind}
+		var nulls nullBitmap
+		switch kind {
+		case KindInt, KindBool, KindDate:
+			cv.ints = make([]int64, n)
+			for i, row := range rows {
+				v := row[ci]
+				if v.IsNull() {
+					if nulls == nil {
+						nulls = newNullBitmap(n)
+					}
+					nulls.set(i)
+					continue
+				}
+				cv.ints[i] = v.I
+			}
+		case KindFloat:
+			cv.floats = make([]float64, n)
+			for i, row := range rows {
+				v := row[ci]
+				if v.IsNull() {
+					if nulls == nil {
+						nulls = newNullBitmap(n)
+					}
+					nulls.set(i)
+					continue
+				}
+				cv.floats[i] = v.F
+			}
+		case KindString:
+			cv.dict = newStrDict()
+			cv.codes = make([]uint32, n)
+			for i, row := range rows {
+				v := row[ci]
+				if v.IsNull() {
+					if nulls == nil {
+						nulls = newNullBitmap(n)
+					}
+					nulls.set(i)
+					continue
+				}
+				cv.codes[i] = cv.dict.encode(v.S)
+			}
+		case KindGeometry:
+			cv.geos = make([]*Geometry, n)
+			for i, row := range rows {
+				v := row[ci]
+				if v.IsNull() {
+					if nulls == nil {
+						nulls = newNullBitmap(n)
+					}
+					nulls.set(i)
+					continue
+				}
+				cv.geos[i] = v.G
+			}
+		}
+		cv.nulls = nulls
+		vd.cols[ci] = cv
+	}
+	return vd
+}
+
+// Segment returns the table's columnar segment, building it on first use
+// after a write. Safe for concurrent readers; the returned vecData is
+// immutable (batch operators gather into fresh vectors, never in place).
+func (t *Table) Segment() *vecData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seg == nil {
+		t.seg = buildSegment(t.Def, t.Rows)
+	}
+	return t.seg
+}

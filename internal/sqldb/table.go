@@ -19,6 +19,7 @@ type Table struct {
 	secondary   map[string]*HashIndex // guarded by mu
 	statsDirty  bool                  // guarded by mu
 	cachedStats *TableStats           // guarded by mu
+	seg         *vecData              // columnar segment cache, guarded by mu
 }
 
 // NewTable creates an empty table for the given definition.
@@ -107,6 +108,7 @@ func (t *Table) insertUnchecked(row Row) error {
 		idx.Add(row, pos)
 	}
 	t.statsDirty = true
+	t.seg = nil
 	t.mu.Unlock()
 	return nil
 }
